@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig 5 reproduction: average percentage speed-ups across all shaders
+ * per platform — per-shader best ("iterative"), the best static flag
+ * set, the LunarGlass defaults, and the all-off passthrough.
+ */
+#include "bench_common.h"
+
+using namespace gsopt;
+
+int
+main()
+{
+    bench::banner("Figure 5",
+                  "Average percentage speed-up across all shaders "
+                  "(paper: iterative 1-4%, default LunarGlass flags "
+                  "0 to -0.7%)");
+    const auto &eng = bench::engine();
+
+    TextTable t({"Platform", "best iterative", "best static",
+                 "LunarGlass defaults", "passthrough (no flags)"});
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        tuner::FlagSet best_static = eng.bestStaticFlags(dev);
+        t.addRow({gpu::deviceVendor(dev),
+                  TextTable::num(eng.meanBestSpeedup(dev), 2) + "%",
+                  TextTable::num(eng.meanSpeedup(dev, best_static), 2) +
+                      "%",
+                  TextTable::num(
+                      eng.meanSpeedup(
+                          dev, tuner::FlagSet::lunarGlassDefaults()),
+                      2) +
+                      "%",
+                  TextTable::num(
+                      eng.meanSpeedup(dev, tuner::FlagSet::none()), 2) +
+                      "%"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig 6 reproduction: average speed-up of the 30 most-improved shaders
+ * per platform (paper: 4-13%).
+ */
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace gsopt;
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Average speed-up for the 30 shaders with the highest "
+                  "best speed-up per platform (paper: 4-13%)");
+    const auto &eng = bench::engine();
+
+    TextTable t({"Platform", "top-30 mean", "top-30 min", "top-30 max",
+                 "best shader"});
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        auto best = eng.perShaderBestSpeedups(dev);
+        std::vector<size_t> idx(best.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            return best[a] > best[b];
+        });
+        const size_t n = std::min<size_t>(30, idx.size());
+        std::vector<double> top;
+        for (size_t k = 0; k < n; ++k)
+            top.push_back(best[idx[k]]);
+        t.addRow(
+            {gpu::deviceVendor(dev),
+             TextTable::num(mean(top), 2) + "%",
+             TextTable::num(top.back(), 2) + "%",
+             TextTable::num(top.front(), 2) + "%",
+             eng.results()[idx[0]].exploration.shaderName});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 7 reproduction: per-shader speed-up distributions per platform —
+ * best possible (green in the paper), default LunarGlass settings
+ * (red), and the best static flags (blue).
+ */
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace gsopt;
+
+namespace {
+
+void
+printSeries(const char *label, std::vector<double> series)
+{
+    std::sort(series.begin(), series.end(), std::greater<double>());
+    Summary s = summarize(series);
+    std::printf("  %-12s %s\n", label, s.str().c_str());
+    // The paper plots shaders sorted by speed-up; print a compact
+    // sparkline-style row of deciles.
+    std::printf("  %-12s deciles:", "");
+    for (int d = 0; d <= 10; ++d) {
+        size_t i = std::min(series.size() - 1,
+                            static_cast<size_t>(
+                                d * (series.size() - 1) / 10));
+        std::printf(" %+7.2f", series[i]);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "Percentage speed-up per shader for each platform "
+                  "(best possible / LunarGlass defaults / best static)");
+    const auto &eng = bench::engine();
+
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        std::printf("---- %s (%s) ----\n", gpu::deviceVendor(dev),
+                    gpu::deviceModel(dev).name.c_str());
+        printSeries("best", eng.perShaderBestSpeedups(dev));
+        printSeries("defaults",
+                    eng.perShaderSpeedups(
+                        dev, tuner::FlagSet::lunarGlassDefaults()));
+        printSeries("best static",
+                    eng.perShaderSpeedups(dev,
+                                          eng.bestStaticFlags(dev)));
+        std::printf("\n");
+    }
+    std::printf("Paper reading: large near-zero mid-sections, peaks and "
+                "troughs of 10-30%% at the\nends; on AMD the defaults "
+                "hug the best line; on ARM/NVIDIA the gap between\n"
+                "best-static and best is widest (better per-shader flag "
+                "selection pays there).\n");
+    return 0;
+}

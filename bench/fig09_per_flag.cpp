@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 9 reproduction: percentage speed-up of each flag *in isolation*
+ * against the all-flags-off LunarGlass passthrough baseline (the
+ * paper's convention, which removes code-generation artefacts from the
+ * comparison), per platform. The violin plots become five-number
+ * summaries here.
+ */
+#include "bench_common.h"
+
+using namespace gsopt;
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "Percentage speed-up from individual flags for each "
+                  "platform (vs all-off passthrough)");
+    const auto &eng = bench::engine();
+
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        std::printf("---- %s (%s) ----\n", gpu::deviceVendor(dev),
+                    gpu::deviceModel(dev).name.c_str());
+        TextTable t({"Flag", "min", "q1", "median", "mean", "q3",
+                     "max"});
+        for (int bit = 0; bit < tuner::kFlagCount; ++bit) {
+            std::vector<double> speedups;
+            for (const auto &r : eng.results())
+                speedups.push_back(r.isolatedFlagSpeedup(dev, bit));
+            Summary s = summarize(speedups);
+            t.addRow({tuner::flagName(bit), TextTable::num(s.min, 2),
+                      TextTable::num(s.q1, 2),
+                      TextTable::num(s.median, 2),
+                      TextTable::num(s.mean, 3),
+                      TextTable::num(s.q3, 2),
+                      TextTable::num(s.max, 2)});
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf(
+        "Paper reading (Section VI-D): unrolling always helps AMD "
+        "(up to +35%%) and is\nARM's best flag; it is near-zero on "
+        "NVIDIA/Intel whose JITs unroll themselves,\nand a mixed bag "
+        "on Qualcomm (-8%% case). FP-Reassociate has positive means\n"
+        "everywhere except ARM. Hoist has pathological slow-down cases "
+        "on every desktop\nplatform. ADCE is exactly zero.\n");
+    return 0;
+}

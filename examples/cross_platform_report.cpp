@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-platform report: the headline numbers of the paper in one run —
+ * average speed-ups per platform (Fig 5), the best static flags
+ * (Table I), and each platform's biggest win and worst loss under the
+ * default flags. This is the executive summary a GPU vendor or engine
+ * team would want from the measurement campaign.
+ *
+ * Build & run:  ./build/examples/cross_platform_report
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "support/table.h"
+#include "tuner/experiment.h"
+
+using namespace gsopt;
+
+int
+main()
+{
+    const auto &eng = tuner::ExperimentEngine::instance();
+    std::printf("Measurement campaign: %zu shaders x 256 flag "
+                "combinations x %zu simulated GPUs\n\n",
+                eng.results().size(), gpu::allDevices().size());
+
+    TextTable summary({"platform", "iterative best", "best static",
+                       "defaults", "best static flags"});
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        tuner::FlagSet bs = eng.bestStaticFlags(dev);
+        summary.addRow(
+            {gpu::deviceVendor(dev),
+             TextTable::num(eng.meanBestSpeedup(dev), 2) + "%",
+             TextTable::num(eng.meanSpeedup(dev, bs), 2) + "%",
+             TextTable::num(
+                 eng.meanSpeedup(
+                     dev, tuner::FlagSet::lunarGlassDefaults()),
+                 2) +
+                 "%",
+             bs.str()});
+    }
+    std::printf("%s\n", summary.str().c_str());
+
+    TextTable extremes({"platform", "biggest win (defaults)", "",
+                        "worst loss (defaults)", ""});
+    for (gpu::DeviceId dev : gpu::allDevices()) {
+        auto speedups = eng.perShaderSpeedups(
+            dev, tuner::FlagSet::lunarGlassDefaults());
+        size_t best = 0, worst = 0;
+        for (size_t i = 1; i < speedups.size(); ++i) {
+            if (speedups[i] > speedups[best])
+                best = i;
+            if (speedups[i] < speedups[worst])
+                worst = i;
+        }
+        extremes.addRow(
+            {gpu::deviceVendor(dev),
+             eng.results()[best].exploration.shaderName,
+             TextTable::num(speedups[best], 2) + "%",
+             eng.results()[worst].exploration.shaderName,
+             TextTable::num(speedups[worst], 2) + "%"});
+    }
+    std::printf("Default-flag extremes per platform (why per-shader "
+                "tuning matters):\n%s\n",
+                extremes.str().c_str());
+
+    std::printf(
+        "Reading guide: platforms whose driver compilers already "
+        "unroll and if-convert\n(NVIDIA, Intel) gain little from "
+        "offline optimization; platforms with weaker\nJITs (AMD's "
+        "Mesa stack of 2017, Mali, Adreno) leave wins on the table "
+        "that an\noffline tool can claim — but the same flags that "
+        "win on one shader can lose on\nanother, so iterative "
+        "per-shader search beats any static choice everywhere.\n");
+    return 0;
+}

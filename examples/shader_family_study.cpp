@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Übershader family study: how `#define`-specialised members of one
+ * shader family respond differently to the same optimization flags —
+ * the paper's observation (Section IV-A) that families share code so
+ * "some optimizations apply frequently", yet specialisation changes
+ * which variants win.
+ *
+ * For the PBR übershader family this prints, per member: preprocessed
+ * size, unique variant count, and the best flags per platform.
+ *
+ * Build & run:  ./build/examples/shader_family_study [family]
+ */
+#include <cstdio>
+
+#include "analysis/loc.h"
+#include "corpus/corpus.h"
+#include "runtime/framework.h"
+#include "support/table.h"
+#include "tuner/explore.h"
+
+using namespace gsopt;
+
+int
+main(int argc, char **argv)
+{
+    const std::string family = argc > 1 ? argv[1] : "pbr";
+
+    std::vector<const corpus::CorpusShader *> members;
+    for (const auto &s : corpus::corpus()) {
+        if (s.family == family)
+            members.push_back(&s);
+    }
+    if (members.empty()) {
+        std::printf("no family '%s'; families available:\n",
+                    family.c_str());
+        std::string last;
+        for (const auto &s : corpus::corpus()) {
+            if (s.family != last)
+                std::printf("  %s\n", s.family.c_str());
+            last = s.family;
+        }
+        return 1;
+    }
+
+    std::printf("Übershader family '%s': %zu members sharing one base "
+                "source\n\n",
+                family.c_str(), members.size());
+
+    TextTable t({"member", "defines", "LoC", "variants",
+                 "best on AMD", "best on ARM"});
+    for (const corpus::CorpusShader *s : members) {
+        tuner::Exploration ex = tuner::exploreShader(*s);
+        std::string defines;
+        for (const auto &[k, v] : s->defines)
+            defines += (defines.empty() ? "" : ",") + k;
+        if (defines.empty())
+            defines = "(none)";
+
+        auto best_on = [&](gpu::DeviceId id) {
+            const gpu::DeviceModel &device = gpu::deviceModel(id);
+            auto original = runtime::measureShader(
+                ex.preprocessedOriginal, device, s->name + "/o");
+            double best = -1e30;
+            for (size_t v = 0; v < ex.variants.size(); ++v) {
+                auto timing = runtime::measureShader(
+                    ex.variants[v].source, device,
+                    s->name + "/v" + std::to_string(v));
+                best = std::max(
+                    best, runtime::speedupPercent(original, timing));
+            }
+            return best;
+        };
+
+        t.addRow({s->name, defines,
+                  std::to_string(analysis::executableLines(
+                      ex.preprocessedOriginal)),
+                  std::to_string(ex.uniqueCount()),
+                  TextTable::num(best_on(gpu::DeviceId::Amd), 2) + "%",
+                  TextTable::num(best_on(gpu::DeviceId::Arm), 2) +
+                      "%"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/loc.h"
+
+#include "support/strings.h"
+
+namespace gsopt::analysis {
+
+namespace {
+
+/** Is this trimmed line only punctuation (braces, parens, semis)? */
+bool
+isLoneBrackets(std::string_view s)
+{
+    for (char c : s) {
+        if (c != '{' && c != '}' && c != '(' && c != ')' && c != ';' &&
+            c != ' ' && c != '\t')
+            return false;
+    }
+    return true;
+}
+
+/** Interface/precision declarations are not executable. */
+bool
+isDeclarationLine(std::string_view s)
+{
+    for (const char *prefix :
+         {"uniform ", "in ", "out ", "varying ", "attribute ",
+          "precision ", "layout", "#"}) {
+        if (startsWith(s, prefix))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+executableLines(const std::string &preprocessedSource)
+{
+    int count = 0;
+    bool in_block_comment = false;
+    for (const std::string &raw : split(preprocessedSource, '\n')) {
+        std::string_view line = trim(raw);
+        if (in_block_comment) {
+            size_t close = line.find("*/");
+            if (close == std::string_view::npos)
+                continue;
+            line = trim(line.substr(close + 2));
+            in_block_comment = false;
+        }
+        // Strip line comments.
+        size_t lc = line.find("//");
+        if (lc != std::string_view::npos)
+            line = trim(line.substr(0, lc));
+        // Strip (possibly unterminated) block comments.
+        size_t bc = line.find("/*");
+        if (bc != std::string_view::npos) {
+            size_t close = line.find("*/", bc + 2);
+            std::string merged(line.substr(0, bc));
+            if (close == std::string_view::npos) {
+                in_block_comment = true;
+                line = trim(merged);
+            } else {
+                merged += line.substr(close + 2);
+                // NOTE: single block comment per line is enough for
+                // this metric; nested same-line pairs are uncommon.
+                static thread_local std::string storage;
+                storage = merged;
+                line = trim(storage);
+            }
+        }
+        if (line.empty())
+            continue;
+        if (isLoneBrackets(line))
+            continue;
+        if (isDeclarationLine(line))
+            continue;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace gsopt::analysis

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The "lines of code" metric of paper Fig 4a: counted on *preprocessed*
+ * source, ignoring non-executable lines — blank lines, comment-only
+ * lines, lone brackets, and interface/precision declarations. Unused
+ * function definitions still count (the paper notes this limitation of
+ * the metric explicitly).
+ */
+#ifndef GSOPT_ANALYSIS_LOC_H
+#define GSOPT_ANALYSIS_LOC_H
+
+#include <string>
+
+namespace gsopt::analysis {
+
+/** Count executable lines of preprocessed GLSL text. */
+int executableLines(const std::string &preprocessedSource);
+
+} // namespace gsopt::analysis
+
+#endif // GSOPT_ANALYSIS_LOC_H

@@ -1,0 +1,41 @@
+#include "corpus/corpus.h"
+
+#include <stdexcept>
+
+namespace gsopt::corpus {
+
+const std::vector<CorpusShader> &
+corpus()
+{
+    static const std::vector<CorpusShader> shaders = [] {
+        std::vector<CorpusShader> out;
+        addSimpleFamily(out);
+        addPostProcessFamilies(out);
+        addSceneFamilies(out);
+        addProceduralFamilies(out);
+        addUberFamily(out);
+        return out;
+    }();
+    return shaders;
+}
+
+const CorpusShader *
+findShader(const std::string &name)
+{
+    for (const auto &s : corpus()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+const CorpusShader &
+motivatingExample()
+{
+    const CorpusShader *s = findShader("blur/weighted9");
+    if (!s)
+        throw std::logic_error("motivating example missing from corpus");
+    return *s;
+}
+
+} // namespace gsopt::corpus

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The synthetic GFXBench-4.0-like shader corpus.
+ *
+ * GFXBench 4.0 itself is closed source; the paper extracted its GLSL
+ * from the Mesa driver at run time. This corpus reproduces the
+ * *population properties* the paper reports rather than any specific
+ * proprietary shader:
+ *
+ *  - ~95 fragment shaders in ~25 families;
+ *  - übershader families: one base source specialised via `#define`s,
+ *    so members share most code (paper Section IV-A);
+ *  - power-law size distribution: many trivial shaders, a long tail,
+ *    maximum around 300 preprocessed lines (Fig 4a);
+ *  - loops are rare and mostly constant-trip (blur kernels, PCF taps,
+ *    light loops); control flow is 1-3 branches with large basic
+ *    blocks (Section V-A);
+ *  - the paper's Listing 1 motivating shader is included verbatim in
+ *    spirit as `blur/weighted9`.
+ */
+#ifndef GSOPT_CORPUS_CORPUS_H
+#define GSOPT_CORPUS_CORPUS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsopt::corpus {
+
+/** One corpus entry: a family member with its specialisation. */
+struct CorpusShader
+{
+    std::string name;   ///< unique, e.g. "pbr/normal_spec_fog"
+    std::string family; ///< übershader family, e.g. "pbr"
+    std::string source; ///< raw GLSL (may contain directives)
+    std::map<std::string, std::string> defines; ///< specialisation
+
+    /** Unique key used for seeds and reports. */
+    const std::string &key() const { return name; }
+};
+
+/** Build the full corpus (deterministic order and contents). */
+const std::vector<CorpusShader> &corpus();
+
+/** Find one entry by name (nullptr if absent). */
+const CorpusShader *findShader(const std::string &name);
+
+/** The motivating-example shader of paper Listing 1 / Fig 3. */
+const CorpusShader &motivatingExample();
+
+// Family builders (exposed for tests; corpus() assembles them all).
+void addSimpleFamily(std::vector<CorpusShader> &out);
+void addPostProcessFamilies(std::vector<CorpusShader> &out);
+void addSceneFamilies(std::vector<CorpusShader> &out);
+void addProceduralFamilies(std::vector<CorpusShader> &out);
+void addUberFamily(std::vector<CorpusShader> &out);
+
+} // namespace gsopt::corpus
+
+#endif // GSOPT_CORPUS_CORPUS_H

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Post-processing corpus families: blur kernels (including the paper's
+ * Listing 1 motivating shader), tonemapping übershader, bloom, depth of
+ * field, motion blur, FXAA-style edge filtering, and god rays. These
+ * are the loop-bearing shaders where unrolling and the unsafe FP passes
+ * have their biggest opportunities.
+ */
+#include "corpus/corpus.h"
+
+namespace gsopt::corpus {
+
+namespace {
+
+CorpusShader
+make(const std::string &family, const std::string &name,
+     const char *source, std::map<std::string, std::string> defines = {})
+{
+    CorpusShader s;
+    s.name = family + "/" + name;
+    s.family = family;
+    s.source = source;
+    s.defines = std::move(defines);
+    return s;
+}
+
+/**
+ * Paper Listing 1: weighted 9-tap blur with symmetric constant weights,
+ * a constant-trip loop, a weight total that becomes compile-time
+ * constant after unrolling, and a `3.0 * ambient` common factor that
+ * unsafe reassociation can hoist out of the sum.
+ */
+const char *kWeighted9 = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec4 ambient;
+void main() {
+    const vec4 weights[9] = vec4[](
+        vec4(0.01), vec4(0.05), vec4(0.14), vec4(0.21), vec4(0.18),
+        vec4(0.21), vec4(0.14), vec4(0.05), vec4(0.01));
+    const vec2 offsets[9] = vec2[](
+        vec2(-0.0083), vec2(-0.0062), vec2(-0.0042), vec2(-0.0021),
+        vec2(0.0), vec2(0.0021), vec2(0.0042), vec2(0.0062),
+        vec2(0.0083));
+    float weightTotal = 0.0;
+    fragColor = vec4(0.0);
+    for (int i = 0; i < 9; i++) {
+        weightTotal += weights[i][0];
+        fragColor += weights[i] * texture(tex, uv + offsets[i]) * 3.0 *
+                     ambient;
+    }
+    fragColor /= weightTotal;
+}
+)";
+
+const char *kGaussUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec2 blur_dir;
+#ifndef TAPS
+#define TAPS 5
+#endif
+void main() {
+#if TAPS == 5
+    const float w[5] = float[](0.0614, 0.2448, 0.3877, 0.2448, 0.0614);
+    const int half_taps = 2;
+#elif TAPS == 9
+    const float w[9] = float[](0.0162, 0.0540, 0.1216, 0.1946, 0.2270,
+                               0.1946, 0.1216, 0.0540, 0.0162);
+    const int half_taps = 4;
+#else
+    const float w[13] = float[](0.0049, 0.0164, 0.0451, 0.0924, 0.1434,
+                                0.1693, 0.1745, 0.1693, 0.1434, 0.0924,
+                                0.0451, 0.0164, 0.0049);
+    const int half_taps = 6;
+#endif
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < TAPS; i++) {
+        vec2 offset = blur_dir * (float(i) - float(half_taps));
+        acc += texture(tex, uv + offset) * w[i];
+    }
+    fragColor = acc;
+}
+)";
+
+const char *kBox4 = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec2 texel;
+void main() {
+    vec4 a = texture(tex, uv + texel * vec2(-0.5, -0.5));
+    vec4 b = texture(tex, uv + texel * vec2(0.5, -0.5));
+    vec4 c = texture(tex, uv + texel * vec2(-0.5, 0.5));
+    vec4 d = texture(tex, uv + texel * vec2(0.5, 0.5));
+    fragColor = (a + b + c + d) / 4.0;
+}
+)";
+
+const char *kBilateral = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec2 texel;
+uniform float sigma_range;
+void main() {
+    vec4 center = texture(tex, uv);
+    vec4 acc = center;
+    float total = 1.0;
+    for (int i = 0; i < 7; i++) {
+        vec2 offset = texel * (float(i) - 3.0);
+        vec4 s = texture(tex, uv + offset);
+        vec3 diff = s.rgb - center.rgb;
+        float range_w = exp(-dot(diff, diff) / sigma_range);
+        float spatial_w = 1.0 - abs(float(i) - 3.0) * 0.25;
+        float w = range_w * spatial_w;
+        acc += s * w;
+        total += w;
+    }
+    fragColor = acc / total;
+}
+)";
+
+const char *kRadial = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D tex;
+uniform vec2 center_pt;
+uniform float strength;
+void main() {
+    vec2 dir = uv - center_pt;
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 8; i++) {
+        float scale = 1.0 - strength * float(i) * 0.0125;
+        acc += texture(tex, center_pt + dir * scale);
+    }
+    fragColor = acc * 0.125;
+}
+)";
+
+const char *kTonemapUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D hdr;
+uniform float exposure;
+uniform float white_point;
+void main() {
+    vec3 c = texture(hdr, uv).rgb * exposure;
+#ifdef ACES
+    vec3 a_num = c * (2.51 * c + vec3(0.03));
+    vec3 a_den = c * (2.43 * c + vec3(0.59)) + vec3(0.14);
+    vec3 mapped = clamp(a_num / a_den, vec3(0.0), vec3(1.0));
+#elif defined(FILMIC)
+    vec3 x = max(vec3(0.0), c - vec3(0.004));
+    vec3 mapped = (x * (6.2 * x + vec3(0.5))) /
+                  (x * (6.2 * x + vec3(1.7)) + vec3(0.06));
+#elif defined(REINHARD_EXT)
+    vec3 num = c * (vec3(1.0) + c / vec3(white_point * white_point));
+    vec3 mapped = num / (vec3(1.0) + c);
+#else
+    vec3 mapped = c / (vec3(1.0) + c);
+#endif
+#ifdef DITHER
+    float n = fract(sin(dot(uv, vec2(12.9898, 78.233))) * 43758.5453);
+    mapped += vec3((n - 0.5) / 255.0);
+#endif
+    fragColor = vec4(pow(mapped, vec3(1.0 / 2.2)), 1.0);
+}
+)";
+
+const char *kBloomExtract = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D hdr;
+uniform float threshold;
+uniform float knee;
+void main() {
+    vec4 c = texture(hdr, uv);
+    float l = dot(c.rgb, vec3(0.2126, 0.7152, 0.0722));
+    float soft = clamp(l - threshold + knee, 0.0, 2.0 * knee);
+    soft = soft * soft / (4.0 * knee + 0.0001);
+    float contribution = max(soft, l - threshold) / max(l, 0.0001);
+    fragColor = vec4(c.rgb * contribution, c.a);
+}
+)";
+
+const char *kBloomCombine = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform sampler2D bloom_a;
+uniform sampler2D bloom_b;
+uniform float intensity;
+void main() {
+    vec3 base = texture(scene, uv).rgb;
+    vec3 glow = texture(bloom_a, uv).rgb * 0.7 +
+                texture(bloom_b, uv).rgb * 0.3;
+    fragColor = vec4(base + glow * intensity, 1.0);
+}
+)";
+
+const char *kDofCoc = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D depth_tex;
+uniform float focus_depth;
+uniform float focus_range;
+uniform float max_coc;
+void main() {
+    float depth = texture(depth_tex, uv).r;
+    float signed_dist = (depth - focus_depth) / focus_range;
+    float coc = clamp(signed_dist, -1.0, 1.0) * max_coc;
+    fragColor = vec4(coc * 0.5 + 0.5, abs(coc), 0.0, 1.0);
+}
+)";
+
+const char *kDofGather = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform sampler2D coc_tex;
+uniform vec2 texel;
+void main() {
+    const vec2 taps[8] = vec2[](
+        vec2(1.0, 0.0), vec2(0.707, 0.707), vec2(0.0, 1.0),
+        vec2(-0.707, 0.707), vec2(-1.0, 0.0), vec2(-0.707, -0.707),
+        vec2(0.0, -1.0), vec2(0.707, -0.707));
+    float coc = texture(coc_tex, uv).g;
+    vec4 acc = texture(scene, uv);
+    for (int i = 0; i < 8; i++) {
+        vec2 offset = taps[i] * texel * coc;
+        acc += texture(scene, uv + offset);
+    }
+    fragColor = acc / 9.0;
+}
+)";
+
+const char *kMotionBlur = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform sampler2D velocity;
+uniform float shutter;
+void main() {
+    vec2 v = (texture(velocity, uv).rg * 2.0 - vec2(1.0)) * shutter;
+    vec4 acc = vec4(0.0);
+    for (int i = 0; i < 8; i++) {
+        float t = (float(i) + 0.5) / 8.0 - 0.5;
+        acc += texture(scene, uv + v * t);
+    }
+    fragColor = acc / 8.0;
+}
+)";
+
+const char *kFxaaUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform vec2 texel;
+uniform float contrast_threshold;
+void main() {
+    vec3 center = texture(scene, uv).rgb;
+    float lum_c = dot(center, vec3(0.299, 0.587, 0.114));
+    float lum_n =
+        dot(texture(scene, uv + vec2(0.0, texel.y)).rgb,
+            vec3(0.299, 0.587, 0.114));
+    float lum_s =
+        dot(texture(scene, uv - vec2(0.0, texel.y)).rgb,
+            vec3(0.299, 0.587, 0.114));
+    float lum_e =
+        dot(texture(scene, uv + vec2(texel.x, 0.0)).rgb,
+            vec3(0.299, 0.587, 0.114));
+    float lum_w =
+        dot(texture(scene, uv - vec2(texel.x, 0.0)).rgb,
+            vec3(0.299, 0.587, 0.114));
+    float lum_min = min(lum_c, min(min(lum_n, lum_s), min(lum_e, lum_w)));
+    float lum_max = max(lum_c, max(max(lum_n, lum_s), max(lum_e, lum_w)));
+    float range = lum_max - lum_min;
+    if (range < contrast_threshold) {
+        fragColor = vec4(center, 1.0);
+    } else {
+        float horizontal = abs(lum_n + lum_s - 2.0 * lum_c);
+        float vertical = abs(lum_e + lum_w - 2.0 * lum_c);
+        vec2 dir = horizontal >= vertical ? vec2(0.0, texel.y)
+                                          : vec2(texel.x, 0.0);
+#ifdef HIGH_QUALITY
+        vec3 blur1 = texture(scene, uv + dir * 0.5).rgb;
+        vec3 blur2 = texture(scene, uv - dir * 0.5).rgb;
+        vec3 blur3 = texture(scene, uv + dir).rgb;
+        vec3 blur4 = texture(scene, uv - dir).rgb;
+        vec3 result = (blur1 + blur2) * 0.35 + (blur3 + blur4) * 0.15;
+#else
+        vec3 blur1 = texture(scene, uv + dir * 0.5).rgb;
+        vec3 blur2 = texture(scene, uv - dir * 0.5).rgb;
+        vec3 result = (blur1 + blur2) * 0.5;
+#endif
+        float blend = smoothstep(0.0, 1.0,
+                                 range / max(lum_max, 0.001));
+        fragColor = vec4(mix(center, result, blend), 1.0);
+    }
+}
+)";
+
+const char *kGodRays = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D occlusion;
+uniform vec2 light_pos;
+uniform float density;
+uniform float decay;
+uniform float ray_weight;
+#ifndef RAY_STEPS
+#define RAY_STEPS 16
+#endif
+void main() {
+    vec2 delta = (uv - light_pos) * (density / float(RAY_STEPS));
+    vec2 pos = uv;
+    float illumination = 0.0;
+    float falloff = 1.0;
+    for (int i = 0; i < RAY_STEPS; i++) {
+        pos = pos - delta;
+        float sample_v = texture(occlusion, pos).r;
+        illumination += sample_v * falloff * ray_weight;
+        falloff = falloff * decay;
+    }
+    vec4 base = texture(occlusion, uv);
+    fragColor = base + vec4(illumination);
+}
+)";
+
+const char *kChromatic = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform float aberration;
+void main() {
+    vec2 d = (uv - vec2(0.5)) * aberration;
+    float r = texture(scene, uv - d).r;
+    float g = texture(scene, uv).g;
+    float b = texture(scene, uv + d).b;
+    fragColor = vec4(r, g, b, 1.0);
+}
+)";
+
+const char *kFilmGrain = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform float time_v;
+uniform float grain_amount;
+void main() {
+    vec4 c = texture(scene, uv);
+    float n = fract(sin(dot(uv + vec2(time_v),
+                            vec2(12.9898, 78.233))) * 43758.5453);
+    vec3 grain = vec3(n - 0.5) * grain_amount;
+    float lum = dot(c.rgb, vec3(0.299, 0.587, 0.114));
+    float response = 1.0 - lum * 0.8;
+    fragColor = vec4(c.rgb + grain * response, c.a);
+}
+)";
+
+const char *kSharpen = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform vec2 texel;
+uniform float amount;
+void main() {
+    vec3 c = texture(scene, uv).rgb;
+    vec3 n = texture(scene, uv + vec2(0.0, texel.y)).rgb;
+    vec3 s = texture(scene, uv - vec2(0.0, texel.y)).rgb;
+    vec3 e = texture(scene, uv + vec2(texel.x, 0.0)).rgb;
+    vec3 w = texture(scene, uv - vec2(texel.x, 0.0)).rgb;
+    vec3 edge = 4.0 * c - n - s - e - w;
+    fragColor = vec4(c + edge * amount, 1.0);
+}
+)";
+
+} // namespace
+
+void
+addPostProcessFamilies(std::vector<CorpusShader> &out)
+{
+    // blur family
+    out.push_back(make("blur", "weighted9", kWeighted9));
+    out.push_back(make("blur", "gauss5", kGaussUber, {{"TAPS", "5"}}));
+    out.push_back(make("blur", "gauss9", kGaussUber, {{"TAPS", "9"}}));
+    out.push_back(make("blur", "gauss13", kGaussUber, {{"TAPS", "13"}}));
+    out.push_back(make("blur", "box4", kBox4));
+    out.push_back(make("blur", "bilateral7", kBilateral));
+    out.push_back(make("blur", "radial8", kRadial));
+
+    // tonemap übershader family
+    out.push_back(make("tonemap", "reinhard", kTonemapUber));
+    out.push_back(make("tonemap", "reinhard_ext", kTonemapUber,
+                       {{"REINHARD_EXT", ""}}));
+    out.push_back(make("tonemap", "aces", kTonemapUber, {{"ACES", ""}}));
+    out.push_back(
+        make("tonemap", "filmic", kTonemapUber, {{"FILMIC", ""}}));
+    out.push_back(make("tonemap", "aces_dither", kTonemapUber,
+                       {{"ACES", ""}, {"DITHER", ""}}));
+    out.push_back(make("tonemap", "filmic_dither", kTonemapUber,
+                       {{"FILMIC", ""}, {"DITHER", ""}}));
+
+    // bloom
+    out.push_back(make("bloom", "extract", kBloomExtract));
+    out.push_back(make("bloom", "combine", kBloomCombine));
+
+    // depth of field
+    out.push_back(make("dof", "coc", kDofCoc));
+    out.push_back(make("dof", "gather8", kDofGather));
+
+    // motion blur
+    out.push_back(make("motion", "blur8", kMotionBlur));
+
+    // FXAA-like
+    out.push_back(make("fxaa", "low", kFxaaUber));
+    out.push_back(
+        make("fxaa", "high", kFxaaUber, {{"HIGH_QUALITY", ""}}));
+
+    // god rays
+    out.push_back(
+        make("godrays", "march16", kGodRays, {{"RAY_STEPS", "16"}}));
+    out.push_back(
+        make("godrays", "march32", kGodRays, {{"RAY_STEPS", "32"}}));
+
+    // small one-offs
+    out.push_back(make("post", "chromatic", kChromatic));
+    out.push_back(make("post", "film_grain", kFilmGrain));
+    out.push_back(make("post", "sharpen", kSharpen));
+}
+
+} // namespace gsopt::corpus

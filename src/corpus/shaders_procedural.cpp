@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Procedural/branchy corpus families: arithmetic-only conditionals
+ * (toon bands, pattern selectors, quality tiers) that the Hoist pass
+ * can flatten, plus shaders with the same subexpressions on both sides
+ * of a branch (GVN's habitat), plus integer-arithmetic shaders for the
+ * Reassociate flag. These give the rarely-applicable flags of Fig 8
+ * their populations.
+ */
+#include "corpus/corpus.h"
+
+namespace gsopt::corpus {
+
+namespace {
+
+CorpusShader
+make(const std::string &family, const std::string &name,
+     const char *source, std::map<std::string, std::string> defines = {})
+{
+    CorpusShader s;
+    s.name = family + "/" + name;
+    s.family = family;
+    s.source = source;
+    s.defines = std::move(defines);
+    return s;
+}
+
+const char *kToon = R"(#version 450
+out vec4 fragColor;
+in vec3 world_normal;
+in vec3 light_dir;
+uniform vec4 base_color;
+uniform float band_1;
+uniform float band_2;
+void main() {
+    float n_dot_l = max(dot(normalize(world_normal),
+                            normalize(light_dir)),
+                        0.0);
+    float shade = 0.25;
+    if (n_dot_l > band_2) {
+        shade = 1.0;
+    } else {
+        if (n_dot_l > band_1) {
+            shade = 0.6;
+        }
+    }
+    fragColor = vec4(base_color.rgb * shade, base_color.a);
+}
+)";
+
+const char *kChecker = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec4 color_a;
+uniform vec4 color_b;
+uniform float tiles;
+void main() {
+    float fx = floor(uv.x * tiles);
+    float fy = floor(uv.y * tiles);
+    float parity = mod(fx + fy, 2.0);
+    vec4 c = color_a;
+    if (parity > 0.5) {
+        c = color_b;
+    }
+    fragColor = c;
+}
+)";
+
+const char *kStripes = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec4 color_a;
+uniform vec4 color_b;
+uniform float frequency;
+uniform float softness;
+void main() {
+    float wave = sin(uv.x * frequency * 6.2831853);
+    float t = smoothstep(-softness, softness, wave);
+    vec4 hard = color_a;
+    if (wave > 0.0) {
+        hard = color_b;
+    }
+    fragColor = mix(hard, mix(color_a, color_b, t), 0.5);
+}
+)";
+
+/** Same expensive subexpression in both arms: GVN's bread and butter. */
+const char *kDualTier = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_normal;
+in vec3 light_dir;
+uniform float quality;
+uniform vec4 base_color;
+void main() {
+    vec3 n = normalize(world_normal);
+    vec3 l = normalize(light_dir);
+    float result = 0.0;
+    if (quality > 0.5) {
+        float diffuse = max(dot(n, l), 0.0);
+        float rim = pow(1.0 - max(dot(n, vec3(0.0, 0.0, 1.0)), 0.0),
+                        2.0);
+        result = diffuse * 0.8 + rim * 0.4 +
+                 uv.x * uv.y * 0.1 + uv.x * uv.y * 0.1;
+    } else {
+        float diffuse = max(dot(n, l), 0.0);
+        result = diffuse * 0.8 + uv.x * uv.y * 0.1 +
+                 uv.x * uv.y * 0.1;
+    }
+    fragColor = vec4(base_color.rgb * result, 1.0);
+}
+)";
+
+const char *kHeatmap = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D data_tex;
+void main() {
+    float v = texture(data_tex, uv).r;
+    vec3 cold = vec3(0.0, 0.2, 0.8);
+    vec3 warm = vec3(0.9, 0.9, 0.1);
+    vec3 hot = vec3(0.9, 0.1, 0.05);
+    vec3 c = cold;
+    if (v > 0.66) {
+        c = mix(warm, hot, (v - 0.66) * 3.0);
+    } else {
+        if (v > 0.33) {
+            c = mix(cold, warm, (v - 0.33) * 3.0);
+        }
+    }
+    fragColor = vec4(c, 1.0);
+}
+)";
+
+const char *kPlasma = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform float time_v;
+void main() {
+    float v1 = sin(uv.x * 10.0 + time_v);
+    float v2 = sin((uv.x * 7.0 + uv.y * 4.0) + time_v * 1.3);
+    float v3 = sin(length(uv - vec2(0.5)) * 14.0 - time_v * 0.7);
+    float v = (v1 + v2 + v3) / 3.0;
+    vec3 c = vec3(sin(v * 3.14159), sin(v * 3.14159 + 2.09),
+                  sin(v * 3.14159 + 4.18)) *
+                 0.5 +
+             vec3(0.5);
+    fragColor = vec4(c, 1.0);
+}
+)";
+
+/** Integer arithmetic for the (rarely applicable) Reassociate flag. */
+const char *kDither = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D src;
+uniform int pattern_size;
+void main() {
+    int px = int(uv.x * 512.0);
+    int py = int(uv.y * 512.0);
+    int cell = (px + pattern_size + 2 + 1) % 4 +
+               ((py + 2 + pattern_size + 1) % 4) * 4;
+    const float thresholds[16] = float[](
+        0.0, 0.5, 0.125, 0.625, 0.75, 0.25, 0.875, 0.375, 0.1875,
+        0.6875, 0.0625, 0.5625, 0.9375, 0.4375, 0.8125, 0.3125);
+    float threshold = thresholds[cell];
+    vec4 c = texture(src, uv);
+    float l = dot(c.rgb, vec3(0.299, 0.587, 0.114));
+    float bw = l > threshold ? 1.0 : 0.0;
+    fragColor = vec4(bw, bw, bw, 1.0);
+}
+)";
+
+const char *kMosaic = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D src;
+uniform int grid;
+void main() {
+    int gx = int(uv.x * float(grid));
+    int gy = int(uv.y * float(grid));
+    float cx = (float(gx) + 0.5) / float(grid);
+    float cy = (float(gy) + 0.5) / float(grid);
+    vec4 c = texture(src, vec2(cx, cy));
+    int parity = (gx + gy + 1 + 0) % 2;
+    if (parity == 1) {
+        c = c * 0.92;
+    }
+    fragColor = c;
+}
+)";
+
+const char *kSdfShapes = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec2 circle_center;
+uniform float circle_radius;
+uniform vec2 box_center;
+uniform vec2 box_half;
+uniform float blend_k;
+void main() {
+    vec2 p = uv * 2.0 - vec2(1.0);
+    float d_circle = length(p - circle_center) - circle_radius;
+    vec2 q = abs(p - box_center) - box_half;
+    float d_box = length(max(q, vec2(0.0))) +
+                  min(max(q.x, q.y), 0.0);
+    float h = clamp(0.5 + 0.5 * (d_box - d_circle) / blend_k, 0.0,
+                    1.0);
+    float d = mix(d_box, d_circle, h) - blend_k * h * (1.0 - h);
+    float inside = 1.0 - smoothstep(-0.01, 0.01, d);
+    vec3 fill = vec3(0.9, 0.4, 0.2);
+    vec3 bg = vec3(0.08, 0.08, 0.1);
+    fragColor = vec4(mix(bg, fill, inside), 1.0);
+}
+)";
+
+const char *kFractalIter = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec2 julia_c;
+#ifndef ITERS
+#define ITERS 12
+#endif
+void main() {
+    vec2 z = uv * 3.0 - vec2(1.5);
+    float escape = 0.0;
+    for (int i = 0; i < ITERS; i++) {
+        vec2 z2 = vec2(z.x * z.x - z.y * z.y, 2.0 * z.x * z.y) +
+                  julia_c;
+        z = z2;
+        float m = dot(z, z);
+        escape += m < 4.0 ? 1.0 : 0.0;
+    }
+    float t = escape / float(ITERS);
+    fragColor = vec4(t, t * t, sqrt(t), 1.0);
+}
+)";
+
+const char *kPosterize = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D src;
+uniform float levels;
+void main() {
+    vec4 c = texture(src, uv);
+    vec3 q = floor(c.rgb * levels + vec3(0.5)) / levels;
+    float edge_boost = 1.0;
+    float l = dot(c.rgb, vec3(0.299, 0.587, 0.114));
+    if (l < 0.08) {
+        edge_boost = 0.0;
+    }
+    fragColor = vec4(q * edge_boost, c.a);
+}
+)";
+
+const char *kSpotlight = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_pos;
+in vec3 world_normal;
+uniform vec4 spot_pos;
+uniform vec4 spot_dir;
+uniform float cone_cos;
+uniform float penumbra_cos;
+uniform vec4 spot_color;
+uniform vec4 albedo;
+void main() {
+    vec3 to_light = spot_pos.xyz - world_pos;
+    float dist2 = dot(to_light, to_light);
+    vec3 l = to_light * inversesqrt(dist2 + 0.0001);
+    float cos_angle = dot(-l, normalize(spot_dir.xyz));
+    float falloff = 0.0;
+    if (cos_angle > cone_cos) {
+        falloff = 1.0;
+    } else {
+        if (cos_angle > penumbra_cos) {
+            falloff = (cos_angle - penumbra_cos) /
+                      (cone_cos - penumbra_cos);
+        }
+    }
+    float n_dot_l = max(dot(normalize(world_normal), l), 0.0);
+    float atten = falloff * n_dot_l / (1.0 + dist2 * 0.1);
+    fragColor = vec4(albedo.rgb * spot_color.rgb * atten, 1.0);
+}
+)";
+
+const char *kDualHeavy = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_normal;
+in vec3 view_dir;
+uniform float style;
+uniform vec4 tint;
+void main() {
+    vec3 n = normalize(world_normal);
+    vec3 v = normalize(view_dir);
+    vec3 color = vec3(0.0);
+    if (style > 0.5) {
+        float a0 = sin(uv.x * 13.0) * 0.5 + 0.5;
+        float a1 = cos(uv.y * 17.0) * 0.5 + 0.5;
+        float a2 = sin((uv.x + uv.y) * 23.0) * 0.5 + 0.5;
+        float a3 = cos((uv.x - uv.y) * 29.0) * 0.5 + 0.5;
+        float a4 = sin(uv.x * uv.y * 151.0) * 0.5 + 0.5;
+        float a5 = fract(uv.x * 7.77 + a0);
+        float a6 = fract(uv.y * 9.99 + a1);
+        float a7 = pow(a2, 2.2);
+        float a8 = pow(a3, 1.4);
+        float a9 = a4 * a5 + a6 * a7 + a8 * a0;
+        vec3 c0 = vec3(a0, a1, a2);
+        vec3 c1 = vec3(a3, a4, a5);
+        vec3 c2 = vec3(a6, a7, a8);
+        vec3 c3 = normalize(c0 + c1 * a9 + c2);
+        float fres = pow(1.0 - max(dot(n, v), 0.0), 3.0);
+        color = mix(c0 * c1, c2 * c3, fres) +
+                vec3(a9 * 0.1) + c3 * a7 + c1 * a8 + c0 * a6;
+    } else {
+        float b0 = fract(uv.x * 3.33);
+        float b1 = fract(uv.y * 4.44);
+        float b2 = b0 * b1;
+        float b3 = max(dot(n, v), 0.0);
+        float b4 = b3 * b3;
+        float b5 = b2 + b4;
+        vec3 d0 = vec3(b0, b1, b2);
+        vec3 d1 = vec3(b3, b4, b5);
+        vec3 d2 = d0 * b5 + d1 * b2;
+        vec3 d3 = d1 * b0 + d0 * b3;
+        color = d2 * 0.6 + d3 * 0.4 + vec3(b5 * 0.05);
+    }
+    fragColor = vec4(color * tint.rgb, 1.0);
+}
+)";
+
+} // namespace
+
+void
+addProceduralFamilies(std::vector<CorpusShader> &out)
+{
+    out.push_back(make("toon", "bands3", kToon));
+    out.push_back(make("pattern", "checker", kChecker));
+    out.push_back(make("pattern", "stripes", kStripes));
+    out.push_back(make("pattern", "plasma", kPlasma));
+    out.push_back(make("pattern", "sdf_shapes", kSdfShapes));
+    out.push_back(make("tier", "dual_quality", kDualTier));
+    out.push_back(make("tier", "heatmap", kHeatmap));
+    out.push_back(make("tier", "posterize", kPosterize));
+    out.push_back(make("tier", "spotlight", kSpotlight));
+    out.push_back(make("intmath", "dither4x4", kDither));
+    out.push_back(make("intmath", "mosaic", kMosaic));
+    out.push_back(
+        make("fractal", "julia12", kFractalIter, {{"ITERS", "12"}}));
+    out.push_back(
+        make("fractal", "julia24", kFractalIter, {{"ITERS", "24"}}));
+    out.push_back(make("tier", "dual_heavy", kDualHeavy));
+}
+
+} // namespace gsopt::corpus

@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Scene-rendering corpus families: the PBR übershader (the corpus's
+ * "Car Chase"-class heavyweight, specialised into many variants by
+ * feature defines), deferred light loops, SSAO, PCF shadows, water,
+ * terrain splatting, skybox, car paint, hair, particles, UI widgets,
+ * and colour grading.
+ */
+#include "corpus/corpus.h"
+
+namespace gsopt::corpus {
+
+namespace {
+
+CorpusShader
+make(const std::string &family, const std::string &name,
+     const char *source, std::map<std::string, std::string> defines = {})
+{
+    CorpusShader s;
+    s.name = family + "/" + name;
+    s.family = family;
+    s.source = source;
+    s.defines = std::move(defines);
+    return s;
+}
+
+/**
+ * The übershader: every feature block sits behind a define, so family
+ * members share most of their code — the structure the paper describes
+ * for GFXBench (Section IV-A).
+ */
+const char *kPbrUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_normal;
+in vec3 world_tangent;
+in vec3 view_dir;
+in vec3 light_dir;
+in vec4 vertex_color;
+in float fog_depth;
+uniform sampler2D albedo_map;
+uniform sampler2D normal_map;
+uniform sampler2D spec_map;
+uniform sampler2D emissive_map;
+uniform sampler2D shadow_map;
+uniform vec4 base_color;
+uniform vec4 light_color;
+uniform vec4 ambient_color;
+uniform vec4 fog_color;
+uniform float fog_density;
+uniform float alpha_cutoff;
+uniform float roughness_scale;
+uniform vec2 shadow_uv_base;
+
+float distribution_ggx(float n_dot_h, float roughness) {
+    float a = roughness * roughness;
+    float a2 = a * a;
+    float d = n_dot_h * n_dot_h * (a2 - 1.0) + 1.0;
+    return a2 / (3.14159265 * d * d);
+}
+
+float geometry_term(float n_dot_v, float n_dot_l, float roughness) {
+    float k = (roughness + 1.0) * (roughness + 1.0) / 8.0;
+    float gv = n_dot_v / (n_dot_v * (1.0 - k) + k);
+    float gl = n_dot_l / (n_dot_l * (1.0 - k) + k);
+    return gv * gl;
+}
+
+vec3 fresnel_schlick(float cos_theta, vec3 f0) {
+    float f = pow(1.0 - cos_theta, 5.0);
+    return f0 + (vec3(1.0) - f0) * f;
+}
+
+void main() {
+    vec4 albedo = texture(albedo_map, uv) * base_color;
+#ifdef VERTEX_COLOR
+    albedo = albedo * vertex_color;
+#endif
+#ifdef ALPHA_TEST
+    if (albedo.a < alpha_cutoff) {
+        discard;
+    }
+#endif
+
+    vec3 n = normalize(world_normal);
+#ifdef NORMAL_MAP
+    vec3 t = normalize(world_tangent);
+    vec3 b = cross(n, t);
+    vec3 tn = texture(normal_map, uv).xyz * 2.0 - vec3(1.0);
+    n = normalize(t * tn.x + b * tn.y + n * tn.z);
+#endif
+
+    vec3 v = normalize(view_dir);
+    vec3 l = normalize(light_dir);
+    vec3 h = normalize(v + l);
+    float n_dot_l = max(dot(n, l), 0.0);
+    float n_dot_v = max(dot(n, v), 0.001);
+    float n_dot_h = max(dot(n, h), 0.0);
+    float h_dot_v = max(dot(h, v), 0.0);
+
+#ifdef SPEC_MAP
+    vec4 spec_sample = texture(spec_map, uv);
+    float roughness = clamp(spec_sample.g * roughness_scale,
+                            0.03, 1.0);
+    float metallic = spec_sample.b;
+#else
+    float roughness = clamp(roughness_scale, 0.03, 1.0);
+    float metallic = 0.0;
+#endif
+
+    vec3 f0 = mix(vec3(0.04), albedo.rgb, metallic);
+    float ndf = distribution_ggx(n_dot_h, roughness);
+    float geo = geometry_term(n_dot_v, n_dot_l, roughness);
+    vec3 fresnel = fresnel_schlick(h_dot_v, f0);
+    vec3 specular = (ndf * geo) * fresnel /
+                    (4.0 * n_dot_v * n_dot_l + 0.001);
+    vec3 k_d = (vec3(1.0) - fresnel) * (1.0 - metallic);
+    vec3 diffuse = k_d * albedo.rgb / 3.14159265;
+
+    float shadow = 1.0;
+#ifdef SHADOW
+    vec2 shadow_uv = shadow_uv_base + uv * 0.5;
+    float shadow_depth = texture(shadow_map, shadow_uv).r;
+    float current_depth = fog_depth * 0.01;
+    shadow = current_depth - 0.005 > shadow_depth ? 0.35 : 1.0;
+#endif
+
+    vec3 direct = (diffuse + specular) * light_color.rgb * n_dot_l *
+                  shadow;
+    vec3 ambient = ambient_color.rgb * albedo.rgb;
+    vec3 color = direct + ambient;
+
+#ifdef EMISSIVE
+    vec3 emissive = texture(emissive_map, uv).rgb;
+    color = color + emissive * 2.0;
+#endif
+
+#ifdef FOG
+    float fog_f = 1.0 - exp(-fog_density * fog_depth);
+    color = mix(color, fog_color.rgb, clamp(fog_f, 0.0, 1.0));
+#endif
+
+    fragColor = vec4(color, albedo.a);
+}
+)";
+
+const char *kDeferredLights = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D g_albedo;
+uniform sampler2D g_normal;
+uniform sampler2D g_position;
+uniform vec4 ambient_color;
+#ifndef NUM_LIGHTS
+#define NUM_LIGHTS 4
+#endif
+uniform vec4 light_positions[NUM_LIGHTS];
+uniform vec4 light_colors[NUM_LIGHTS];
+void main() {
+    vec3 albedo = texture(g_albedo, uv).rgb;
+    vec3 normal = normalize(texture(g_normal, uv).xyz * 2.0 -
+                            vec3(1.0));
+    vec3 position = texture(g_position, uv).xyz;
+    vec3 color = ambient_color.rgb * albedo;
+    for (int i = 0; i < NUM_LIGHTS; i++) {
+        vec3 to_light = light_positions[i].xyz - position;
+        float dist2 = dot(to_light, to_light);
+        vec3 l = to_light * inversesqrt(dist2 + 0.0001);
+        float atten = 1.0 / (1.0 + dist2 * light_positions[i].w);
+        float n_dot_l = max(dot(normal, l), 0.0);
+        color += albedo * light_colors[i].rgb * n_dot_l * atten;
+    }
+    fragColor = vec4(color, 1.0);
+}
+)";
+
+const char *kSsao = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D depth_tex;
+uniform sampler2D noise_tex;
+uniform float radius;
+uniform float bias_v;
+#ifndef KERNEL
+#define KERNEL 8
+#endif
+void main() {
+    float center_depth = texture(depth_tex, uv).r;
+    vec2 noise = texture(noise_tex, uv * 32.0).rg * 2.0 - vec2(1.0);
+    float occlusion = 0.0;
+    for (int i = 0; i < KERNEL; i++) {
+        float angle = float(i) * (6.2831853 / float(KERNEL));
+        vec2 dir = vec2(cos(angle), sin(angle));
+        vec2 rotated = vec2(dir.x * noise.x - dir.y * noise.y,
+                            dir.x * noise.y + dir.y * noise.x);
+        float scale = (float(i) + 1.0) / float(KERNEL);
+        vec2 offset = rotated * radius * scale;
+        float sample_depth = texture(depth_tex, uv + offset).r;
+        float range_check =
+            smoothstep(0.0, 1.0,
+                       radius / (abs(center_depth - sample_depth) +
+                                 0.0001));
+        occlusion += (sample_depth < center_depth - bias_v ? 1.0
+                                                           : 0.0) *
+                     range_check;
+    }
+    float ao = 1.0 - occlusion / float(KERNEL);
+    fragColor = vec4(ao, ao, ao, 1.0);
+}
+)";
+
+const char *kShadowPcf = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in float receiver_depth;
+uniform sampler2D shadow_map;
+uniform vec2 texel;
+uniform float bias_v;
+#ifndef PCF_TAPS
+#define PCF_TAPS 3
+#endif
+void main() {
+    float lit = 0.0;
+    const int half_w = PCF_TAPS / 2;
+    for (int y = 0; y < PCF_TAPS; y++) {
+        for (int x = 0; x < PCF_TAPS; x++) {
+            vec2 offset = vec2(float(x - half_w), float(y - half_w)) *
+                          texel;
+            float d = texture(shadow_map, uv + offset).r;
+            lit += receiver_depth - bias_v > d ? 0.0 : 1.0;
+        }
+    }
+    lit /= float(PCF_TAPS * PCF_TAPS);
+    fragColor = vec4(lit, lit, lit, 1.0);
+}
+)";
+
+const char *kWater = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 view_dir;
+uniform sampler2D normal_map;
+uniform sampler2D reflection;
+uniform sampler2D refraction;
+uniform float time_v;
+uniform float wave_scale;
+void main() {
+    vec2 w1 = uv * 4.0 + vec2(time_v * 0.03, time_v * 0.01);
+    vec2 w2 = uv * 7.0 - vec2(time_v * 0.02, time_v * 0.04);
+    vec3 n1 = texture(normal_map, w1).xyz * 2.0 - vec3(1.0);
+    vec3 n2 = texture(normal_map, w2).xyz * 2.0 - vec3(1.0);
+    vec3 n = normalize(n1 + n2 * 0.5 + vec3(0.0, 0.0, 2.0));
+#ifdef STORMY
+    float chop = sin(uv.x * 40.0 + time_v) *
+                 cos(uv.y * 37.0 - time_v * 1.3);
+    n = normalize(n + vec3(chop * wave_scale, chop * wave_scale, 0.0));
+#endif
+    vec3 v = normalize(view_dir);
+    float fresnel = pow(1.0 - max(dot(n, v), 0.0), 3.0);
+    vec2 distortion = n.xy * 0.04;
+    vec3 refl = texture(reflection, uv + distortion).rgb;
+    vec3 refr = texture(refraction, uv - distortion).rgb;
+    vec3 water_tint = vec3(0.05, 0.2, 0.25);
+    vec3 color = mix(refr * water_tint * 2.0, refl, fresnel);
+    float spec = pow(max(dot(n, normalize(v + vec3(0.3, 0.6, 0.5))),
+                         0.0),
+                     64.0);
+    fragColor = vec4(color + vec3(spec), 1.0);
+}
+)";
+
+const char *kTerrain = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_normal;
+in float altitude;
+uniform sampler2D grass_map;
+uniform sampler2D rock_map;
+uniform sampler2D snow_map;
+uniform sampler2D splat_map;
+uniform float snow_line;
+void main() {
+    vec4 splat = texture(splat_map, uv * 0.01);
+    vec3 grass = texture(grass_map, uv).rgb;
+    vec3 rock = texture(rock_map, uv).rgb;
+    vec3 snow = texture(snow_map, uv).rgb;
+    float slope = 1.0 - normalize(world_normal).y;
+    float rockiness = smoothstep(0.3, 0.7, slope);
+    vec3 base = mix(grass, rock, max(rockiness, splat.r));
+#ifdef SNOW
+    float snow_f = smoothstep(snow_line - 5.0, snow_line + 5.0,
+                              altitude) *
+                   (1.0 - rockiness);
+    base = mix(base, snow, snow_f);
+#endif
+    float light = max(dot(normalize(world_normal),
+                          normalize(vec3(0.4, 0.8, 0.3))),
+                      0.0);
+    fragColor = vec4(base * (0.25 + 0.75 * light), 1.0);
+}
+)";
+
+const char *kSkybox = R"(#version 450
+out vec4 fragColor;
+in vec3 view_dir;
+uniform vec4 horizon_color;
+uniform vec4 zenith_color;
+uniform vec4 sun_dir;
+uniform float sun_sharpness;
+void main() {
+    vec3 dir = normalize(view_dir);
+    float t = clamp(dir.y * 0.5 + 0.5, 0.0, 1.0);
+    vec3 sky = mix(horizon_color.rgb, zenith_color.rgb,
+                   pow(t, 0.7));
+#ifdef SUN_DISC
+    float sun_amount = pow(max(dot(dir, normalize(sun_dir.xyz)), 0.0),
+                           sun_sharpness);
+    sky += vec3(1.0, 0.9, 0.7) * sun_amount;
+#endif
+    fragColor = vec4(sky, 1.0);
+}
+)";
+
+const char *kCarPaint = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_normal;
+in vec3 view_dir;
+uniform sampler2D flake_map;
+uniform sampler2D env_map;
+uniform vec4 paint_color;
+uniform vec4 flake_color;
+uniform float flake_scale;
+uniform float clearcoat;
+void main() {
+    vec3 n = normalize(world_normal);
+    vec3 v = normalize(view_dir);
+    float n_dot_v = max(dot(n, v), 0.0);
+
+    vec3 flake_n = texture(flake_map, uv * flake_scale).xyz * 2.0 -
+                   vec3(1.0);
+    vec3 perturbed = normalize(n + flake_n * 0.35);
+    float flake_glint = pow(max(dot(perturbed, v), 0.0), 24.0);
+
+    float angle_mix = pow(1.0 - n_dot_v, 2.0);
+    vec3 base = mix(paint_color.rgb, paint_color.rgb * 0.35 +
+                                         flake_color.rgb * 0.2,
+                    angle_mix);
+
+    vec3 r = reflect(-v, n);
+    vec2 env_uv = vec2(r.x, r.y) * 0.5 + vec2(0.5);
+    vec3 env = texture(env_map, env_uv).rgb;
+    float fresnel = 0.04 + 0.96 * pow(1.0 - n_dot_v, 5.0);
+
+    vec3 color = base + flake_color.rgb * flake_glint +
+                 env * fresnel * clearcoat;
+    fragColor = vec4(color, 1.0);
+}
+)";
+
+const char *kHair = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_tangent;
+in vec3 view_dir;
+in vec3 light_dir;
+uniform sampler2D strand_map;
+uniform vec4 hair_color;
+uniform float shift_primary;
+uniform float shift_secondary;
+void main() {
+    vec4 strand = texture(strand_map, uv);
+    vec3 t = normalize(world_tangent);
+    vec3 v = normalize(view_dir);
+    vec3 l = normalize(light_dir);
+    vec3 h = normalize(v + l);
+    float t_dot_h1 = dot(t, h) + shift_primary * (strand.a - 0.5);
+    float t_dot_h2 = dot(t, h) + shift_secondary * (strand.a - 0.5);
+    float sin1 = sqrt(max(1.0 - t_dot_h1 * t_dot_h1, 0.0));
+    float sin2 = sqrt(max(1.0 - t_dot_h2 * t_dot_h2, 0.0));
+    float spec1 = pow(sin1, 80.0);
+    float spec2 = pow(sin2, 20.0) * 0.3;
+    float wrap = clamp(dot(t, l) * 0.5 + 0.5, 0.0, 1.0);
+    vec3 color = hair_color.rgb * strand.rgb * wrap +
+                 vec3(spec1) + hair_color.rgb * spec2;
+    fragColor = vec4(color, strand.a);
+}
+)";
+
+const char *kParticle = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec4 particle_color;
+in float particle_depth;
+uniform sampler2D sprite;
+uniform sampler2D scene_depth;
+uniform float softness;
+void main() {
+    vec4 tex_c = texture(sprite, uv);
+    vec4 color = tex_c * particle_color;
+#ifdef SOFT
+    float scene_d = texture(scene_depth, uv).r;
+    float fade = clamp((scene_d - particle_depth) * softness, 0.0,
+                       1.0);
+    color.a = color.a * fade;
+#endif
+    if (color.a < 0.003) {
+        discard;
+    }
+    fragColor = color;
+}
+)";
+
+const char *kUiSdf = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D sdf_atlas;
+uniform vec4 text_color;
+uniform float smoothing;
+void main() {
+    float dist = texture(sdf_atlas, uv).r;
+    float alpha = smoothstep(0.5 - smoothing, 0.5 + smoothing, dist);
+    fragColor = vec4(text_color.rgb, text_color.a * alpha);
+}
+)";
+
+const char *kUiRoundedRect = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec4 rect_color;
+uniform vec4 border_color;
+uniform vec2 half_size;
+uniform float corner_radius;
+uniform float border_width;
+void main() {
+    vec2 p = (uv - vec2(0.5)) * half_size * 2.0;
+    vec2 q = abs(p) - half_size + vec2(corner_radius);
+    float dist = length(max(q, vec2(0.0))) - corner_radius;
+    float fill = 1.0 - smoothstep(-1.0, 1.0, dist);
+    float border = 1.0 - smoothstep(-1.0, 1.0, dist + border_width);
+    vec4 color = mix(border_color, rect_color, border);
+    fragColor = vec4(color.rgb, color.a * fill);
+}
+)";
+
+const char *kUiGradient = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform vec4 color_top;
+uniform vec4 color_bottom;
+uniform float dither_amount;
+void main() {
+    vec4 c = mix(color_top, color_bottom, uv.y);
+    float n = fract(sin(dot(uv, vec2(12.9898, 78.233))) * 43758.5453);
+    fragColor = c + vec4((n - 0.5) * dither_amount);
+}
+)";
+
+const char *kColorGrade = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform mat4 color_matrix;
+uniform vec4 lift;
+uniform vec4 gain_v;
+uniform float saturation;
+void main() {
+    vec4 c = texture(scene, uv);
+    vec4 graded = color_matrix * vec4(c.rgb, 1.0);
+    vec3 balanced = graded.rgb * gain_v.rgb + lift.rgb;
+#ifdef SATURATE_PASS
+    float l = dot(balanced, vec3(0.2126, 0.7152, 0.0722));
+    balanced = mix(vec3(l), balanced, saturation);
+#endif
+    fragColor = vec4(clamp(balanced, vec3(0.0), vec3(1.0)), c.a);
+}
+)";
+
+} // namespace
+
+void
+addSceneFamilies(std::vector<CorpusShader> &out)
+{
+    // PBR übershader: feature combinations mirroring real content
+    // permutations. "full" enables everything.
+    struct PbrVariant
+    {
+        const char *name;
+        std::vector<const char *> features;
+    };
+    const PbrVariant pbr_variants[] = {
+        {"base", {}},
+        {"normal", {"NORMAL_MAP"}},
+        {"normal_spec", {"NORMAL_MAP", "SPEC_MAP"}},
+        {"normal_spec_fog", {"NORMAL_MAP", "SPEC_MAP", "FOG"}},
+        {"normal_spec_shadow", {"NORMAL_MAP", "SPEC_MAP", "SHADOW"}},
+        {"spec_fog", {"SPEC_MAP", "FOG"}},
+        {"alpha_cutout", {"ALPHA_TEST"}},
+        {"alpha_normal", {"ALPHA_TEST", "NORMAL_MAP"}},
+        {"emissive", {"EMISSIVE"}},
+        {"emissive_fog", {"EMISSIVE", "FOG"}},
+        {"vertex_tint", {"VERTEX_COLOR"}},
+        {"vertex_fog", {"VERTEX_COLOR", "FOG"}},
+        {"full",
+         {"NORMAL_MAP", "SPEC_MAP", "FOG", "SHADOW", "EMISSIVE",
+          "VERTEX_COLOR"}},
+        {"full_cutout",
+         {"NORMAL_MAP", "SPEC_MAP", "FOG", "SHADOW", "EMISSIVE",
+          "VERTEX_COLOR", "ALPHA_TEST"}},
+    };
+    for (const auto &v : pbr_variants) {
+        std::map<std::string, std::string> defines;
+        for (const char *f : v.features)
+            defines[f] = "";
+        out.push_back(make("pbr", v.name, kPbrUber, defines));
+    }
+
+    // Deferred lighting loop sizes.
+    for (const char *n : {"1", "2", "4", "8"}) {
+        out.push_back(make("deferred", std::string("lights") + n,
+                           kDeferredLights, {{"NUM_LIGHTS", n}}));
+    }
+
+    // SSAO kernel sizes.
+    out.push_back(make("ssao", "kernel8", kSsao, {{"KERNEL", "8"}}));
+    out.push_back(make("ssao", "kernel16", kSsao, {{"KERNEL", "16"}}));
+
+    // PCF shadow taps (NxN).
+    out.push_back(
+        make("shadow", "pcf2", kShadowPcf, {{"PCF_TAPS", "2"}}));
+    out.push_back(
+        make("shadow", "pcf3", kShadowPcf, {{"PCF_TAPS", "3"}}));
+    out.push_back(
+        make("shadow", "pcf5", kShadowPcf, {{"PCF_TAPS", "5"}}));
+
+    // Water.
+    out.push_back(make("water", "calm", kWater));
+    out.push_back(make("water", "stormy", kWater, {{"STORMY", ""}}));
+
+    // Terrain.
+    out.push_back(make("terrain", "splat", kTerrain));
+    out.push_back(make("terrain", "splat_snow", kTerrain,
+                       {{"SNOW", ""}}));
+
+    // Skybox.
+    out.push_back(make("sky", "gradient", kSkybox));
+    out.push_back(make("sky", "sun", kSkybox, {{"SUN_DISC", ""}}));
+
+    // Car paint (the "Car Chase" nod).
+    out.push_back(make("carpaint", "flakes", kCarPaint));
+
+    // Hair (Kajiya-Kay style).
+    out.push_back(make("hair", "aniso", kHair));
+
+    // Particles.
+    out.push_back(make("particle", "basic", kParticle));
+    out.push_back(make("particle", "soft", kParticle, {{"SOFT", ""}}));
+
+    // UI widgets.
+    out.push_back(make("ui", "sdf_text", kUiSdf));
+    out.push_back(make("ui", "rounded_rect", kUiRoundedRect));
+    out.push_back(make("ui", "gradient", kUiGradient));
+
+    // Colour grading.
+    out.push_back(make("grade", "matrix", kColorGrade));
+    out.push_back(make("grade", "matrix_sat", kColorGrade,
+                       {{"SATURATE_PASS", ""}}));
+}
+
+} // namespace gsopt::corpus

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The "simple" corpus family: the numerous tiny shaders that give the
+ * paper's size distribution its long low-complexity tail (blits,
+ * blends, single-effect fragments). These are the shaders where most
+ * optimization flags have nothing to do — the near-zero mass in every
+ * violin of Fig 9.
+ */
+#include "corpus/corpus.h"
+
+namespace gsopt::corpus {
+
+namespace {
+
+CorpusShader
+make(const char *name, const char *source,
+     std::map<std::string, std::string> defines = {})
+{
+    CorpusShader s;
+    s.name = std::string("simple/") + name;
+    s.family = "simple";
+    s.source = source;
+    s.defines = std::move(defines);
+    return s;
+}
+
+} // namespace
+
+void
+addSimpleFamily(std::vector<CorpusShader> &out)
+{
+    out.push_back(make("color_fill", R"(#version 450
+uniform vec4 fill_color;
+out vec4 fragColor;
+void main() {
+    fragColor = fill_color;
+}
+)"));
+
+    out.push_back(make("texture_copy", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    fragColor = texture(src, uv);
+}
+)"));
+
+    out.push_back(make("premultiply", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    fragColor = vec4(c.rgb * c.a, c.a);
+}
+)"));
+
+    out.push_back(make("grayscale", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    float l = dot(c.rgb, vec3(0.299, 0.587, 0.114));
+    fragColor = vec4(l, l, l, c.a);
+}
+)"));
+
+    out.push_back(make("invert", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    fragColor = vec4(vec3(1.0) - c.rgb, c.a);
+}
+)"));
+
+    out.push_back(make("vignette", R"(#version 450
+uniform sampler2D src;
+uniform float strength;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    vec2 d = uv - vec2(0.5);
+    float v = 1.0 - strength * dot(d, d) * 2.0;
+    fragColor = vec4(c.rgb * v, c.a);
+}
+)"));
+
+    out.push_back(make("gamma", R"(#version 450
+uniform sampler2D src;
+uniform float gamma_value;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    vec3 g = pow(c.rgb, vec3(1.0 / 2.2) * gamma_value);
+    fragColor = vec4(g, c.a);
+}
+)"));
+
+    out.push_back(make("add_blend", R"(#version 450
+uniform sampler2D src_a;
+uniform sampler2D src_b;
+uniform float blend;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 a = texture(src_a, uv);
+    vec4 b = texture(src_b, uv);
+    fragColor = a + b * blend;
+}
+)"));
+
+    out.push_back(make("mul_blend", R"(#version 450
+uniform sampler2D src_a;
+uniform sampler2D src_b;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    fragColor = texture(src_a, uv) * texture(src_b, uv);
+}
+)"));
+
+    out.push_back(make("lerp_blend", R"(#version 450
+uniform sampler2D src_a;
+uniform sampler2D src_b;
+uniform float t;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    fragColor = mix(texture(src_a, uv), texture(src_b, uv), t);
+}
+)"));
+
+    out.push_back(make("alpha_test", R"(#version 450
+uniform sampler2D src;
+uniform float cutoff;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    if (c.a < cutoff) {
+        discard;
+    }
+    fragColor = c;
+}
+)"));
+
+    out.push_back(make("swizzle_copy", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    fragColor = texture(src, uv).bgra;
+}
+)"));
+
+    out.push_back(make("channel_pack", R"(#version 450
+uniform sampler2D src;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    vec4 o = vec4(0.0);
+    o.x = c.r;
+    o.y = c.g * 0.5 + 0.5;
+    o.z = c.b * c.a;
+    o.w = 1.0;
+    fragColor = o;
+}
+)"));
+
+    out.push_back(make("luminance_threshold", R"(#version 450
+uniform sampler2D src;
+uniform float threshold;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    float l = dot(c.rgb, vec3(0.2126, 0.7152, 0.0722));
+    fragColor = l > threshold ? c : vec4(0.0, 0.0, 0.0, c.a);
+}
+)"));
+
+    out.push_back(make("desaturate", R"(#version 450
+uniform sampler2D src;
+uniform float amount;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    float l = dot(c.rgb, vec3(0.299, 0.587, 0.114));
+    fragColor = vec4(mix(c.rgb, vec3(l), amount), c.a);
+}
+)"));
+
+    out.push_back(make("scanline", R"(#version 450
+uniform sampler2D src;
+uniform float line_count;
+in vec2 uv;
+out vec4 fragColor;
+void main() {
+    vec4 c = texture(src, uv);
+    float s = 0.9 + 0.1 * sin(uv.y * line_count * 6.2831853);
+    fragColor = vec4(c.rgb * s, c.a);
+}
+)"));
+}
+
+} // namespace gsopt::corpus

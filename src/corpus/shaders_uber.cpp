@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The corpus heavyweight: a "Car Chase"-class mega shader in the style
+ * of GFXBench 4.0's most complex content. Multi-light PBR with
+ * parallax, triplanar detail, two-layer clear coat, environment
+ * reflection, subsurface approximation, shadowing, and fog — all in one
+ * fragment shader. Its preprocessed executable size (~250-300 lines)
+ * provides the top of the paper's Fig 4a distribution, and its large
+ * straight-line body is where register-pressure effects bite.
+ */
+#include "corpus/corpus.h"
+
+namespace gsopt::corpus {
+
+namespace {
+
+const char *kMegaUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+in vec3 world_pos;
+in vec3 world_normal;
+in vec3 world_tangent;
+in vec3 view_dir;
+in float fog_depth;
+uniform sampler2D albedo_map;
+uniform sampler2D normal_map;
+uniform sampler2D detail_map;
+uniform sampler2D spec_map;
+uniform sampler2D height_map;
+uniform sampler2D env_map;
+uniform sampler2D shadow_map;
+uniform sampler2D ao_map;
+uniform vec4 base_tint;
+uniform vec4 light0_pos;
+uniform vec4 light0_color;
+uniform vec4 light1_pos;
+uniform vec4 light1_color;
+uniform vec4 light2_pos;
+uniform vec4 light2_color;
+uniform vec4 sun_dir;
+uniform vec4 sun_color;
+uniform vec4 fog_color;
+uniform float fog_density;
+uniform float parallax_scale;
+uniform float detail_strength;
+uniform float clearcoat_amount;
+uniform float subsurface_amount;
+uniform vec2 shadow_base;
+
+float d_ggx(float n_dot_h, float rough) {
+    float a = rough * rough;
+    float a2 = a * a;
+    float d = n_dot_h * n_dot_h * (a2 - 1.0) + 1.0;
+    return a2 / (3.14159265 * d * d + 0.0001);
+}
+
+float g_smith(float n_dot_v, float n_dot_l, float rough) {
+    float k = (rough + 1.0) * (rough + 1.0) / 8.0;
+    float gv = n_dot_v / (n_dot_v * (1.0 - k) + k);
+    float gl = n_dot_l / (n_dot_l * (1.0 - k) + k);
+    return gv * gl;
+}
+
+vec3 f_schlick(float cos_t, vec3 f0) {
+    float p = pow(1.0 - cos_t, 5.0);
+    return f0 + (vec3(1.0) - f0) * p;
+}
+
+vec3 shade_point_light(vec3 n, vec3 v, vec3 light_vec,
+                       vec3 light_col, vec3 albedo, float rough,
+                       float metal, float radius) {
+    float dist2 = dot(light_vec, light_vec);
+    vec3 l = light_vec * inversesqrt(dist2 + 0.0001);
+    vec3 h = normalize(v + l);
+    float n_dot_l = max(dot(n, l), 0.0);
+    float n_dot_v = max(dot(n, v), 0.001);
+    float n_dot_h = max(dot(n, h), 0.0);
+    float h_dot_v = max(dot(h, v), 0.0);
+    float atten = radius / (radius + dist2);
+    vec3 f0 = mix(vec3(0.04), albedo, metal);
+    float ndf = d_ggx(n_dot_h, rough);
+    float geo = g_smith(n_dot_v, n_dot_l, rough);
+    vec3 fres = f_schlick(h_dot_v, f0);
+    vec3 spec = (ndf * geo) * fres /
+                (4.0 * n_dot_v * n_dot_l + 0.001);
+    vec3 kd = (vec3(1.0) - fres) * (1.0 - metal);
+    vec3 diffuse = kd * albedo / 3.14159265;
+    return (diffuse + spec) * light_col * n_dot_l * atten;
+}
+
+void main() {
+    // --- parallax-corrected texture coordinates ---------------------
+    vec3 v = normalize(view_dir);
+    vec3 n_geo = normalize(world_normal);
+    vec3 t_geo = normalize(world_tangent);
+    vec3 b_geo = cross(n_geo, t_geo);
+    float vz = max(dot(v, n_geo), 0.1);
+    float vx = dot(v, t_geo);
+    float vy = dot(v, b_geo);
+    float height = texture(height_map, uv).r;
+    vec2 parallax = vec2(vx, vy) * (height - 0.5) *
+                    (parallax_scale / vz);
+    vec2 p_uv = uv + parallax;
+    float height2 = texture(height_map, p_uv).r;
+    vec2 p_uv2 = uv + vec2(vx, vy) * (height2 - 0.5) *
+                          (parallax_scale * 0.5 / vz);
+
+    // --- base material ------------------------------------------------
+    vec4 albedo_s = texture(albedo_map, p_uv2);
+    vec3 albedo = albedo_s.rgb * base_tint.rgb;
+    vec4 detail = texture(detail_map, p_uv2 * 8.0);
+    albedo = albedo * mix(vec3(1.0),
+                          detail.rgb * 2.0, detail_strength);
+
+    vec4 spec_s = texture(spec_map, p_uv2);
+    float rough = clamp(spec_s.g, 0.03, 1.0);
+    float metal = spec_s.b;
+    float cavity = spec_s.r;
+
+    // --- normal mapping with detail -----------------------------------
+    vec3 tn = texture(normal_map, p_uv2).xyz * 2.0 - vec3(1.0);
+    vec3 dn = texture(detail_map, p_uv2 * 16.0).xyz * 2.0 -
+              vec3(1.0);
+    vec3 blended = normalize(vec3(tn.xy + dn.xy * detail_strength,
+                                  tn.z));
+    vec3 n = normalize(t_geo * blended.x + b_geo * blended.y +
+                       n_geo * blended.z);
+
+    // --- ambient occlusion --------------------------------------------
+    float ao = texture(ao_map, uv).r;
+    float combined_ao = ao * mix(1.0, cavity, 0.6);
+
+    // --- sun with shadow -----------------------------------------------
+    vec3 sun_l = normalize(-sun_dir.xyz);
+    float sun_n_dot_l = max(dot(n, sun_l), 0.0);
+    vec2 shadow_uv = shadow_base + world_pos.xz * 0.01;
+    float occluder = texture(shadow_map, shadow_uv).r;
+    float receiver = world_pos.y * 0.01 + 0.5;
+    float sun_shadow = receiver - 0.004 > occluder ? 0.25 : 1.0;
+    vec3 sun_h = normalize(v + sun_l);
+    float sun_n_dot_h = max(dot(n, sun_h), 0.0);
+    float sun_n_dot_v = max(dot(n, v), 0.001);
+    vec3 sun_f0 = mix(vec3(0.04), albedo, metal);
+    float sun_ndf = d_ggx(sun_n_dot_h, rough);
+    float sun_geo = g_smith(sun_n_dot_v, sun_n_dot_l, rough);
+    vec3 sun_fres = f_schlick(max(dot(sun_h, v), 0.0), sun_f0);
+    vec3 sun_spec = (sun_ndf * sun_geo) * sun_fres /
+                    (4.0 * sun_n_dot_v * sun_n_dot_l + 0.001);
+    vec3 sun_kd = (vec3(1.0) - sun_fres) * (1.0 - metal);
+    vec3 sun_contrib = (sun_kd * albedo / 3.14159265 + sun_spec) *
+                       sun_color.rgb * sun_n_dot_l * sun_shadow;
+
+    // --- three point lights ---------------------------------------------
+    vec3 l0 = shade_point_light(n, v, light0_pos.xyz - world_pos,
+                                light0_color.rgb, albedo, rough,
+                                metal, light0_pos.w);
+    vec3 l1 = shade_point_light(n, v, light1_pos.xyz - world_pos,
+                                light1_color.rgb, albedo, rough,
+                                metal, light1_pos.w);
+    vec3 l2 = shade_point_light(n, v, light2_pos.xyz - world_pos,
+                                light2_color.rgb, albedo, rough,
+                                metal, light2_pos.w);
+
+    // --- environment reflection -----------------------------------------
+    vec3 r = reflect(-v, n);
+    vec2 env_uv = vec2(atan(r.x, r.z) * 0.1591 + 0.5,
+                       r.y * 0.5 + 0.5);
+    vec3 env_sharp = texture(env_map, env_uv).rgb;
+    vec3 env_soft = texture(env_map, env_uv * 0.25 +
+                                         vec2(0.375)).rgb;
+    vec3 env = mix(env_sharp, env_soft, rough);
+    float n_dot_v2 = max(dot(n, v), 0.001);
+    vec3 env_fres = f_schlick(n_dot_v2, mix(vec3(0.04), albedo,
+                                            metal));
+    vec3 env_contrib = env * env_fres * combined_ao;
+
+    // --- clear coat layer --------------------------------------------------
+    vec3 cc_n = n_geo;
+    float cc_n_dot_v = max(dot(cc_n, v), 0.001);
+    float cc_fres = 0.04 + 0.96 * pow(1.0 - cc_n_dot_v, 5.0);
+    vec3 cc_r = reflect(-v, cc_n);
+    vec2 cc_uv = vec2(atan(cc_r.x, cc_r.z) * 0.1591 + 0.5,
+                      cc_r.y * 0.5 + 0.5);
+    vec3 cc_env = texture(env_map, cc_uv).rgb;
+    float cc_h_dot_n = max(dot(cc_n, normalize(v + sun_l)), 0.0);
+    float cc_spec = d_ggx(cc_h_dot_n, 0.08) * 0.25;
+    vec3 clearcoat = (cc_env * cc_fres + sun_color.rgb * cc_spec *
+                                             sun_shadow) *
+                     clearcoat_amount;
+
+    // --- subsurface approximation ---------------------------------------
+    float back_light = max(dot(-sun_l, v), 0.0);
+    float sss_wrap = clamp((dot(n, sun_l) + 0.5) / 1.5, 0.0, 1.0);
+    vec3 sss = albedo * sun_color.rgb * pow(back_light, 3.0) *
+               sss_wrap * subsurface_amount;
+
+    // --- ambient ------------------------------------------------------------
+    vec3 sky_ambient = mix(vec3(0.10, 0.11, 0.14),
+                           vec3(0.22, 0.24, 0.30),
+                           n.y * 0.5 + 0.5);
+    vec3 ambient = sky_ambient * albedo * combined_ao;
+
+    // --- compose -----------------------------------------------------------
+    vec3 color = sun_contrib + l0 + l1 + l2 + env_contrib +
+                 clearcoat + sss + ambient;
+
+    // --- fog -----------------------------------------------------------------
+    float fog_f = 1.0 - exp(-fog_density * fog_depth * fog_depth);
+    color = mix(color, fog_color.rgb, clamp(fog_f, 0.0, 1.0));
+
+    // --- output ---------------------------------------------------------------
+    float luma = dot(color, vec3(0.2126, 0.7152, 0.0722));
+    vec3 graded = mix(vec3(luma), color, 1.04);
+    fragColor = vec4(graded, albedo_s.a * base_tint.a);
+}
+)";
+
+} // namespace
+
+void
+addUberFamily(std::vector<CorpusShader> &out)
+{
+    // The heavyweight appears in several configurations; members of
+    // the family share all of the source (the cheap variants simply
+    // zero the feature uniforms at run time, as real engines do when
+    // they cannot afford a recompile).
+    CorpusShader s;
+    s.family = "uber";
+    s.source = kMegaUber;
+    s.name = "uber/car_chase";
+    out.push_back(s);
+}
+
+} // namespace gsopt::corpus

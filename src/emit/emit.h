@@ -1,0 +1,33 @@
+/**
+ * @file
+ * IR -> GLSL back end: the LunarGlass "GLSL backend" equivalent. Renders
+ * an optimised module back to compilable GLSL source.
+ *
+ * Properties that matter to the experiments:
+ *  - Deterministic: the same module always renders to the same text, and
+ *    temporaries are renumbered in emission order, so two flag
+ *    combinations that produce semantically identical modules produce
+ *    *textually* identical shaders. Unique-variant counting (Fig 4c)
+ *    dedups on this text.
+ *  - Re-parseable by our own front end: the driver-JIT models consume
+ *    this output exactly like a real GL driver consumes LunarGlass
+ *    output. Generic loops are emitted with a duplicated condition
+ *    computation (no `break`), staying inside the supported subset.
+ *  - Faithful to the paper's artefact catalogue: scalarised matrix math
+ *    and splat-vectorised scalars appear in the output text verbatim.
+ */
+#ifndef GSOPT_EMIT_EMIT_H
+#define GSOPT_EMIT_EMIT_H
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace gsopt::emit {
+
+/** Render the module as a complete GLSL fragment shader. */
+std::string emitGlsl(const ir::Module &module);
+
+} // namespace gsopt::emit
+
+#endif // GSOPT_EMIT_EMIT_H

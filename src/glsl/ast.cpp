@@ -1,0 +1,128 @@
+#include "glsl/ast.h"
+
+namespace gsopt::glsl {
+
+ExprPtr
+Expr::makeFloat(double v, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::FloatLit;
+    e->loc = loc;
+    e->floatValue = v;
+    e->type = Type::floatTy();
+    return e;
+}
+
+ExprPtr
+Expr::makeInt(long v, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::IntLit;
+    e->loc = loc;
+    e->intValue = v;
+    e->floatValue = static_cast<double>(v);
+    e->type = Type::intTy();
+    return e;
+}
+
+ExprPtr
+Expr::makeBool(bool v, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::BoolLit;
+    e->loc = loc;
+    e->boolValue = v;
+    e->type = Type::boolTy();
+    return e;
+}
+
+ExprPtr
+Expr::makeVarRef(std::string name, SourceLoc loc)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::VarRef;
+    e->loc = loc;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->loc = loc;
+    e->type = type;
+    e->floatValue = floatValue;
+    e->intValue = intValue;
+    e->boolValue = boolValue;
+    e->name = name;
+    e->unaryOp = unaryOp;
+    e->binaryOp = binaryOp;
+    e->ctorType = ctorType;
+    e->args.reserve(args.size());
+    for (const auto &a : args)
+        e->args.push_back(a->clone());
+    return e;
+}
+
+StmtPtr
+Stmt::make(StmtKind kind, SourceLoc loc)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->loc = loc;
+    return s;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->loc = loc;
+    s->declType = declType;
+    s->name = name;
+    s->isConst = isConst;
+    s->transparent = transparent;
+    s->assignOp = assignOp;
+    if (lhs)
+        s->lhs = lhs->clone();
+    if (rhs)
+        s->rhs = rhs->clone();
+    if (cond)
+        s->cond = cond->clone();
+    if (init)
+        s->init = init->clone();
+    if (step)
+        s->step = step->clone();
+    s->body.reserve(body.size());
+    for (const auto &b : body)
+        s->body.push_back(b->clone());
+    s->elseBody.reserve(elseBody.size());
+    for (const auto &b : elseBody)
+        s->elseBody.push_back(b->clone());
+    return s;
+}
+
+const FunctionDecl *
+Shader::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+const GlobalDecl *
+Shader::findGlobal(const std::string &name) const
+{
+    for (const auto &g : globals) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+} // namespace gsopt::glsl

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Abstract syntax tree for the GLSL subset. Nodes are tagged structs
+ * (ExprKind / StmtKind discriminators) rather than a class hierarchy; the
+ * tree is owned top-down through unique_ptr.
+ *
+ * The subset covers everything fragment shaders in the corpus use:
+ * expressions over scalars/vectors/matrices/arrays, swizzles, constructor
+ * and builtin calls, if/else, for/while loops, user functions, in/out/
+ * uniform/const globals, `discard`, and const array initialisers
+ * (`vec4[](...)`). Structs, switch, and bit operations are out of scope.
+ */
+#ifndef GSOPT_GLSL_AST_H
+#define GSOPT_GLSL_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "glsl/type.h"
+#include "support/diag.h"
+
+namespace gsopt::glsl {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Expression node discriminator. */
+enum class ExprKind {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,   ///< name
+    Unary,    ///< unaryOp, args[0]
+    Binary,   ///< binaryOp, args[0], args[1]
+    Ternary,  ///< args[0] ? args[1] : args[2]
+    Call,     ///< builtin or user function: name, args
+    Construct,///< type constructor: ctorType, args (also array init)
+    Index,    ///< args[0] [ args[1] ]
+    Member,   ///< args[0] . name   (vector swizzle)
+};
+
+enum class UnaryOp { Neg, Not, Plus };
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LogicalAnd, LogicalOr,
+};
+
+/** A GLSL expression. Field use depends on `kind` (see ExprKind docs). */
+struct Expr
+{
+    ExprKind kind;
+    SourceLoc loc;
+    Type type; ///< filled in by semantic analysis
+
+    double floatValue = 0.0;
+    long intValue = 0;
+    bool boolValue = false;
+    std::string name;
+    UnaryOp unaryOp = UnaryOp::Neg;
+    BinaryOp binaryOp = BinaryOp::Add;
+    Type ctorType;
+    std::vector<ExprPtr> args;
+
+    static ExprPtr makeFloat(double v, SourceLoc loc = {});
+    static ExprPtr makeInt(long v, SourceLoc loc = {});
+    static ExprPtr makeBool(bool v, SourceLoc loc = {});
+    static ExprPtr makeVarRef(std::string name, SourceLoc loc = {});
+
+    /** Deep copy (used by function inlining during lowering). */
+    ExprPtr clone() const;
+};
+
+/** Statement node discriminator. */
+enum class StmtKind {
+    Block,    ///< body
+    Decl,     ///< declType, name, optional init, isConst
+    Assign,   ///< lhs op= rhs (op may be plain Assign)
+    ExprStmt, ///< rhs as expression (e.g. a bare call)
+    If,       ///< cond, body (then), elseBody
+    For,      ///< init, cond, step, body
+    While,    ///< cond, body
+    Return,   ///< optional rhs
+    Discard,
+};
+
+enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign, DivAssign };
+
+/** A GLSL statement. Field use depends on `kind` (see StmtKind docs). */
+struct Stmt
+{
+    StmtKind kind;
+    SourceLoc loc;
+
+    // Decl
+    Type declType;
+    std::string name;
+    bool isConst = false;
+
+    /**
+     * A Block produced by expanding a declarator list (`float a, b;`)
+     * rather than by source braces: it introduces no scope and prints
+     * without braces.
+     */
+    bool transparent = false;
+
+    // Assign / ExprStmt / Return / Decl-init
+    ExprPtr lhs;
+    AssignOp assignOp = AssignOp::Assign;
+    ExprPtr rhs; ///< decl init, assign value, expr, return value
+
+    // Control flow
+    ExprPtr cond;
+    StmtPtr init;  ///< for-init
+    StmtPtr step;  ///< for-step
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> elseBody;
+
+    static StmtPtr make(StmtKind kind, SourceLoc loc = {});
+
+    /** Deep copy (used by function inlining during lowering). */
+    StmtPtr clone() const;
+};
+
+/** Storage qualifier of a global declaration. */
+enum class Qualifier { Global, In, Out, Uniform, Const };
+
+/** A module-scope declaration. */
+struct GlobalDecl
+{
+    Qualifier qual = Qualifier::Global;
+    Type type;
+    std::string name;
+    ExprPtr init; ///< only for const/global initialisers
+    SourceLoc loc;
+};
+
+/** A function parameter (only `in` parameters are supported). */
+struct ParamDecl
+{
+    Type type;
+    std::string name;
+};
+
+/** A function definition. */
+struct FunctionDecl
+{
+    Type returnType;
+    std::string name;
+    std::vector<ParamDecl> params;
+    StmtPtr body; ///< a Block statement
+    SourceLoc loc;
+};
+
+/** A whole translation unit (one shader stage). */
+struct Shader
+{
+    int version = 0;
+    std::vector<GlobalDecl> globals;
+    std::vector<FunctionDecl> functions;
+
+    /** Find a function by name (nullptr if absent). */
+    const FunctionDecl *findFunction(const std::string &name) const;
+    /** Find a global by name (nullptr if absent). */
+    const GlobalDecl *findGlobal(const std::string &name) const;
+};
+
+} // namespace gsopt::glsl
+
+#endif // GSOPT_GLSL_AST_H

@@ -1,0 +1,45 @@
+#include "glsl/frontend.h"
+
+#include "glsl/lexer.h"
+#include "glsl/parser.h"
+
+namespace gsopt::glsl {
+
+std::unique_ptr<CompiledShader>
+tryCompileShader(const std::string &source,
+                 const std::map<std::string, std::string> &predefines,
+                 DiagEngine &diags)
+{
+    auto out = std::make_unique<CompiledShader>();
+    PreprocessResult pp = preprocess(source, predefines, diags);
+    if (diags.hasErrors())
+        return nullptr;
+    out->preprocessedText = pp.text;
+    out->version = pp.version;
+
+    auto tokens = lex(pp.text, diags);
+    if (diags.hasErrors())
+        return nullptr;
+
+    out->ast = parseShader(tokens, diags);
+    if (diags.hasErrors())
+        return nullptr;
+    out->ast.version = pp.version;
+
+    out->interface = analyze(out->ast, diags);
+    if (diags.hasErrors())
+        return nullptr;
+    return out;
+}
+
+CompiledShader
+compileShader(const std::string &source,
+              const std::map<std::string, std::string> &predefines)
+{
+    DiagEngine diags;
+    auto out = tryCompileShader(source, predefines, diags);
+    diags.checkpoint();
+    return std::move(*out);
+}
+
+} // namespace gsopt::glsl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Convenience facade over the GLSL front end: preprocess + lex + parse +
+ * analyze in one call. This is the entry point the optimizer, the driver
+ * compilers, and the corpus all use.
+ */
+#ifndef GSOPT_GLSL_FRONTEND_H
+#define GSOPT_GLSL_FRONTEND_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "glsl/ast.h"
+#include "glsl/preprocessor.h"
+#include "glsl/sema.h"
+#include "support/diag.h"
+
+namespace gsopt::glsl {
+
+/** A fully checked shader plus its interface and preprocessed text. */
+struct CompiledShader
+{
+    Shader ast;
+    ShaderInterface interface;
+    std::string preprocessedText;
+    int version = 0;
+};
+
+/**
+ * Run the complete front end. Throws CompileError on any diagnostic of
+ * error severity.
+ *
+ * @param source     raw GLSL text (may contain directives)
+ * @param predefines externally injected macros (übershader specialisation)
+ */
+CompiledShader compileShader(
+    const std::string &source,
+    const std::map<std::string, std::string> &predefines = {});
+
+/**
+ * Non-throwing variant; returns nullptr on error and fills @p diags.
+ */
+std::unique_ptr<CompiledShader> tryCompileShader(
+    const std::string &source,
+    const std::map<std::string, std::string> &predefines,
+    DiagEngine &diags);
+
+} // namespace gsopt::glsl
+
+#endif // GSOPT_GLSL_FRONTEND_H

@@ -1,0 +1,305 @@
+#include "glsl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gsopt::glsl {
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::End: return "end of input";
+      case TokKind::Identifier: return "identifier";
+      case TokKind::IntLit: return "integer literal";
+      case TokKind::FloatLit: return "float literal";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Comma: return "','";
+      case TokKind::Semicolon: return "';'";
+      case TokKind::Dot: return "'.'";
+      case TokKind::Question: return "'?'";
+      case TokKind::Colon: return "':'";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::PlusPlus: return "'++'";
+      case TokKind::MinusMinus: return "'--'";
+      case TokKind::Assign: return "'='";
+      case TokKind::PlusAssign: return "'+='";
+      case TokKind::MinusAssign: return "'-='";
+      case TokKind::StarAssign: return "'*='";
+      case TokKind::SlashAssign: return "'/='";
+      case TokKind::EqEq: return "'=='";
+      case TokKind::NotEq: return "'!='";
+      case TokKind::Less: return "'<'";
+      case TokKind::Greater: return "'>'";
+      case TokKind::LessEq: return "'<='";
+      case TokKind::GreaterEq: return "'>='";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+      case TokKind::Bang: return "'!'";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Cursor over the raw source with line/column tracking. */
+class Cursor
+{
+  public:
+    Cursor(const std::string &src) : src_(src) {}
+
+    bool atEnd() const { return pos_ >= src_.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+    SourceLoc loc() const { return {line_, col_}; }
+
+  private:
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, DiagEngine &diags)
+{
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto push = [&](TokKind kind, SourceLoc loc, std::string text = "") {
+        Token t;
+        t.kind = kind;
+        t.loc = loc;
+        t.text = std::move(text);
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.atEnd()) {
+        const SourceLoc loc = cur.loc();
+        char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.atEnd() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.atEnd() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/')) {
+                cur.advance();
+            }
+            if (cur.atEnd()) {
+                diags.error(loc, "unterminated block comment");
+            } else {
+                cur.advance();
+                cur.advance();
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (!cur.atEnd() &&
+                   (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+                    cur.peek() == '_')) {
+                word += cur.advance();
+            }
+            push(TokKind::Identifier, loc, std::move(word));
+            continue;
+        }
+        // Numeric literals: ints, floats (with '.', exponent, 'f' suffix).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string num;
+            bool is_float = false;
+            while (!cur.atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(cur.peek())))
+                num += cur.advance();
+            if (cur.peek() == '.') {
+                is_float = true;
+                num += cur.advance();
+                while (!cur.atEnd() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(cur.peek())))
+                    num += cur.advance();
+            }
+            if (cur.peek() == 'e' || cur.peek() == 'E') {
+                is_float = true;
+                num += cur.advance();
+                if (cur.peek() == '+' || cur.peek() == '-')
+                    num += cur.advance();
+                if (!std::isdigit(static_cast<unsigned char>(cur.peek())))
+                    diags.error(cur.loc(), "missing exponent digits");
+                while (!cur.atEnd() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(cur.peek())))
+                    num += cur.advance();
+            }
+            if (cur.peek() == 'f' || cur.peek() == 'F') {
+                is_float = true;
+                cur.advance();
+            } else if (cur.peek() == 'u' || cur.peek() == 'U') {
+                cur.advance(); // treat uint literals as int
+            }
+            Token t;
+            t.loc = loc;
+            t.text = num;
+            if (is_float) {
+                t.kind = TokKind::FloatLit;
+                t.floatValue = std::strtod(num.c_str(), nullptr);
+            } else {
+                t.kind = TokKind::IntLit;
+                t.intValue = std::strtol(num.c_str(), nullptr, 10);
+                t.floatValue = static_cast<double>(t.intValue);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        cur.advance();
+        switch (c) {
+          case '(': push(TokKind::LParen, loc); break;
+          case ')': push(TokKind::RParen, loc); break;
+          case '{': push(TokKind::LBrace, loc); break;
+          case '}': push(TokKind::RBrace, loc); break;
+          case '[': push(TokKind::LBracket, loc); break;
+          case ']': push(TokKind::RBracket, loc); break;
+          case ',': push(TokKind::Comma, loc); break;
+          case ';': push(TokKind::Semicolon, loc); break;
+          case '.': push(TokKind::Dot, loc); break;
+          case '?': push(TokKind::Question, loc); break;
+          case ':': push(TokKind::Colon, loc); break;
+          case '%': push(TokKind::Percent, loc); break;
+          case '+':
+            if (cur.peek() == '+') {
+                cur.advance();
+                push(TokKind::PlusPlus, loc);
+            } else if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::PlusAssign, loc);
+            } else {
+                push(TokKind::Plus, loc);
+            }
+            break;
+          case '-':
+            if (cur.peek() == '-') {
+                cur.advance();
+                push(TokKind::MinusMinus, loc);
+            } else if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::MinusAssign, loc);
+            } else {
+                push(TokKind::Minus, loc);
+            }
+            break;
+          case '*':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::StarAssign, loc);
+            } else {
+                push(TokKind::Star, loc);
+            }
+            break;
+          case '/':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::SlashAssign, loc);
+            } else {
+                push(TokKind::Slash, loc);
+            }
+            break;
+          case '=':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::EqEq, loc);
+            } else {
+                push(TokKind::Assign, loc);
+            }
+            break;
+          case '!':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::NotEq, loc);
+            } else {
+                push(TokKind::Bang, loc);
+            }
+            break;
+          case '<':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::LessEq, loc);
+            } else {
+                push(TokKind::Less, loc);
+            }
+            break;
+          case '>':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(TokKind::GreaterEq, loc);
+            } else {
+                push(TokKind::Greater, loc);
+            }
+            break;
+          case '&':
+            if (cur.peek() == '&') {
+                cur.advance();
+                push(TokKind::AmpAmp, loc);
+            } else {
+                diags.error(loc, "bitwise '&' is not supported");
+            }
+            break;
+          case '|':
+            if (cur.peek() == '|') {
+                cur.advance();
+                push(TokKind::PipePipe, loc);
+            } else {
+                diags.error(loc, "bitwise '|' is not supported");
+            }
+            break;
+          default:
+            diags.error(loc, std::string("unexpected character '") + c +
+                                 "'");
+            break;
+        }
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.loc = cur.loc();
+    out.push_back(std::move(end));
+    return out;
+}
+
+} // namespace gsopt::glsl

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The GLSL lexer. Converts preprocessed source text into a token stream.
+ * Comments are stripped; `#` directives must already have been handled by
+ * the Preprocessor (a stray `#` is a lex error).
+ */
+#ifndef GSOPT_GLSL_LEXER_H
+#define GSOPT_GLSL_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "glsl/token.h"
+#include "support/diag.h"
+
+namespace gsopt::glsl {
+
+/**
+ * Lex a whole buffer into tokens (terminated by a TokKind::End token).
+ *
+ * @param source preprocessed GLSL text
+ * @param diags  receives lexical errors (bad characters, bad numbers)
+ */
+std::vector<Token> lex(const std::string &source, DiagEngine &diags);
+
+} // namespace gsopt::glsl
+
+#endif // GSOPT_GLSL_LEXER_H

@@ -1,0 +1,343 @@
+#include "glsl/printer.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace gsopt::glsl {
+
+namespace {
+
+/** Operator precedence for minimal parenthesisation. */
+int
+precedence(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::Ternary:
+        return 1;
+      case ExprKind::Binary:
+        switch (e.binaryOp) {
+          case BinaryOp::LogicalOr: return 2;
+          case BinaryOp::LogicalAnd: return 3;
+          case BinaryOp::Eq:
+          case BinaryOp::Ne: return 4;
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge: return 5;
+          case BinaryOp::Add:
+          case BinaryOp::Sub: return 6;
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod: return 7;
+        }
+        return 7;
+      case ExprKind::Unary:
+        return 8;
+      default:
+        return 9; // primary
+    }
+}
+
+const char *
+binOpSpelling(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::LogicalAnd: return "&&";
+      case BinaryOp::LogicalOr: return "||";
+    }
+    return "?";
+}
+
+void
+printExprInto(const Expr &e, std::ostringstream &os, int parent_prec)
+{
+    const int prec = precedence(e);
+    const bool parens = prec < parent_prec;
+    if (parens)
+        os << "(";
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        os << e.intValue;
+        break;
+      case ExprKind::FloatLit:
+        os << formatGlslFloat(e.floatValue);
+        break;
+      case ExprKind::BoolLit:
+        os << (e.boolValue ? "true" : "false");
+        break;
+      case ExprKind::VarRef:
+        os << e.name;
+        break;
+      case ExprKind::Unary:
+        os << (e.unaryOp == UnaryOp::Not ? "!" : "-");
+        printExprInto(*e.args[0], os, prec + 1);
+        break;
+      case ExprKind::Binary:
+        printExprInto(*e.args[0], os, prec);
+        os << " " << binOpSpelling(e.binaryOp) << " ";
+        // Right operand binds tighter to preserve evaluation order of
+        // non-associative operators (a - (b - c) keeps its parens).
+        printExprInto(*e.args[1], os, prec + 1);
+        break;
+      case ExprKind::Ternary:
+        printExprInto(*e.args[0], os, prec + 1);
+        os << " ? ";
+        printExprInto(*e.args[1], os, prec);
+        os << " : ";
+        printExprInto(*e.args[2], os, prec);
+        break;
+      case ExprKind::Call: {
+        os << e.name << "(";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printExprInto(*e.args[i], os, 0);
+        }
+        os << ")";
+        break;
+      }
+      case ExprKind::Construct: {
+        if (e.ctorType.isArray()) {
+            os << e.ctorType.elementType().str() << "[](";
+        } else {
+            os << e.ctorType.str() << "(";
+        }
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printExprInto(*e.args[i], os, 0);
+        }
+        os << ")";
+        break;
+      }
+      case ExprKind::Index:
+        printExprInto(*e.args[0], os, prec);
+        os << "[";
+        printExprInto(*e.args[1], os, 0);
+        os << "]";
+        break;
+      case ExprKind::Member:
+        printExprInto(*e.args[0], os, prec);
+        os << "." << e.name;
+        break;
+    }
+    if (parens)
+        os << ")";
+}
+
+void
+printStmtInto(const Stmt &s, std::ostringstream &os, int indent);
+
+void
+printBody(const std::vector<StmtPtr> &body, std::ostringstream &os,
+          int indent)
+{
+    // Flatten a body that is a single brace-block so that `if (c) { .. }`
+    // does not print doubled braces and round-trips byte-identically.
+    if (body.size() == 1 && body[0]->kind == StmtKind::Block &&
+        !body[0]->transparent) {
+        printBody(body[0]->body, os, indent);
+        return;
+    }
+    os << "{\n";
+    for (const auto &b : body)
+        printStmtInto(*b, os, indent + 1);
+    os << std::string(static_cast<size_t>(indent) * 4, ' ') << "}";
+}
+
+const char *
+assignSpelling(AssignOp op)
+{
+    switch (op) {
+      case AssignOp::Assign: return "=";
+      case AssignOp::AddAssign: return "+=";
+      case AssignOp::SubAssign: return "-=";
+      case AssignOp::MulAssign: return "*=";
+      case AssignOp::DivAssign: return "/=";
+    }
+    return "=";
+}
+
+/** Declaration spelling with GLSL's postfix array syntax. */
+std::string
+declSpelling(const Type &ty, const std::string &name)
+{
+    if (ty.isArray()) {
+        return ty.elementType().str() + " " + name + "[" +
+               std::to_string(ty.arraySize) + "]";
+    }
+    return ty.str() + " " + name;
+}
+
+void
+printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
+{
+    const std::string pad(static_cast<size_t>(indent) * 4, ' ');
+    switch (s.kind) {
+      case StmtKind::Block:
+        if (s.transparent) {
+            for (const auto &b : s.body)
+                printStmtInto(*b, os, indent);
+            break;
+        }
+        os << pad;
+        printBody(s.body, os, indent);
+        os << "\n";
+        break;
+      case StmtKind::Decl:
+        os << pad;
+        if (s.isConst)
+            os << "const ";
+        os << declSpelling(s.declType, s.name);
+        if (s.rhs) {
+            os << " = ";
+            printExprInto(*s.rhs, os, 0);
+        }
+        os << ";\n";
+        break;
+      case StmtKind::Assign:
+        os << pad;
+        printExprInto(*s.lhs, os, 0);
+        os << " " << assignSpelling(s.assignOp) << " ";
+        printExprInto(*s.rhs, os, 0);
+        os << ";\n";
+        break;
+      case StmtKind::ExprStmt:
+        os << pad;
+        printExprInto(*s.rhs, os, 0);
+        os << ";\n";
+        break;
+      case StmtKind::If:
+        os << pad << "if (";
+        printExprInto(*s.cond, os, 0);
+        os << ") ";
+        printBody(s.body, os, indent);
+        if (!s.elseBody.empty()) {
+            os << " else ";
+            printBody(s.elseBody, os, indent);
+        }
+        os << "\n";
+        break;
+      case StmtKind::For: {
+        os << pad << "for (";
+        if (s.init) {
+            // Render the init inline without its newline/indent.
+            std::ostringstream tmp;
+            printStmtInto(*s.init, tmp, 0);
+            std::string text = tmp.str();
+            while (!text.empty() &&
+                   (text.back() == '\n' || text.back() == ';'))
+                text.pop_back();
+            os << text;
+        }
+        os << "; ";
+        if (s.cond)
+            printExprInto(*s.cond, os, 0);
+        os << "; ";
+        if (s.step) {
+            std::ostringstream tmp;
+            printStmtInto(*s.step, tmp, 0);
+            std::string text = tmp.str();
+            while (!text.empty() &&
+                   (text.back() == '\n' || text.back() == ';'))
+                text.pop_back();
+            os << text;
+        }
+        os << ") ";
+        printBody(s.body, os, indent);
+        os << "\n";
+        break;
+      }
+      case StmtKind::While:
+        os << pad << "while (";
+        printExprInto(*s.cond, os, 0);
+        os << ") ";
+        printBody(s.body, os, indent);
+        os << "\n";
+        break;
+      case StmtKind::Return:
+        os << pad << "return";
+        if (s.rhs) {
+            os << " ";
+            printExprInto(*s.rhs, os, 0);
+        }
+        os << ";\n";
+        break;
+      case StmtKind::Discard:
+        os << pad << "discard;\n";
+        break;
+    }
+}
+
+const char *
+qualSpelling(Qualifier q)
+{
+    switch (q) {
+      case Qualifier::In: return "in ";
+      case Qualifier::Out: return "out ";
+      case Qualifier::Uniform: return "uniform ";
+      case Qualifier::Const: return "const ";
+      case Qualifier::Global: return "";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &e)
+{
+    std::ostringstream os;
+    printExprInto(e, os, 0);
+    return os.str();
+}
+
+std::string
+printStmt(const Stmt &s, int indent)
+{
+    std::ostringstream os;
+    printStmtInto(s, os, indent);
+    return os.str();
+}
+
+std::string
+printShader(const Shader &shader)
+{
+    std::ostringstream os;
+    if (shader.version)
+        os << "#version " << shader.version << "\n";
+    for (const auto &g : shader.globals) {
+        os << qualSpelling(g.qual) << declSpelling(g.type, g.name);
+        if (g.init) {
+            os << " = ";
+            printExprInto(*g.init, os, 0);
+        }
+        os << ";\n";
+    }
+    for (const auto &f : shader.functions) {
+        os << f.returnType.str() << " " << f.name << "(";
+        for (size_t i = 0; i < f.params.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << declSpelling(f.params[i].type, f.params[i].name);
+        }
+        os << ") ";
+        printBody(f.body->body, os, 0);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace gsopt::glsl

@@ -1,0 +1,982 @@
+#include "glsl/sema.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+namespace gsopt::glsl {
+
+namespace {
+
+/** Is every arg a float scalar or vector of the same shape? */
+bool
+sameFloatShape(const std::vector<Type> &args)
+{
+    if (args.empty())
+        return false;
+    for (const Type &t : args) {
+        if (!t.isFloat() || t.isArray() || t.isMatrix())
+            return false;
+        if (t.rows != args[0].rows)
+            return false;
+    }
+    return true;
+}
+
+bool
+isFloatScalarOrVector(const Type &t)
+{
+    return t.isFloat() && !t.isArray() && !t.isMatrix();
+}
+
+} // namespace
+
+bool
+isBuiltinFunction(const std::string &name)
+{
+    static const char *names[] = {
+        "radians", "degrees", "sin", "cos", "tan", "asin", "acos",
+        "atan", "pow", "exp", "log", "exp2", "log2", "sqrt",
+        "inversesqrt", "abs", "sign", "floor", "ceil", "fract", "mod",
+        "min", "max", "clamp", "mix", "step", "smoothstep", "length",
+        "distance", "dot", "cross", "normalize", "reflect", "refract",
+        "texture", "texture2D", "textureLod",
+    };
+    for (const char *n : names) {
+        if (name == n)
+            return true;
+    }
+    return false;
+}
+
+Type
+builtinResultType(const std::string &name, const std::vector<Type> &args)
+{
+    const size_t n = args.size();
+
+    // -- texturing ------------------------------------------------------
+    if (name == "texture" || name == "texture2D") {
+        if (n == 2 && args[0].isSampler() && args[1] == Type::vec(2))
+            return Type::vec(4);
+        // texture(s, uv, bias)
+        if (n == 3 && args[0].isSampler() && args[1] == Type::vec(2) &&
+            args[2] == Type::floatTy())
+            return Type::vec(4);
+        return Type::voidTy();
+    }
+    if (name == "textureLod") {
+        if (n == 3 && args[0].isSampler() && args[1] == Type::vec(2) &&
+            args[2] == Type::floatTy())
+            return Type::vec(4);
+        return Type::voidTy();
+    }
+
+    // -- genType -> genType unary --------------------------------------
+    static const char *unary_gen[] = {
+        "radians", "degrees", "sin", "cos", "tan", "asin", "acos",
+        "exp", "log", "exp2", "log2", "sqrt", "inversesqrt", "sign",
+        "floor", "ceil", "fract", "normalize",
+    };
+    for (const char *u : unary_gen) {
+        if (name == u) {
+            if (n == 1 && isFloatScalarOrVector(args[0]))
+                return args[0];
+            return Type::voidTy();
+        }
+    }
+    if (name == "abs") {
+        if (n == 1 && !args[0].isArray() && !args[0].isMatrix() &&
+            (args[0].isFloat() || args[0].isInt()))
+            return args[0];
+        return Type::voidTy();
+    }
+    if (name == "atan") {
+        if (n == 1 && isFloatScalarOrVector(args[0]))
+            return args[0];
+        if (n == 2 && sameFloatShape(args))
+            return args[0];
+        return Type::voidTy();
+    }
+
+    // -- binary genType (second operand may be scalar) -------------------
+    if (name == "pow") {
+        if (n == 2 && sameFloatShape(args))
+            return args[0];
+        return Type::voidTy();
+    }
+    if (name == "mod" || name == "min" || name == "max") {
+        if (n != 2)
+            return Type::voidTy();
+        // int overloads of min/max
+        if (name != "mod" && args[0].isInt() && args[1].isInt() &&
+            !args[0].isArray() &&
+            (args[0].rows == args[1].rows || args[1].isScalar()))
+            return args[0];
+        if (!isFloatScalarOrVector(args[0]) ||
+            !isFloatScalarOrVector(args[1]))
+            return Type::voidTy();
+        if (args[0].rows == args[1].rows || args[1].isScalar())
+            return args[0];
+        return Type::voidTy();
+    }
+    if (name == "clamp") {
+        if (n != 3)
+            return Type::voidTy();
+        if (args[0].isInt() && args[1].isInt() && args[2].isInt() &&
+            !args[0].isArray())
+            return args[0];
+        if (!isFloatScalarOrVector(args[0]))
+            return Type::voidTy();
+        bool scalar_rest =
+            args[1].isScalar() && args[2].isScalar() &&
+            args[1].isFloat() && args[2].isFloat();
+        bool same_rest = args[1] == args[0] && args[2] == args[0];
+        return (scalar_rest || same_rest) ? args[0] : Type::voidTy();
+    }
+    if (name == "mix") {
+        if (n != 3)
+            return Type::voidTy();
+        if (!isFloatScalarOrVector(args[0]) || args[1] != args[0])
+            return Type::voidTy();
+        if (args[2] == args[0] ||
+            (args[2].isScalar() && args[2].isFloat()))
+            return args[0];
+        return Type::voidTy();
+    }
+    if (name == "step") {
+        if (n != 2 || !isFloatScalarOrVector(args[1]))
+            return Type::voidTy();
+        if (args[0] == args[1] ||
+            (args[0].isScalar() && args[0].isFloat()))
+            return args[1];
+        return Type::voidTy();
+    }
+    if (name == "smoothstep") {
+        if (n != 3 || !isFloatScalarOrVector(args[2]))
+            return Type::voidTy();
+        bool scalar_edges = args[0] == Type::floatTy() &&
+                            args[1] == Type::floatTy();
+        bool same_edges = args[0] == args[2] && args[1] == args[2];
+        return (scalar_edges || same_edges) ? args[2] : Type::voidTy();
+    }
+
+    // -- reductions -------------------------------------------------------
+    if (name == "length") {
+        if (n == 1 && isFloatScalarOrVector(args[0]))
+            return Type::floatTy();
+        return Type::voidTy();
+    }
+    if (name == "distance" || name == "dot") {
+        if (n == 2 && sameFloatShape(args))
+            return Type::floatTy();
+        return Type::voidTy();
+    }
+    if (name == "cross") {
+        if (n == 2 && args[0] == Type::vec(3) && args[1] == Type::vec(3))
+            return Type::vec(3);
+        return Type::voidTy();
+    }
+    if (name == "reflect") {
+        if (n == 2 && sameFloatShape(args))
+            return args[0];
+        return Type::voidTy();
+    }
+    if (name == "refract") {
+        if (n == 3 && isFloatScalarOrVector(args[0]) &&
+            args[1] == args[0] && args[2] == Type::floatTy())
+            return args[0];
+        return Type::voidTy();
+    }
+
+    return Type::voidTy();
+}
+
+namespace {
+
+/** A declared name visible in some scope. */
+struct Symbol
+{
+    Type type;
+    Qualifier qual = Qualifier::Global;
+    bool isConst = false;
+    std::string uniqueName; ///< post-alpha-renaming spelling
+};
+
+/** Decode a swizzle like "xyz" / "rgb" / "stp"; empty on failure. */
+std::optional<std::vector<int>>
+decodeSwizzle(const std::string &name, int source_rows)
+{
+    if (name.empty() || name.size() > 4)
+        return std::nullopt;
+    std::vector<int> idx;
+    for (char c : name) {
+        int i = -1;
+        switch (c) {
+          case 'x': case 'r': case 's': i = 0; break;
+          case 'y': case 'g': case 't': i = 1; break;
+          case 'z': case 'b': case 'p': i = 2; break;
+          case 'w': case 'a': case 'q': i = 3; break;
+          default: return std::nullopt;
+        }
+        if (i >= source_rows)
+            return std::nullopt;
+        idx.push_back(i);
+    }
+    return idx;
+}
+
+class Checker
+{
+  public:
+    Checker(Shader &shader, DiagEngine &diags)
+        : shader_(shader), diags_(diags)
+    {
+    }
+
+    ShaderInterface run()
+    {
+        pushScope();
+        declareBuiltins();
+        for (auto &g : shader_.globals)
+            checkGlobal(g);
+        for (auto &f : shader_.functions)
+            checkFunction(f);
+        if (!shader_.findFunction("main"))
+            diags_.error({}, "shader has no main() function");
+        popScope();
+        return iface_;
+    }
+
+  private:
+    // -- scopes -----------------------------------------------------------
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    Symbol *lookup(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return &f->second;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Declare a name in the innermost scope, alpha-renaming if the
+     * spelling was ever used before in this shader.
+     */
+    std::string declare(const std::string &name, Symbol sym,
+                        SourceLoc loc)
+    {
+        if (scopes_.back().count(name)) {
+            diags_.error(loc, "redefinition of '" + name + "'");
+            return name;
+        }
+        std::string unique = name;
+        if (usedNames_.count(name)) {
+            int n = 1;
+            do {
+                unique = name + "_s" + std::to_string(n++);
+            } while (usedNames_.count(unique));
+        }
+        usedNames_.insert(unique);
+        sym.uniqueName = unique;
+        scopes_.back().emplace(name, std::move(sym));
+        return unique;
+    }
+
+    void declareBuiltins()
+    {
+        Symbol frag_coord;
+        frag_coord.type = Type::vec(4);
+        frag_coord.qual = Qualifier::In;
+        frag_coord.uniqueName = "gl_FragCoord";
+        scopes_.back().emplace("gl_FragCoord", frag_coord);
+        usedNames_.insert("gl_FragCoord");
+    }
+
+    // -- conversions ------------------------------------------------------
+    /** Wrap @p e in an int->float conversion if needed to match @p want. */
+    bool coerce(ExprPtr &e, const Type &want)
+    {
+        if (e->type == want)
+            return true;
+        // int -> float (scalar), possibly already literal
+        if (want.isFloat() && e->type.isInt() &&
+            e->type.rows == want.rows && e->type.cols == want.cols &&
+            !e->type.isArray() && !want.isArray()) {
+            if (e->kind == ExprKind::IntLit) {
+                e->kind = ExprKind::FloatLit;
+                e->floatValue = static_cast<double>(e->intValue);
+                e->type = want;
+                return true;
+            }
+            auto conv = std::make_unique<Expr>();
+            conv->kind = ExprKind::Construct;
+            conv->ctorType = want;
+            conv->type = want;
+            conv->loc = e->loc;
+            conv->args.push_back(std::move(e));
+            e = std::move(conv);
+            return true;
+        }
+        return false;
+    }
+
+    /** Numeric usual-arithmetic conversion across two operands. */
+    void balance(ExprPtr &a, ExprPtr &b)
+    {
+        if (a->type.isFloat() && b->type.isInt())
+            coerce(b, Type{BaseType::Float, b->type.cols, b->type.rows, 0});
+        else if (a->type.isInt() && b->type.isFloat())
+            coerce(a, Type{BaseType::Float, a->type.cols, a->type.rows, 0});
+    }
+
+    // -- globals / functions ----------------------------------------------
+    void checkGlobal(GlobalDecl &g)
+    {
+        if (g.init) {
+            checkExpr(g.init);
+            if (g.type.isArray() && g.type.arraySize < 0 &&
+                g.init->type.isArray()) {
+                g.type.arraySize = g.init->type.arraySize;
+            }
+            if (!coerce(g.init, g.type) && g.init->type != g.type) {
+                diags_.error(g.loc, "initialiser type " +
+                                        g.init->type.str() +
+                                        " does not match " + g.type.str() +
+                                        " for '" + g.name + "'");
+            }
+        } else if (g.type.isArray() && g.type.arraySize < 0) {
+            diags_.error(g.loc,
+                         "unsized array '" + g.name +
+                             "' needs an initialiser");
+        }
+        if (g.qual == Qualifier::Const && !g.init)
+            diags_.error(g.loc, "const '" + g.name +
+                                    "' needs an initialiser");
+        if (g.type.isSampler() && g.qual != Qualifier::Uniform)
+            diags_.error(g.loc, "samplers must be uniforms");
+
+        Symbol sym;
+        sym.type = g.type;
+        sym.qual = g.qual;
+        sym.isConst = g.qual == Qualifier::Const;
+        g.name = declare(g.name, sym, g.loc);
+
+        InterfaceVar iv{g.name, g.type, g.qual};
+        switch (g.qual) {
+          case Qualifier::In:
+            iface_.inputs.push_back(iv);
+            break;
+          case Qualifier::Out:
+            iface_.outputs.push_back(iv);
+            break;
+          case Qualifier::Uniform:
+            iface_.uniforms.push_back(iv);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void checkFunction(FunctionDecl &fn)
+    {
+        currentFunction_ = &fn;
+        pushScope();
+        for (auto &p : fn.params) {
+            Symbol sym;
+            sym.type = p.type;
+            sym.qual = Qualifier::Global;
+            p.name = declare(p.name, sym, fn.loc);
+        }
+        checkStmt(fn.body);
+        popScope();
+        currentFunction_ = nullptr;
+    }
+
+    // -- statements ---------------------------------------------------------
+    void checkStmt(StmtPtr &s)
+    {
+        switch (s->kind) {
+          case StmtKind::Block: {
+            if (!s->transparent)
+                pushScope();
+            for (auto &b : s->body)
+                checkStmt(b);
+            if (!s->transparent)
+                popScope();
+            break;
+          }
+          case StmtKind::Decl: {
+            if (s->rhs) {
+                checkExpr(s->rhs);
+                if (s->declType.isArray() && s->declType.arraySize < 0 &&
+                    s->rhs->type.isArray())
+                    s->declType.arraySize = s->rhs->type.arraySize;
+                if (!coerce(s->rhs, s->declType) &&
+                    s->rhs->type != s->declType) {
+                    diags_.error(s->loc,
+                                 "initialiser type " + s->rhs->type.str() +
+                                     " does not match " +
+                                     s->declType.str() + " for '" +
+                                     s->name + "'");
+                }
+            } else if (s->declType.isArray() &&
+                       s->declType.arraySize < 0) {
+                diags_.error(s->loc, "unsized array '" + s->name +
+                                         "' needs an initialiser");
+            }
+            Symbol sym;
+            sym.type = s->declType;
+            sym.isConst = s->isConst;
+            s->name = declare(s->name, sym, s->loc);
+            break;
+          }
+          case StmtKind::Assign: {
+            checkExpr(s->lhs);
+            checkLValue(*s->lhs);
+            checkExpr(s->rhs);
+            Type target = s->lhs->type;
+            if (s->assignOp != AssignOp::Assign) {
+                // compound assign behaves like the binary operator
+                if (!target.isNumeric() && !target.isMatrix())
+                    diags_.error(s->loc,
+                                 "compound assignment needs numeric type");
+                if (target.isFloat() && s->rhs->type.isInt())
+                    coerce(s->rhs,
+                           Type{BaseType::Float, s->rhs->type.cols,
+                                s->rhs->type.rows, 0});
+                bool ok = s->rhs->type == target ||
+                          (s->rhs->type.isScalar() &&
+                           s->rhs->type.base == target.base);
+                if (!ok)
+                    diags_.error(s->loc,
+                                 "cannot apply compound assignment of " +
+                                     s->rhs->type.str() + " to " +
+                                     target.str());
+            } else {
+                if (!coerce(s->rhs, target) && s->rhs->type != target) {
+                    diags_.error(s->loc, "cannot assign " +
+                                             s->rhs->type.str() + " to " +
+                                             target.str());
+                }
+            }
+            break;
+          }
+          case StmtKind::ExprStmt:
+            checkExpr(s->rhs);
+            break;
+          case StmtKind::If: {
+            checkExpr(s->cond);
+            if (s->cond->type != Type::boolTy())
+                diags_.error(s->loc, "if condition must be bool, got " +
+                                         s->cond->type.str());
+            pushScope();
+            for (auto &b : s->body)
+                checkStmt(b);
+            popScope();
+            pushScope();
+            for (auto &b : s->elseBody)
+                checkStmt(b);
+            popScope();
+            break;
+          }
+          case StmtKind::For: {
+            pushScope();
+            if (s->init)
+                checkStmt(s->init);
+            if (s->cond) {
+                checkExpr(s->cond);
+                if (s->cond->type != Type::boolTy())
+                    diags_.error(s->loc,
+                                 "loop condition must be bool, got " +
+                                     s->cond->type.str());
+            }
+            if (s->step)
+                checkStmt(s->step);
+            pushScope();
+            for (auto &b : s->body)
+                checkStmt(b);
+            popScope();
+            popScope();
+            break;
+          }
+          case StmtKind::While: {
+            checkExpr(s->cond);
+            if (s->cond->type != Type::boolTy())
+                diags_.error(s->loc, "loop condition must be bool");
+            pushScope();
+            for (auto &b : s->body)
+                checkStmt(b);
+            popScope();
+            break;
+          }
+          case StmtKind::Return: {
+            Type want = currentFunction_
+                            ? currentFunction_->returnType
+                            : Type::voidTy();
+            if (s->rhs) {
+                checkExpr(s->rhs);
+                if (!coerce(s->rhs, want) && s->rhs->type != want)
+                    diags_.error(s->loc, "return type mismatch: got " +
+                                             s->rhs->type.str() +
+                                             ", expected " + want.str());
+            } else if (!want.isVoid()) {
+                diags_.error(s->loc, "non-void function must return a "
+                                     "value");
+            }
+            break;
+          }
+          case StmtKind::Discard:
+            break;
+        }
+    }
+
+    void checkLValue(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::VarRef: {
+            Symbol *sym = findByUnique(e.name);
+            if (!sym) {
+                return; // undefined already reported
+            }
+            if (sym->isConst)
+                diags_.error(e.loc, "cannot assign to const '" + e.name +
+                                        "'");
+            if (sym->qual == Qualifier::In ||
+                sym->qual == Qualifier::Uniform)
+                diags_.error(e.loc, "cannot assign to " +
+                                        std::string(sym->qual ==
+                                                            Qualifier::In
+                                                        ? "input"
+                                                        : "uniform") +
+                                        " '" + e.name + "'");
+            break;
+          }
+          case ExprKind::Index:
+          case ExprKind::Member:
+            checkLValue(*e.args[0]);
+            if (e.kind == ExprKind::Member) {
+                // swizzle lvalues must not repeat components
+                std::string seen;
+                for (char c : e.name) {
+                    if (seen.find(c) != std::string::npos)
+                        diags_.error(e.loc,
+                                     "duplicate component in swizzle "
+                                     "assignment");
+                    seen += c;
+                }
+            }
+            break;
+          default:
+            diags_.error(e.loc, "expression is not assignable");
+        }
+    }
+
+    Symbol *findByUnique(const std::string &unique)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            for (auto &[k, v] : *it) {
+                if (v.uniqueName == unique)
+                    return &v;
+            }
+        }
+        return nullptr;
+    }
+
+    // -- expressions ----------------------------------------------------
+    void checkExpr(ExprPtr &e)
+    {
+        switch (e->kind) {
+          case ExprKind::IntLit:
+            e->type = Type::intTy();
+            break;
+          case ExprKind::FloatLit:
+            e->type = Type::floatTy();
+            break;
+          case ExprKind::BoolLit:
+            e->type = Type::boolTy();
+            break;
+          case ExprKind::VarRef: {
+            Symbol *sym = lookup(e->name);
+            if (!sym) {
+                diags_.error(e->loc, "use of undeclared identifier '" +
+                                         e->name + "'");
+                e->type = Type::floatTy();
+                break;
+            }
+            e->name = sym->uniqueName;
+            e->type = sym->type;
+            break;
+          }
+          case ExprKind::Unary: {
+            checkExpr(e->args[0]);
+            const Type &t = e->args[0]->type;
+            if (e->unaryOp == UnaryOp::Not) {
+                if (t != Type::boolTy())
+                    diags_.error(e->loc, "'!' needs a bool operand");
+                e->type = Type::boolTy();
+            } else {
+                if (!t.isNumeric() && !t.isMatrix())
+                    diags_.error(e->loc, "unary '-' needs numeric type");
+                e->type = t;
+            }
+            break;
+          }
+          case ExprKind::Binary:
+            checkBinary(e);
+            break;
+          case ExprKind::Ternary: {
+            checkExpr(e->args[0]);
+            if (e->args[0]->type != Type::boolTy())
+                diags_.error(e->loc, "ternary condition must be bool");
+            checkExpr(e->args[1]);
+            checkExpr(e->args[2]);
+            balance(e->args[1], e->args[2]);
+            if (e->args[1]->type != e->args[2]->type)
+                diags_.error(e->loc, "ternary branches disagree: " +
+                                         e->args[1]->type.str() + " vs " +
+                                         e->args[2]->type.str());
+            e->type = e->args[1]->type;
+            break;
+          }
+          case ExprKind::Call:
+            checkCall(e);
+            break;
+          case ExprKind::Construct:
+            checkConstruct(e);
+            break;
+          case ExprKind::Index: {
+            checkExpr(e->args[0]);
+            checkExpr(e->args[1]);
+            if (!e->args[1]->type.isInt() ||
+                !e->args[1]->type.isScalar())
+                diags_.error(e->loc, "index must be an int");
+            const Type &base = e->args[0]->type;
+            if (base.isArray()) {
+                e->type = base.elementType();
+            } else if (base.isMatrix()) {
+                e->type = Type::vec(base.rows);
+            } else if (base.isVector()) {
+                e->type = base.scalarType();
+            } else {
+                diags_.error(e->loc, "type " + base.str() +
+                                         " is not indexable");
+                e->type = Type::floatTy();
+            }
+            break;
+          }
+          case ExprKind::Member: {
+            checkExpr(e->args[0]);
+            const Type &base = e->args[0]->type;
+            if (!base.isVector()) {
+                diags_.error(e->loc, "swizzle on non-vector type " +
+                                         base.str());
+                e->type = Type::floatTy();
+                break;
+            }
+            auto sw = decodeSwizzle(e->name, base.rows);
+            if (!sw) {
+                diags_.error(e->loc, "invalid swizzle '." + e->name +
+                                         "' on " + base.str());
+                e->type = Type::floatTy();
+                break;
+            }
+            e->type = sw->size() == 1
+                          ? base.scalarType()
+                          : base.withRows(static_cast<int>(sw->size()));
+            break;
+          }
+        }
+    }
+
+    void checkBinary(ExprPtr &e)
+    {
+        checkExpr(e->args[0]);
+        checkExpr(e->args[1]);
+        ExprPtr &a = e->args[0];
+        ExprPtr &b = e->args[1];
+        const BinaryOp op = e->binaryOp;
+
+        if (op == BinaryOp::LogicalAnd || op == BinaryOp::LogicalOr) {
+            if (a->type != Type::boolTy() || b->type != Type::boolTy())
+                diags_.error(e->loc, "logical operator needs bool "
+                                     "operands");
+            e->type = Type::boolTy();
+            return;
+        }
+        if (op == BinaryOp::Eq || op == BinaryOp::Ne) {
+            balance(a, b);
+            if (a->type != b->type)
+                diags_.error(e->loc, "cannot compare " + a->type.str() +
+                                         " with " + b->type.str());
+            e->type = Type::boolTy();
+            return;
+        }
+        if (op == BinaryOp::Lt || op == BinaryOp::Le ||
+            op == BinaryOp::Gt || op == BinaryOp::Ge) {
+            balance(a, b);
+            if (!a->type.isScalar() || !b->type.isScalar() ||
+                a->type != b->type || a->type.isBool())
+                diags_.error(e->loc, "relational operators need matching "
+                                     "numeric scalars");
+            e->type = Type::boolTy();
+            return;
+        }
+        if (op == BinaryOp::Mod) {
+            if (!a->type.isInt() || !b->type.isInt() ||
+                !a->type.isScalar() || !b->type.isScalar())
+                diags_.error(e->loc, "'%' needs int scalars (use mod() "
+                                     "for floats)");
+            e->type = Type::intTy();
+            return;
+        }
+
+        // Arithmetic: +,-,*,/
+        balance(a, b);
+        const Type &ta = a->type;
+        const Type &tb = b->type;
+        auto fail = [&]() {
+            diags_.error(e->loc, "invalid operands " + ta.str() + " and " +
+                                     tb.str());
+            e->type = ta;
+        };
+        if (ta.isArray() || tb.isArray() || ta.isSampler() ||
+            tb.isSampler() || ta.isBool() || tb.isBool()) {
+            fail();
+            return;
+        }
+        if (ta.base != tb.base) {
+            fail();
+            return;
+        }
+        if (op == BinaryOp::Mul) {
+            if (ta.isMatrix() && tb.isMatrix() && ta.cols == tb.cols) {
+                e->type = ta;
+                return;
+            }
+            if (ta.isMatrix() && tb.isVector() && ta.cols == tb.rows) {
+                e->type = Type::vec(ta.rows);
+                return;
+            }
+            if (ta.isVector() && tb.isMatrix() && ta.rows == tb.rows) {
+                e->type = Type::vec(tb.cols);
+                return;
+            }
+        }
+        if (ta.isMatrix() || tb.isMatrix()) {
+            // mat +- mat, mat */ scalar
+            if (ta.isMatrix() && tb.isMatrix()) {
+                if (ta == tb && (op == BinaryOp::Add ||
+                                 op == BinaryOp::Sub)) {
+                    e->type = ta;
+                    return;
+                }
+                fail();
+                return;
+            }
+            if (ta.isMatrix() && tb.isScalar()) {
+                e->type = ta;
+                return;
+            }
+            if (ta.isScalar() && tb.isMatrix()) {
+                e->type = tb;
+                return;
+            }
+            fail();
+            return;
+        }
+        // scalar/vector combinations
+        if (ta.rows == tb.rows) {
+            e->type = ta;
+            return;
+        }
+        if (ta.isScalar()) {
+            e->type = tb;
+            return;
+        }
+        if (tb.isScalar()) {
+            e->type = ta;
+            return;
+        }
+        fail();
+    }
+
+    void checkCall(ExprPtr &e)
+    {
+        std::vector<Type> arg_types;
+        for (auto &a : e->args) {
+            checkExpr(a);
+            arg_types.push_back(a->type);
+        }
+        // Builtin?
+        if (isBuiltinFunction(e->name)) {
+            Type r = builtinResultType(e->name, arg_types);
+            if (r.isVoid()) {
+                // Try int->float promoting every int arg.
+                bool promoted = false;
+                for (size_t i = 0; i < e->args.size(); ++i) {
+                    if (arg_types[i].isInt() &&
+                        !arg_types[i].isArray()) {
+                        Type ft{BaseType::Float, arg_types[i].cols,
+                                arg_types[i].rows, 0};
+                        if (coerce(e->args[i], ft)) {
+                            arg_types[i] = ft;
+                            promoted = true;
+                        }
+                    }
+                }
+                if (promoted)
+                    r = builtinResultType(e->name, arg_types);
+            }
+            if (r.isVoid()) {
+                std::string sig;
+                for (const auto &t : arg_types)
+                    sig += (sig.empty() ? "" : ", ") + t.str();
+                diags_.error(e->loc, "no matching overload for " +
+                                         e->name + "(" + sig + ")");
+                e->type = Type::floatTy();
+                return;
+            }
+            e->type = r;
+            return;
+        }
+        // User function.
+        const FunctionDecl *fn = shader_.findFunction(e->name);
+        if (!fn) {
+            diags_.error(e->loc, "call to undefined function '" +
+                                     e->name + "'");
+            e->type = Type::floatTy();
+            return;
+        }
+        if (fn->params.size() != e->args.size()) {
+            diags_.error(e->loc, "'" + e->name + "' expects " +
+                                     std::to_string(fn->params.size()) +
+                                     " arguments, got " +
+                                     std::to_string(e->args.size()));
+            e->type = fn->returnType;
+            return;
+        }
+        for (size_t i = 0; i < e->args.size(); ++i) {
+            if (!coerce(e->args[i], fn->params[i].type) &&
+                e->args[i]->type != fn->params[i].type) {
+                diags_.error(e->loc,
+                             "argument " + std::to_string(i + 1) +
+                                 " of '" + e->name + "': expected " +
+                                 fn->params[i].type.str() + ", got " +
+                                 e->args[i]->type.str());
+            }
+        }
+        e->type = fn->returnType;
+    }
+
+    void checkConstruct(ExprPtr &e)
+    {
+        for (auto &a : e->args)
+            checkExpr(a);
+        const Type ty = e->ctorType;
+        e->type = ty;
+
+        if (ty.isArray()) {
+            if (ty.arraySize != static_cast<int>(e->args.size())) {
+                diags_.error(e->loc,
+                             "array constructor needs " +
+                                 std::to_string(ty.arraySize) +
+                                 " elements, got " +
+                                 std::to_string(e->args.size()));
+                return;
+            }
+            for (auto &a : e->args) {
+                if (!coerce(a, ty.elementType()) &&
+                    a->type != ty.elementType()) {
+                    diags_.error(a->loc,
+                                 "array element type " + a->type.str() +
+                                     " does not match " +
+                                     ty.elementType().str());
+                }
+            }
+            return;
+        }
+        if (ty.isScalar()) {
+            if (e->args.size() != 1 ||
+                (!e->args[0]->type.isScalar() &&
+                 !e->args[0]->type.isVector())) {
+                diags_.error(e->loc, "scalar constructor needs one "
+                                     "scalar argument");
+            }
+            return;
+        }
+        if (ty.isVector()) {
+            int total = 0;
+            for (auto &a : e->args) {
+                if (a->type.isArray() || a->type.isSampler() ||
+                    a->type.isMatrix()) {
+                    diags_.error(a->loc, "bad vector constructor "
+                                         "argument");
+                    return;
+                }
+                // int components are fine; they convert per-component
+                total += a->type.componentCount();
+            }
+            bool splat = e->args.size() == 1 &&
+                         e->args[0]->type.isScalar();
+            bool shrink = e->args.size() == 1 &&
+                          e->args[0]->type.isVector() &&
+                          e->args[0]->type.rows >= ty.rows;
+            if (!splat && !shrink && total != ty.rows) {
+                diags_.error(e->loc,
+                             "vector constructor components (" +
+                                 std::to_string(total) +
+                                 ") do not match " + ty.str());
+            }
+            return;
+        }
+        if (ty.isMatrix()) {
+            const int need = ty.cols * ty.rows;
+            if (e->args.size() == 1 && e->args[0]->type.isScalar())
+                return; // diagonal matrix
+            if (e->args.size() == 1 && e->args[0]->type.isMatrix())
+                return; // matrix resize
+            int total = 0;
+            bool columns = true;
+            for (auto &a : e->args) {
+                if (!a->type.isScalar() && !a->type.isVector()) {
+                    diags_.error(a->loc, "bad matrix constructor "
+                                         "argument");
+                    return;
+                }
+                columns = columns && a->type.isVector() &&
+                          a->type.rows == ty.rows;
+                total += a->type.componentCount();
+            }
+            if (total != need) {
+                diags_.error(e->loc,
+                             "matrix constructor components (" +
+                                 std::to_string(total) +
+                                 ") do not match " + ty.str());
+            }
+            return;
+        }
+        diags_.error(e->loc, "cannot construct type " + ty.str());
+    }
+
+    Shader &shader_;
+    DiagEngine &diags_;
+    std::vector<std::map<std::string, Symbol>> scopes_;
+    std::set<std::string> usedNames_;
+    ShaderInterface iface_;
+    FunctionDecl *currentFunction_ = nullptr;
+};
+
+} // namespace
+
+ShaderInterface
+analyze(Shader &shader, DiagEngine &diags)
+{
+    Checker checker(shader, diags);
+    return checker.run();
+}
+
+} // namespace gsopt::glsl

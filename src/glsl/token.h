@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Token definitions shared by the GLSL lexer, preprocessor, and parser.
+ */
+#ifndef GSOPT_GLSL_TOKEN_H
+#define GSOPT_GLSL_TOKEN_H
+
+#include <string>
+
+#include "support/diag.h"
+
+namespace gsopt::glsl {
+
+/** Token kinds for the GLSL subset. */
+enum class TokKind {
+    End,
+    Identifier, ///< also type keywords and reserved words
+    IntLit,
+    FloatLit,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Dot,
+    Question,
+    Colon,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    EqEq,
+    NotEq,
+    Less,
+    Greater,
+    LessEq,
+    GreaterEq,
+    AmpAmp,
+    PipePipe,
+    Bang,
+};
+
+/** A single lexed token with its spelling and location. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;     ///< identifier spelling or literal text
+    double floatValue = 0.0;
+    long intValue = 0;
+    SourceLoc loc;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool isIdent(const char *name) const
+    {
+        return kind == TokKind::Identifier && text == name;
+    }
+};
+
+/** Spelling of a token kind for diagnostics ("','", "identifier", ...). */
+const char *tokKindName(TokKind kind);
+
+} // namespace gsopt::glsl
+
+#endif // GSOPT_GLSL_TOKEN_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Vendor code generation cost model: walks an IR module the way a
+ * vendor back end would schedule it and produces the per-fragment cost
+ * summary the timing model consumes.
+ *
+ * Two machine shapes are modelled (see DeviceModel::isa):
+ *  - Scalar SIMT: a vecN operation costs N scalar slots; data movement
+ *    (swizzles/constructs) costs cheap mov slots.
+ *  - Vec4 VLIW (Mali Midgard): an op covering up to 4 float lanes costs
+ *    one slot; *consecutive independent scalar ops of the same kind*
+ *    can be packed into shared slots with DeviceModel::slpEfficiency —
+ *    so code that keeps its vector structure is cheaper than scalarised
+ *    or reorder-scrambled code.
+ *
+ * Register pressure is measured by real backwards liveness over the
+ * structured IR (branch arms overlap by max, not sum), weighted in
+ * scalar lanes (Scalar) or vec4 registers with poor scalar packing
+ * (Vec4). Control flow costs per-branch issue plus a divergence term.
+ */
+#ifndef GSOPT_GPU_CODEGEN_H
+#define GSOPT_GPU_CODEGEN_H
+
+#include "gpu/device.h"
+#include "ir/ir.h"
+
+namespace gsopt::gpu {
+
+/** Per-fragment cost breakdown for one compiled shader. */
+struct CostSummary
+{
+    double aluCycles = 0;      ///< arithmetic slots (longest path)
+    double movCycles = 0;      ///< data movement slots
+    double loadStoreCycles = 0;///< varying/attribute/array/spill traffic
+    double branchCycles = 0;   ///< control-flow issue + divergence
+    double texIssueCycles = 0; ///< texture instruction issue
+    int textureCount = 0;      ///< samples on the longest path
+    size_t instructionCount = 0; ///< static instruction estimate
+    double maxLiveRegs = 0;    ///< peak live registers (ISA units)
+
+    /** Total issue cycles, excluding texture stall (timing adds it). */
+    double issueCycles() const
+    {
+        return aluCycles + movCycles + loadStoreCycles + branchCycles +
+               texIssueCycles;
+    }
+};
+
+/** Compile (cost out) a module for the given device. */
+CostSummary analyzeModule(const ir::Module &module,
+                          const DeviceModel &device);
+
+/**
+ * The ARM static shader analyser surface (paper Fig 4b): arithmetic,
+ * load/store, and texture cycles on the longest execution path, as
+ * reported by ARM's offline Mali compiler.
+ */
+struct MaliStaticCycles
+{
+    double arithmetic = 0;
+    double loadStore = 0;
+    double texture = 0;
+
+    double total() const { return arithmetic + loadStore + texture; }
+};
+
+/** Run the Mali static analysis (uses the ARM device model). */
+MaliStaticCycles maliStaticAnalysis(const ir::Module &module);
+
+} // namespace gsopt::gpu
+
+#endif // GSOPT_GPU_CODEGEN_H

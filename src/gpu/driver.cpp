@@ -1,0 +1,99 @@
+#include "gpu/driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emit/offline.h"
+#include "passes/passes.h"
+
+namespace gsopt::gpu {
+
+ShaderBinary
+driverCompile(const std::string &glslSource, const DeviceModel &device)
+{
+    // Front end: the driver parses whatever text it is given.
+    auto module = emit::compileToIr(glslSource);
+
+    // Vendor optimization set. Every real driver folds constants and
+    // CSEs (canonicalize); the flags encode what else this vendor's
+    // stack can do. Structural transforms (unroll, hoist) apply the
+    // vendor's own heuristics' budgets — unlike the offline tool's
+    // unconditional versions.
+    passes::canonicalize(*module);
+    if (device.jitFlags.unroll && device.jitUnrollTrips > 0) {
+        passes::unroll(*module, device.jitUnrollTrips,
+                       device.jitUnrollInstrs);
+        passes::canonicalize(*module);
+    }
+    if (device.jitFlags.hoist && device.jitHoistArmInstrs > 0) {
+        passes::hoist(*module, device.jitHoistArmInstrs);
+        passes::canonicalize(*module);
+    }
+    if (device.jitFlags.coalesce) {
+        passes::coalesce(*module);
+        passes::canonicalize(*module);
+    }
+    if (device.jitFlags.reassociate) {
+        passes::reassociate(*module);
+        passes::canonicalize(*module);
+    }
+    if (device.jitFlags.gvn) {
+        passes::gvn(*module);
+        passes::canonicalize(*module);
+    }
+
+    // Every vendor back end list-schedules for register pressure before
+    // allocation; without this, offline reassociation's end-of-block
+    // reduction chains would look impossibly expensive.
+    passes::scheduleForPressure(*module, device.schedulerWindow);
+
+    ShaderBinary bin;
+    bin.cost = analyzeModule(*module, device);
+
+    // Register allocation: spill anything over the hard threshold.
+    bin.spilledRegs =
+        std::max(0.0, bin.cost.maxLiveRegs - device.spillThreshold);
+    const double spill_cycles = bin.spilledRegs * device.spillCost;
+
+    // Occupancy: the register file supports regBudget live registers
+    // per thread at full occupancy; heavier shaders run fewer waves.
+    // The allocator spills anything beyond spillThreshold precisely to
+    // keep occupancy from collapsing, so the occupancy calculation uses
+    // the post-spill register count (the spill traffic is charged
+    // above).
+    const double resident =
+        std::min(bin.cost.maxLiveRegs, device.spillThreshold);
+    const double capacity = device.regBudget * device.maxWaves;
+    bin.occupancyWaves = std::clamp(
+        capacity / std::max(1.0, resident), 1.0, device.maxWaves);
+
+    // Texture latency hiding degrades with occupancy.
+    const double hide =
+        std::min(1.0, bin.occupancyWaves / device.wavesToHideTex);
+    bin.texStallCycles = bin.cost.textureCount * device.texLatency *
+                         (1.0 - hide);
+
+    // Instruction-cache pressure (Adreno-style) on code growth.
+    const double excess =
+        std::max(0.0, static_cast<double>(bin.cost.instructionCount) -
+                          device.icacheInstrs);
+    bin.icacheStallCycles = excess * device.icachePenalty;
+
+    bin.cyclesPerFragment = device.baseOverheadCycles +
+                            bin.cost.issueCycles() + spill_cycles +
+                            bin.texStallCycles + bin.icacheStallCycles;
+    return bin;
+}
+
+double
+drawTimeNs(const ShaderBinary &binary, const DeviceModel &device,
+           long fragments)
+{
+    const double throughput =
+        static_cast<double>(device.shaderUnits) * device.clockGhz;
+    // fragments * cycles / (units * GHz) yields nanoseconds directly.
+    return static_cast<double>(fragments) * binary.cyclesPerFragment /
+           throughput;
+}
+
+} // namespace gsopt::gpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The vendor driver compiler model ("the JIT"). A real GL driver
+ * receives GLSL *text* — including all the artefacts an offline
+ * source-to-source optimizer baked into it — compiles it with whatever
+ * optimizations that vendor ships, allocates registers, and produces a
+ * machine binary. This module reproduces that contract:
+ *
+ *   text -> front end -> vendor pass set (DeviceModel::jitFlags)
+ *        -> code generation cost model -> occupancy/spill accounting
+ *        -> per-fragment cycle estimate
+ *
+ * Because the vendor pass set is built from the same pass library as
+ * the offline tool, "the JIT already does X" falls out naturally: if
+ * the device unrolls on its own, offline unrolling converges to the
+ * same IR and measures as a no-op on that device.
+ */
+#ifndef GSOPT_GPU_DRIVER_H
+#define GSOPT_GPU_DRIVER_H
+
+#include <string>
+
+#include "gpu/codegen.h"
+#include "gpu/device.h"
+
+namespace gsopt::gpu {
+
+/** The driver's compiled artefact: everything timing needs. */
+struct ShaderBinary
+{
+    CostSummary cost;
+    double spilledRegs = 0;     ///< registers beyond the spill threshold
+    double occupancyWaves = 0;  ///< waves in flight given live registers
+    double texStallCycles = 0;  ///< unhidden texture latency per fragment
+    double icacheStallCycles = 0; ///< i-cache pressure penalty
+    double cyclesPerFragment = 0; ///< grand total the timer model uses
+};
+
+/**
+ * Compile GLSL source exactly as the vendor driver would. Throws
+ * gsopt::CompileError on invalid source.
+ */
+ShaderBinary driverCompile(const std::string &glslSource,
+                           const DeviceModel &device);
+
+/** Timing: nanoseconds to shade one full-screen draw (noise-free). */
+double drawTimeNs(const ShaderBinary &binary, const DeviceModel &device,
+                  long fragments);
+
+} // namespace gsopt::gpu
+
+#endif // GSOPT_GPU_DRIVER_H

@@ -1,0 +1,213 @@
+#include "ir/builder.h"
+
+#include <cassert>
+
+namespace gsopt::ir {
+
+IrBuilder::IrBuilder(Module &module) : module_(module)
+{
+    regions_.push_back(&module.body);
+}
+
+void
+IrBuilder::pushRegion(Region *region)
+{
+    regions_.push_back(region);
+}
+
+void
+IrBuilder::popRegion()
+{
+    assert(regions_.size() > 1 && "cannot pop the root region");
+    regions_.pop_back();
+}
+
+Block *
+IrBuilder::currentBlock()
+{
+    Region *r = regions_.back();
+    if (!r->nodes.empty()) {
+        if (auto *b = dyn_cast<Block>(r->nodes.back().get()))
+            return b;
+    }
+    auto block = std::make_unique<Block>();
+    Block *raw = block.get();
+    r->nodes.push_back(std::move(block));
+    return raw;
+}
+
+IfNode *
+IrBuilder::createIf(Instr *cond)
+{
+    auto node = std::make_unique<IfNode>();
+    node->cond = cond;
+    IfNode *raw = node.get();
+    regions_.back()->nodes.push_back(std::move(node));
+    return raw;
+}
+
+LoopNode *
+IrBuilder::createLoop()
+{
+    auto node = std::make_unique<LoopNode>();
+    LoopNode *raw = node.get();
+    regions_.back()->nodes.push_back(std::move(node));
+    return raw;
+}
+
+Instr *
+IrBuilder::emit(Opcode op, Type type, std::vector<Instr *> operands,
+                Var *var, std::vector<int> indices)
+{
+    auto instr = std::make_unique<Instr>();
+    instr->op = op;
+    instr->type = type;
+    instr->id = module_.nextId();
+    instr->operands = std::move(operands);
+    instr->var = var;
+    instr->indices = std::move(indices);
+    Instr *raw = instr.get();
+    currentBlock()->instrs.push_back(std::move(instr));
+    return raw;
+}
+
+Instr *
+IrBuilder::constFloat(double v)
+{
+    Instr *i = emit(Opcode::Const, Type::floatTy());
+    i->constData = {v};
+    return i;
+}
+
+Instr *
+IrBuilder::constInt(long v)
+{
+    Instr *i = emit(Opcode::Const, Type::intTy());
+    i->constData = {static_cast<double>(v)};
+    return i;
+}
+
+Instr *
+IrBuilder::constBool(bool v)
+{
+    Instr *i = emit(Opcode::Const, Type::boolTy());
+    i->constData = {v ? 1.0 : 0.0};
+    return i;
+}
+
+Instr *
+IrBuilder::constVec(Type type, std::vector<double> lanes)
+{
+    assert(static_cast<int>(lanes.size()) == type.componentCount());
+    Instr *i = emit(Opcode::Const, type);
+    i->constData = std::move(lanes);
+    return i;
+}
+
+Instr *
+IrBuilder::constSplat(Type type, double v)
+{
+    std::vector<double> lanes(static_cast<size_t>(type.componentCount()),
+                              v);
+    return constVec(type, std::move(lanes));
+}
+
+Instr *
+IrBuilder::load(Var *var)
+{
+    return emit(Opcode::LoadVar, var->type, {}, var);
+}
+
+Instr *
+IrBuilder::store(Var *var, Instr *value)
+{
+    return emit(Opcode::StoreVar, Type::voidTy(), {value}, var);
+}
+
+Instr *
+IrBuilder::loadElem(Var *var, Instr *index)
+{
+    return emit(Opcode::LoadElem, var->type.elementType(), {index}, var);
+}
+
+Instr *
+IrBuilder::storeElem(Var *var, Instr *index, Instr *value)
+{
+    return emit(Opcode::StoreElem, Type::voidTy(), {index, value}, var);
+}
+
+Instr *
+IrBuilder::binary(Opcode op, Instr *a, Instr *b)
+{
+    Type result = a->type;
+    switch (op) {
+      case Opcode::Lt:
+      case Opcode::Le:
+      case Opcode::Gt:
+      case Opcode::Ge:
+      case Opcode::Eq:
+      case Opcode::Ne:
+      case Opcode::LogicalAnd:
+      case Opcode::LogicalOr:
+        result = Type::boolTy();
+        break;
+      case Opcode::Dot:
+      case Opcode::Distance:
+        result = Type::floatTy();
+        break;
+      default:
+        // Shape-preserving ops: if one side is wider, take that shape.
+        if (b->type.rows > result.rows)
+            result = b->type;
+        break;
+    }
+    return emit(op, result, {a, b});
+}
+
+Instr *
+IrBuilder::unary(Opcode op, Instr *a)
+{
+    Type result = a->type;
+    if (op == Opcode::Length)
+        result = Type::floatTy();
+    return emit(op, result, {a});
+}
+
+Instr *
+IrBuilder::select(Instr *cond, Instr *t, Instr *f)
+{
+    return emit(Opcode::Select, t->type, {cond, t, f});
+}
+
+Instr *
+IrBuilder::construct(Type type, std::vector<Instr *> parts)
+{
+    return emit(Opcode::Construct, type, std::move(parts));
+}
+
+Instr *
+IrBuilder::extract(Instr *vec, int index)
+{
+    return emit(Opcode::Extract, vec->type.scalarType(), {vec}, nullptr,
+                {index});
+}
+
+Instr *
+IrBuilder::insert(Instr *vec, Instr *scalar, int index)
+{
+    return emit(Opcode::Insert, vec->type, {vec, scalar}, nullptr,
+                {index});
+}
+
+Instr *
+IrBuilder::swizzle(Instr *vec, std::vector<int> indices)
+{
+    Type result = indices.size() == 1
+                      ? vec->type.scalarType()
+                      : vec->type.withRows(
+                            static_cast<int>(indices.size()));
+    return emit(Opcode::Swizzle, result, {vec}, nullptr,
+                std::move(indices));
+}
+
+} // namespace gsopt::ir

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Textual dump of IR modules for debugging and for golden tests.
+ */
+#ifndef GSOPT_IR_DUMP_H
+#define GSOPT_IR_DUMP_H
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace gsopt::ir {
+
+/** Render the whole module (vars then body) as indented text. */
+std::string dump(const Module &module);
+
+/** Render one instruction like "%7 = mul vec4 %3, %5". */
+std::string dumpInstr(const Instr &instr);
+
+} // namespace gsopt::ir
+
+#endif // GSOPT_IR_DUMP_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reference interpreter for IR modules.
+ *
+ * Executes a shader module for one fragment given concrete input,
+ * uniform, and texture bindings, producing the values of all output
+ * variables. The test suite uses it as the ground truth for optimization
+ * correctness: for every pass (and every combination of passes), the
+ * optimised module must compute the same outputs as the original, up to
+ * floating-point reassociation tolerance.
+ */
+#ifndef GSOPT_IR_INTERP_H
+#define GSOPT_IR_INTERP_H
+
+#include <array>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace gsopt::ir {
+
+/** Runtime value: one double per component. */
+using LaneVector = std::vector<double>;
+
+/**
+ * A texture callback: (u, v, lod) -> RGBA. The default is a smooth
+ * procedural pattern so that nearby coordinates give nearby colours (as
+ * with the paper's "colourfully-patterned" default texture).
+ */
+using TextureFn =
+    std::function<std::array<double, 4>(double, double, double)>;
+
+/** Execution environment for one fragment. */
+struct InterpEnv
+{
+    /** Values for Input vars (by name). */
+    std::map<std::string, LaneVector> inputs;
+    /** Values for Uniform vars (by name); matrices flattened
+     * column-major, arrays element-major. */
+    std::map<std::string, LaneVector> uniforms;
+    /** Per-sampler texture functions (by name); optional. */
+    std::map<std::string, TextureFn> textures;
+    /** Iteration cap for generic (non-canonical) loops. */
+    long maxLoopIterations = 4096;
+};
+
+/** Result of interpreting one fragment. */
+struct InterpResult
+{
+    std::map<std::string, LaneVector> outputs;
+    bool discarded = false;
+    /** Dynamic instruction count (one per executed instruction). */
+    size_t executedInstructions = 0;
+};
+
+/** The default procedural texture (smooth RGBA pattern in [0,1]). */
+std::array<double, 4> defaultTexture(double u, double v, double lod);
+
+/**
+ * Execute the module. Missing inputs/uniforms default to 0.5 per
+ * component (the measurement framework's auto-initialisation rule);
+ * missing samplers use defaultTexture.
+ *
+ * Throws std::runtime_error on malformed modules or runaway loops.
+ */
+InterpResult interpret(const Module &module, const InterpEnv &env);
+
+} // namespace gsopt::ir
+
+#endif // GSOPT_IR_INTERP_H

@@ -1,0 +1,153 @@
+#include "ir/ir.h"
+
+namespace gsopt::ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Mod: return "mod";
+      case Opcode::Lt: return "lt";
+      case Opcode::Le: return "le";
+      case Opcode::Gt: return "gt";
+      case Opcode::Ge: return "ge";
+      case Opcode::Eq: return "eq";
+      case Opcode::Ne: return "ne";
+      case Opcode::LogicalAnd: return "and";
+      case Opcode::LogicalOr: return "or";
+      case Opcode::Sin: return "sin";
+      case Opcode::Cos: return "cos";
+      case Opcode::Tan: return "tan";
+      case Opcode::Asin: return "asin";
+      case Opcode::Acos: return "acos";
+      case Opcode::Atan: return "atan";
+      case Opcode::Exp: return "exp";
+      case Opcode::Log: return "log";
+      case Opcode::Exp2: return "exp2";
+      case Opcode::Log2: return "log2";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::InvSqrt: return "inversesqrt";
+      case Opcode::Abs: return "abs";
+      case Opcode::Sign: return "sign";
+      case Opcode::Floor: return "floor";
+      case Opcode::Ceil: return "ceil";
+      case Opcode::Fract: return "fract";
+      case Opcode::Radians: return "radians";
+      case Opcode::Degrees: return "degrees";
+      case Opcode::Normalize: return "normalize";
+      case Opcode::Length: return "length";
+      case Opcode::Atan2: return "atan2";
+      case Opcode::Pow: return "pow";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Step: return "step";
+      case Opcode::Distance: return "distance";
+      case Opcode::Dot: return "dot";
+      case Opcode::Cross: return "cross";
+      case Opcode::Reflect: return "reflect";
+      case Opcode::Clamp: return "clamp";
+      case Opcode::Mix: return "mix";
+      case Opcode::Smoothstep: return "smoothstep";
+      case Opcode::Refract: return "refract";
+      case Opcode::Select: return "select";
+      case Opcode::Construct: return "construct";
+      case Opcode::Extract: return "extract";
+      case Opcode::Insert: return "insert";
+      case Opcode::Swizzle: return "swizzle";
+      case Opcode::Texture: return "texture";
+      case Opcode::TextureBias: return "texture_bias";
+      case Opcode::TextureLod: return "texture_lod";
+      case Opcode::LoadVar: return "load";
+      case Opcode::StoreVar: return "store";
+      case Opcode::LoadElem: return "load_elem";
+      case Opcode::StoreElem: return "store_elem";
+      case Opcode::Discard: return "discard";
+    }
+    return "?";
+}
+
+bool
+hasSideEffects(Opcode op)
+{
+    return op == Opcode::StoreVar || op == Opcode::StoreElem ||
+           op == Opcode::Discard;
+}
+
+bool
+isVoidOp(Opcode op)
+{
+    return hasSideEffects(op);
+}
+
+bool
+Instr::isConstValue(double v) const
+{
+    if (op != Opcode::Const || constData.empty())
+        return false;
+    for (double d : constData) {
+        if (d != v)
+            return false;
+    }
+    return true;
+}
+
+bool
+Instr::isSplatConst() const
+{
+    if (op != Opcode::Const || constData.empty())
+        return false;
+    for (double d : constData) {
+        if (d != constData[0])
+            return false;
+    }
+    return true;
+}
+
+size_t
+Region::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &node : nodes) {
+        if (const auto *b = dyn_cast<Block>(node.get())) {
+            n += b->instrs.size();
+        } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
+            n += f->thenRegion.instructionCount() +
+                 f->elseRegion.instructionCount();
+        } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
+            n += l->condRegion.instructionCount() +
+                 l->body.instructionCount();
+        }
+    }
+    return n;
+}
+
+Var *
+Module::newVar(std::string name, Type type, VarKind kind)
+{
+    auto var = std::make_unique<Var>();
+    var->id = nextVarId_++;
+    var->name = std::move(name);
+    var->type = type;
+    var->kind = kind;
+    vars.push_back(std::move(var));
+    return vars.back().get();
+}
+
+Var *
+Module::findVar(const std::string &name) const
+{
+    for (const auto &v : vars) {
+        if (v->name == name)
+            return v.get();
+    }
+    return nullptr;
+}
+
+} // namespace gsopt::ir

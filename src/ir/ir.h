@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The shader intermediate representation.
+ *
+ * Design: a *structured* IR rather than a flat CFG. A shader module is a
+ * single function body (all user functions are inlined during lowering,
+ * as LunarGlass effectively does for GLSL) represented as a Region — an
+ * ordered list of nodes, where each node is either a straight-line Block
+ * of instructions, an IfNode (condition value + then/else sub-regions),
+ * or a LoopNode (canonical constant-trip-count loops, plus a generic
+ * fallback for dynamic loops).
+ *
+ * Values are SSA: each instruction defines at most one value, and an
+ * operand may reference any instruction that appears *structurally
+ * earlier* (earlier in the same block, or in a block that precedes the
+ * use's enclosing node chain). Mutable state lives in Vars (shader
+ * inputs/outputs/uniforms and user locals), accessed through LoadVar /
+ * StoreVar / LoadElem / StoreElem; the always-on canonicalisation pass
+ * forwards stores to loads in straight-line code, which recovers pure
+ * dataflow exactly where the paper's shaders live (few branches, large
+ * basic blocks).
+ *
+ * There are no matrix values in the IR: lowering scalarises all matrix
+ * maths (reproducing LunarGlass compilation artefact III-C.a), and
+ * scalar-times-vector is represented by splat Construct + vector ops
+ * (artefact III-C.b).
+ */
+#ifndef GSOPT_IR_IR_H
+#define GSOPT_IR_IR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "glsl/type.h"
+
+namespace gsopt::ir {
+
+/** IR reuses the front end's type algebra (matrices never appear). */
+using Type = glsl::Type;
+using BaseType = glsl::BaseType;
+
+class Block;
+class Node;
+class Module;
+
+/** Storage class of a variable. */
+enum class VarKind {
+    Local,   ///< function-local mutable storage
+    Input,   ///< `in` interface variable (read-only)
+    Output,  ///< `out` interface variable (write-only-ish)
+    Uniform, ///< uniform (read-only; includes matrices kept whole)
+    Sampler, ///< texture sampler uniform
+    ConstArray, ///< const-initialised lookup data (weights tables etc.)
+};
+
+/**
+ * A named storage location. Vars are owned by the Module; instructions
+ * reference them by pointer.
+ */
+struct Var
+{
+    int id = 0;
+    std::string name;
+    Type type;
+    VarKind kind = VarKind::Local;
+
+    /**
+     * Constant initial contents for ConstArray vars, flattened
+     * column-major: arraySize * componentCount entries (ints/bools are
+     * stored as doubles; the type says how to read them).
+     */
+    std::vector<double> constInit;
+
+    bool isReadOnly() const
+    {
+        return kind == VarKind::Input || kind == VarKind::Uniform ||
+               kind == VarKind::Sampler || kind == VarKind::ConstArray;
+    }
+};
+
+/** Instruction opcodes. Grouped by arity/shape; see operand docs below. */
+enum class Opcode {
+    // Constants: no operands; payload in Instr::constData.
+    Const,
+    // Unary arithmetic/logic: operands[0].
+    Neg, Not,
+    // Binary arithmetic: operands[0], operands[1].
+    Add, Sub, Mul, Div, Mod,
+    // Comparisons / logic (result bool): operands[0], operands[1].
+    Lt, Le, Gt, Ge, Eq, Ne, LogicalAnd, LogicalOr,
+    // Unary math intrinsics: operands[0].
+    Sin, Cos, Tan, Asin, Acos, Atan, Exp, Log, Exp2, Log2, Sqrt,
+    InvSqrt, Abs, Sign, Floor, Ceil, Fract, Radians, Degrees,
+    Normalize, Length,
+    // Binary math intrinsics.
+    Atan2, Pow, Min, Max, Step, Distance, Dot, Cross, Reflect,
+    // Ternary math intrinsics.
+    Clamp, Mix, Smoothstep, Refract,
+    // Select: operands[0]=cond (bool scalar), [1]=true val, [2]=false.
+    Select,
+    // Construct: build a vector/scalar from components; a single scalar
+    // operand for a vector result is a splat.
+    Construct,
+    // Extract: operands[0]=vector, indices[0]=component.
+    Extract,
+    // Insert: operands[0]=vector, operands[1]=scalar, indices[0]=comp.
+    Insert,
+    // Swizzle: operands[0]=vector, indices=components (1-4 entries).
+    Swizzle,
+    // Texturing: operands[0] is a LoadVar of a Sampler var.
+    Texture,     ///< (sampler, coord)
+    TextureBias, ///< (sampler, coord, bias)
+    TextureLod,  ///< (sampler, coord, lod)
+    // Memory.
+    LoadVar,   ///< whole var read: var
+    StoreVar,  ///< whole var write: var, operands[0]=value
+    LoadElem,  ///< array/matrix-column read: var, operands[0]=index
+    StoreElem, ///< array element write: var, operands[0]=idx, [1]=value
+    // Fragment kill (side effect, no value).
+    Discard,
+};
+
+/** Human-readable opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** True for instructions whose effect is not captured by their value. */
+bool hasSideEffects(Opcode op);
+
+/** True if the op produces no value at all. */
+bool isVoidOp(Opcode op);
+
+/**
+ * One SSA instruction. Owned by its Block; referenced as a raw pointer
+ * by users (which must appear structurally later).
+ */
+class Instr
+{
+  public:
+    Opcode op = Opcode::Const;
+    Type type;                  ///< result type (void for stores etc.)
+    int id = 0;                 ///< unique within the module (for dumps)
+    std::vector<Instr *> operands;
+    Var *var = nullptr;         ///< for Load*/Store*/Texture sampler ref
+    std::vector<int> indices;   ///< for Extract/Insert/Swizzle
+    std::vector<double> constData; ///< for Const: one entry per lane
+
+    bool isConst() const { return op == Opcode::Const; }
+
+    /** Scalar constant convenience accessor (first lane). */
+    double scalarConst() const
+    {
+        return constData.empty() ? 0.0 : constData[0];
+    }
+
+    /** True if every lane equals @p v (and this is a Const). */
+    bool isConstValue(double v) const;
+
+    /** True if all lanes of a Const are equal (splat constant). */
+    bool isSplatConst() const;
+};
+
+/** Node discriminator. */
+enum class NodeKind { Block, If, Loop };
+
+/** Base class of region nodes. */
+class Node
+{
+  public:
+    explicit Node(NodeKind kind) : kind_(kind) {}
+    virtual ~Node() = default;
+
+    NodeKind kind() const { return kind_; }
+
+  private:
+    NodeKind kind_;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/** An ordered list of nodes (a structured sub-program). */
+class Region
+{
+  public:
+    std::vector<NodePtr> nodes;
+
+    bool empty() const { return nodes.empty(); }
+
+    /** Total instruction count in this region, recursively. */
+    size_t instructionCount() const;
+};
+
+/** Straight-line sequence of instructions. */
+class Block : public Node
+{
+  public:
+    Block() : Node(NodeKind::Block) {}
+
+    std::vector<std::unique_ptr<Instr>> instrs;
+
+    static bool classof(const Node *n)
+    {
+        return n->kind() == NodeKind::Block;
+    }
+};
+
+/** Structured conditional. The condition is a value computed earlier. */
+class IfNode : public Node
+{
+  public:
+    IfNode() : Node(NodeKind::If) {}
+
+    Instr *cond = nullptr;
+    Region thenRegion;
+    Region elseRegion;
+
+    static bool classof(const Node *n)
+    {
+        return n->kind() == NodeKind::If;
+    }
+};
+
+/**
+ * Structured loop.
+ *
+ * Canonical form (recognised at lowering): `for (int i = init; i < limit;
+ * i += step)` with integer constants and a body that never stores the
+ * counter. Only canonical loops can be fully unrolled, mirroring
+ * LunarGlass's "simple loop unrolling for constant loop indices".
+ *
+ * Generic form: `condRegion` is evaluated before each iteration and
+ * `condValue` (a bool scalar defined inside it) decides continuation.
+ */
+class LoopNode : public Node
+{
+  public:
+    LoopNode() : Node(NodeKind::Loop) {}
+
+    bool canonical = false;
+    Var *counter = nullptr;
+    long init = 0;
+    long limit = 0;
+    long step = 1;
+
+    Region condRegion;          ///< generic loops only
+    Instr *condValue = nullptr; ///< generic loops only
+
+    Region body;
+
+    /** Trip count of a canonical loop (0 for generic/degenerate). */
+    long tripCount() const
+    {
+        if (!canonical || step <= 0)
+            return 0;
+        if (limit <= init)
+            return 0;
+        return (limit - init + step - 1) / step;
+    }
+
+    static bool classof(const Node *n)
+    {
+        return n->kind() == NodeKind::Loop;
+    }
+};
+
+/** Cast helpers in the LLVM style (null on mismatch). */
+template <typename T>
+T *
+dyn_cast(Node *n)
+{
+    return n && T::classof(n) ? static_cast<T *>(n) : nullptr;
+}
+
+template <typename T>
+const T *
+dyn_cast(const Node *n)
+{
+    return n && T::classof(n) ? static_cast<const T *>(n) : nullptr;
+}
+
+/**
+ * A whole shader in IR form: the variable table plus the body of main.
+ */
+class Module
+{
+  public:
+    std::vector<std::unique_ptr<Var>> vars;
+    Region body;
+
+    /** Create a new variable owned by this module. */
+    Var *newVar(std::string name, Type type, VarKind kind);
+
+    /** Find a variable by name (nullptr if absent). */
+    Var *findVar(const std::string &name) const;
+
+    /** Allocate a fresh instruction id. */
+    int nextId() { return nextId_++; }
+
+    /** Total instruction count of the body. */
+    size_t instructionCount() const { return body.instructionCount(); }
+
+  private:
+    int nextId_ = 0;
+    int nextVarId_ = 0;
+};
+
+} // namespace gsopt::ir
+
+#endif // GSOPT_IR_IR_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * IR verifier: checks structural-SSA dominance (every operand defined
+ * earlier), type sanity per opcode, index ranges, and storage-class rules
+ * (no stores to read-only vars). Every optimization pass is verified
+ * after it runs in debug/test builds, which is what keeps eight
+ * independently toggleable passes honest against each other.
+ */
+#ifndef GSOPT_IR_VERIFIER_H
+#define GSOPT_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace gsopt::ir {
+
+/** Verify the module; returns a list of problems (empty = valid). */
+std::vector<std::string> verify(const Module &module);
+
+/** Throw std::logic_error with all problems if the module is invalid. */
+void verifyOrDie(const Module &module, const std::string &context);
+
+} // namespace gsopt::ir
+
+#endif // GSOPT_IR_VERIFIER_H

@@ -1,0 +1,199 @@
+#include "ir/walk.h"
+
+#include <algorithm>
+
+namespace gsopt::ir {
+
+void
+forEachInstr(Region &region, const std::function<void(Instr &)> &fn)
+{
+    for (auto &node : region.nodes) {
+        if (auto *b = dyn_cast<Block>(node.get())) {
+            for (auto &i : b->instrs)
+                fn(*i);
+        } else if (auto *f = dyn_cast<IfNode>(node.get())) {
+            forEachInstr(f->thenRegion, fn);
+            forEachInstr(f->elseRegion, fn);
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            forEachInstr(l->condRegion, fn);
+            forEachInstr(l->body, fn);
+        }
+    }
+}
+
+void
+forEachInstr(const Region &region,
+             const std::function<void(const Instr &)> &fn)
+{
+    forEachInstr(const_cast<Region &>(region),
+                 [&fn](Instr &i) { fn(i); });
+}
+
+void
+forEachNode(Region &region, const std::function<void(Node &)> &fn)
+{
+    for (auto &node : region.nodes) {
+        fn(*node);
+        if (auto *f = dyn_cast<IfNode>(node.get())) {
+            forEachNode(f->thenRegion, fn);
+            forEachNode(f->elseRegion, fn);
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            forEachNode(l->condRegion, fn);
+            forEachNode(l->body, fn);
+        }
+    }
+}
+
+namespace {
+
+void
+replaceUsesInRegion(Region &region, Instr *from, Instr *to)
+{
+    for (auto &node : region.nodes) {
+        if (auto *b = dyn_cast<Block>(node.get())) {
+            for (auto &i : b->instrs) {
+                for (auto &op : i->operands) {
+                    if (op == from)
+                        op = to;
+                }
+            }
+        } else if (auto *f = dyn_cast<IfNode>(node.get())) {
+            if (f->cond == from)
+                f->cond = to;
+            replaceUsesInRegion(f->thenRegion, from, to);
+            replaceUsesInRegion(f->elseRegion, from, to);
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            if (l->condValue == from)
+                l->condValue = to;
+            replaceUsesInRegion(l->condRegion, from, to);
+            replaceUsesInRegion(l->body, from, to);
+        }
+    }
+}
+
+} // namespace
+
+void
+replaceAllUses(Module &module, Instr *from, Instr *to)
+{
+    replaceUsesInRegion(module.body, from, to);
+}
+
+void
+cloneRegionInto(const Region &src, Region &dst, Module &module,
+                ValueMap &map)
+{
+    auto mapped = [&map](Instr *v) -> Instr * {
+        if (!v)
+            return nullptr;
+        auto it = map.find(v);
+        return it == map.end() ? v : it->second;
+    };
+
+    for (const auto &node : src.nodes) {
+        if (const auto *b = dyn_cast<Block>(node.get())) {
+            auto nb = std::make_unique<Block>();
+            for (const auto &i : b->instrs) {
+                auto ni = std::make_unique<Instr>();
+                ni->op = i->op;
+                ni->type = i->type;
+                ni->id = module.nextId();
+                ni->var = i->var;
+                ni->indices = i->indices;
+                ni->constData = i->constData;
+                ni->operands.reserve(i->operands.size());
+                for (Instr *op : i->operands)
+                    ni->operands.push_back(mapped(op));
+                map[i.get()] = ni.get();
+                nb->instrs.push_back(std::move(ni));
+            }
+            dst.nodes.push_back(std::move(nb));
+        } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
+            auto nf = std::make_unique<IfNode>();
+            nf->cond = mapped(f->cond);
+            cloneRegionInto(f->thenRegion, nf->thenRegion, module, map);
+            cloneRegionInto(f->elseRegion, nf->elseRegion, module, map);
+            dst.nodes.push_back(std::move(nf));
+        } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
+            auto nl = std::make_unique<LoopNode>();
+            nl->canonical = l->canonical;
+            nl->counter = l->counter;
+            nl->init = l->init;
+            nl->limit = l->limit;
+            nl->step = l->step;
+            cloneRegionInto(l->condRegion, nl->condRegion, module, map);
+            nl->condValue = mapped(l->condValue);
+            cloneRegionInto(l->body, nl->body, module, map);
+            dst.nodes.push_back(std::move(nl));
+        }
+    }
+}
+
+void
+eraseInstrsIf(Region &region,
+              const std::function<bool(const Instr &)> &pred)
+{
+    for (auto &node : region.nodes) {
+        if (auto *b = dyn_cast<Block>(node.get())) {
+            auto &v = b->instrs;
+            v.erase(std::remove_if(v.begin(), v.end(),
+                                   [&pred](const auto &i) {
+                                       return pred(*i);
+                                   }),
+                    v.end());
+        } else if (auto *f = dyn_cast<IfNode>(node.get())) {
+            eraseInstrsIf(f->thenRegion, pred);
+            eraseInstrsIf(f->elseRegion, pred);
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            eraseInstrsIf(l->condRegion, pred);
+            eraseInstrsIf(l->body, pred);
+        }
+    }
+}
+
+bool
+simplifyRegionStructure(Region &region)
+{
+    bool changed = false;
+    auto &nodes = region.nodes;
+    for (auto &node : nodes) {
+        if (auto *f = dyn_cast<IfNode>(node.get())) {
+            changed |= simplifyRegionStructure(f->thenRegion);
+            changed |= simplifyRegionStructure(f->elseRegion);
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            changed |= simplifyRegionStructure(l->condRegion);
+            changed |= simplifyRegionStructure(l->body);
+        }
+    }
+    auto is_removable = [](const NodePtr &n) {
+        if (const auto *b = dyn_cast<Block>(n.get()))
+            return b->instrs.empty();
+        if (const auto *f = dyn_cast<IfNode>(n.get()))
+            return f->thenRegion.instructionCount() == 0 &&
+                   f->elseRegion.instructionCount() == 0;
+        if (const auto *l = dyn_cast<LoopNode>(n.get()))
+            return l->canonical && l->body.instructionCount() == 0;
+        return false;
+    };
+    size_t before = nodes.size();
+    nodes.erase(std::remove_if(nodes.begin(), nodes.end(), is_removable),
+                nodes.end());
+    changed |= nodes.size() != before;
+
+    // Merge adjacent blocks so passes see maximal straight-line runs.
+    for (size_t i = 0; i + 1 < nodes.size();) {
+        auto *a = dyn_cast<Block>(nodes[i].get());
+        auto *b = dyn_cast<Block>(nodes[i + 1].get());
+        if (a && b) {
+            for (auto &instr : b->instrs)
+                a->instrs.push_back(std::move(instr));
+            nodes.erase(nodes.begin() + static_cast<long>(i) + 1);
+            changed = true;
+        } else {
+            ++i;
+        }
+    }
+    return changed;
+}
+
+} // namespace gsopt::ir

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Traversal and mutation utilities over the structured IR: instruction
+ * walks, use replacement, and remapping clones (the primitive behind loop
+ * unrolling and if-flattening).
+ */
+#ifndef GSOPT_IR_WALK_H
+#define GSOPT_IR_WALK_H
+
+#include <functional>
+#include <unordered_map>
+
+#include "ir/ir.h"
+
+namespace gsopt::ir {
+
+/** Visit every instruction in the region, in structural order. */
+void forEachInstr(Region &region,
+                  const std::function<void(Instr &)> &fn);
+void forEachInstr(const Region &region,
+                  const std::function<void(const Instr &)> &fn);
+
+/** Visit every node (blocks, ifs, loops), pre-order. */
+void forEachNode(Region &region, const std::function<void(Node &)> &fn);
+
+/**
+ * Replace every use of @p from with @p to across the module body
+ * (operands and if/loop condition references).
+ */
+void replaceAllUses(Module &module, Instr *from, Instr *to);
+
+/** Value remapping table used while cloning. */
+using ValueMap = std::unordered_map<const Instr *, Instr *>;
+
+/**
+ * Clone @p src region into @p dst (appending), remapping operand
+ * references through @p map. References to values defined outside @p src
+ * (not present in the map) are kept as-is. New instructions get fresh
+ * ids from @p module.
+ */
+void cloneRegionInto(const Region &src, Region &dst, Module &module,
+                     ValueMap &map);
+
+/**
+ * Erase instructions of the region for which @p pred returns true.
+ * Does not check uses; callers must know the instructions are dead.
+ */
+void eraseInstrsIf(Region &region,
+                   const std::function<bool(const Instr &)> &pred);
+
+/** Remove empty blocks and empty if-nodes; returns true if changed. */
+bool simplifyRegionStructure(Region &region);
+
+} // namespace gsopt::ir
+
+#endif // GSOPT_IR_WALK_H

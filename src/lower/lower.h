@@ -1,0 +1,37 @@
+/**
+ * @file
+ * AST -> IR lowering. This stage plays the role of LunarGlass's GLSL
+ * front end (glslang -> LLVM IR translation), and deliberately reproduces
+ * its documented compilation artefacts (paper Section III-C):
+ *
+ *  a) *Scalarised matrix multiplications*: there are no matrix values in
+ *     the IR; every matrix expression is decomposed into per-component
+ *     scalar arithmetic (a mat4*mat4 becomes 64 multiplies + 48 adds).
+ *  b) *Unnecessary vectorisation*: scalar-times-vector becomes a splat
+ *     Construct followed by a full vector multiply, because — as in
+ *     LLVM — both operands of a vector op must have the same type.
+ *
+ * All user functions are inlined at their call sites (functions with
+ * early returns are rejected; shaders in the corpus use tail returns
+ * only). After lowering, the module is a single structured main body.
+ */
+#ifndef GSOPT_LOWER_LOWER_H
+#define GSOPT_LOWER_LOWER_H
+
+#include <memory>
+
+#include "glsl/frontend.h"
+#include "ir/ir.h"
+
+namespace gsopt::lower {
+
+/**
+ * Lower a checked shader to IR. Throws gsopt::CompileError on constructs
+ * outside the supported subset (early returns, recursion, dynamic
+ * indexing of local matrices).
+ */
+std::unique_ptr<ir::Module> lowerShader(const glsl::CompiledShader &cs);
+
+} // namespace gsopt::lower
+
+#endif // GSOPT_LOWER_LOWER_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Aggressive dead code elimination: liveness is seeded only from
+ * observable effects (stores that can reach an output, discard) and
+ * propagated backwards through operands and control dependences.
+ *
+ * As the paper reports for LunarGlass (Section VI-D1), this pass "in
+ * practise never changes the source output": the always-on trivial-DCE /
+ * dead-store fixpoint already removes everything ADCE could. The pass is
+ * implemented faithfully anyway — the experiment harness verifies the
+ * no-op observation rather than assuming it.
+ */
+#include <unordered_set>
+
+#include "ir/walk.h"
+#include "passes/passes.h"
+
+namespace gsopt::passes {
+
+using ir::dyn_cast;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Region;
+using ir::Var;
+
+namespace {
+
+struct Liveness
+{
+    std::unordered_set<const Instr *> live;
+    std::unordered_set<const Var *> loaded;
+    bool changed = true;
+
+    void markLive(const Instr *i)
+    {
+        if (!i || live.count(i))
+            return;
+        live.insert(i);
+        changed = true;
+        for (const Instr *op : i->operands)
+            markLive(op);
+        if (i->op == Opcode::LoadVar || i->op == Opcode::LoadElem)
+            loaded.insert(i->var);
+    }
+};
+
+/** One liveness propagation sweep; returns whether the region holds any
+ * live instruction (for control-dependence marking). */
+bool
+sweep(const Region &region, Liveness &lv)
+{
+    bool any_live = false;
+    for (const auto &node : region.nodes) {
+        if (const auto *b = dyn_cast<ir::Block>(node.get())) {
+            for (const auto &i : b->instrs) {
+                if (lv.live.count(i.get())) {
+                    any_live = true;
+                    continue;
+                }
+                const bool is_root =
+                    i->op == Opcode::Discard ||
+                    ((i->op == Opcode::StoreVar ||
+                      i->op == Opcode::StoreElem) &&
+                     (i->var->kind == ir::VarKind::Output ||
+                      lv.loaded.count(i->var)));
+                if (is_root) {
+                    lv.markLive(i.get());
+                    any_live = true;
+                }
+            }
+        } else if (const auto *f = dyn_cast<ir::IfNode>(node.get())) {
+            bool arm_live = sweep(f->thenRegion, lv);
+            arm_live |= sweep(f->elseRegion, lv);
+            if (arm_live)
+                lv.markLive(f->cond);
+            any_live |= arm_live;
+        } else if (const auto *l = dyn_cast<ir::LoopNode>(node.get())) {
+            bool body_live = sweep(l->body, lv);
+            body_live |= sweep(l->condRegion, lv);
+            if (body_live && l->condValue)
+                lv.markLive(l->condValue);
+            any_live |= body_live;
+        }
+    }
+    return any_live;
+}
+
+} // namespace
+
+bool
+adce(Module &module)
+{
+    Liveness lv;
+    while (lv.changed) {
+        lv.changed = false;
+        sweep(module.body, lv);
+    }
+    size_t before = module.instructionCount();
+    ir::eraseInstrsIf(module.body, [&lv](const Instr &i) {
+        return !lv.live.count(&i);
+    });
+    bool changed = module.instructionCount() != before;
+    if (changed)
+        ir::simplifyRegionStructure(module.body);
+    return changed;
+}
+
+} // namespace gsopt::passes

@@ -1,0 +1,598 @@
+/**
+ * @file
+ * The always-on canonicalisation fixpoint: constant folding, vector
+ * element simplification, store->load forwarding, dead store
+ * elimination, block-local CSE, trivial DCE, and structural cleanup.
+ */
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/walk.h"
+#include "passes/passes.h"
+#include "passes/util.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::IfNode;
+using ir::Instr;
+using ir::LoopNode;
+using ir::Module;
+using ir::Node;
+using ir::Opcode;
+using ir::Region;
+using ir::Type;
+using ir::Var;
+using ir::VarKind;
+
+namespace {
+
+/**
+ * Apply a value-replacement map to all operand references in the module
+ * (with chain following).
+ */
+void
+applyReplacements(Module &module,
+                  std::unordered_map<Instr *, Instr *> &repl)
+{
+    if (repl.empty())
+        return;
+    auto resolve = [&repl](Instr *v) {
+        while (v) {
+            auto it = repl.find(v);
+            if (it == repl.end())
+                break;
+            v = it->second;
+        }
+        return v;
+    };
+    ir::forEachInstr(module.body, [&](Instr &i) {
+        for (Instr *&op : i.operands)
+            op = resolve(op);
+    });
+    ir::forEachNode(module.body, [&](Node &n) {
+        if (auto *f = dyn_cast<IfNode>(&n))
+            f->cond = resolve(f->cond);
+        else if (auto *l = dyn_cast<LoopNode>(&n))
+            l->condValue = resolve(l->condValue);
+    });
+}
+
+// ------------------------------------------------------------------
+// Constant folding + simple instruction simplification (in place).
+// ------------------------------------------------------------------
+bool
+foldConstants(Module &module)
+{
+    bool changed = false;
+    std::unordered_map<Instr *, Instr *> repl;
+
+    ir::forEachInstr(module.body, [&](Instr &i) {
+        if (i.op == Opcode::Const || ir::hasSideEffects(i.op))
+            return;
+
+        // Const-array element load with constant index folds to data.
+        if (i.op == Opcode::LoadElem && i.var &&
+            i.var->kind == VarKind::ConstArray &&
+            i.operands[0]->op == Opcode::Const) {
+            const int comp = i.type.componentCount();
+            long idx = static_cast<long>(i.operands[0]->scalarConst());
+            long count = i.var->type.arraySize;
+            if (idx >= 0 && idx < count) {
+                size_t off = static_cast<size_t>(idx) *
+                             static_cast<size_t>(comp);
+                i.op = Opcode::Const;
+                i.constData.assign(
+                    i.var->constInit.begin() + static_cast<long>(off),
+                    i.var->constInit.begin() +
+                        static_cast<long>(off + comp));
+                i.operands.clear();
+                i.var = nullptr;
+                changed = true;
+            }
+            return;
+        }
+
+        // Full constant fold.
+        auto folded = foldConstInstr(i);
+        if (folded) {
+            i.op = Opcode::Const;
+            i.constData = std::move(*folded);
+            i.operands.clear();
+            i.indices.clear();
+            i.var = nullptr;
+            changed = true;
+            return;
+        }
+
+        // Select with constant condition -> the chosen arm.
+        if (i.op == Opcode::Select &&
+            i.operands[0]->op == Opcode::Const) {
+            repl[&i] = i.operands[0]->scalarConst() != 0.0
+                           ? i.operands[1]
+                           : i.operands[2];
+            changed = true;
+            return;
+        }
+        // Select with identical arms.
+        if (i.op == Opcode::Select && i.operands[1] == i.operands[2]) {
+            repl[&i] = i.operands[1];
+            changed = true;
+            return;
+        }
+
+        // Extract of Construct / splat / Swizzle.
+        if (i.op == Opcode::Extract) {
+            Instr *src = i.operands[0];
+            const int want = i.indices[0];
+            if (src->op == Opcode::Construct) {
+                if (src->operands.size() == 1 &&
+                    src->operands[0]->type.isScalar()) {
+                    repl[&i] = src->operands[0]; // splat
+                    changed = true;
+                    return;
+                }
+                int at = 0;
+                for (Instr *part : src->operands) {
+                    int n = part->type.componentCount();
+                    if (want < at + n) {
+                        if (part->type.isScalar()) {
+                            repl[&i] = part;
+                        } else {
+                            i.operands[0] = part;
+                            i.indices[0] = want - at;
+                        }
+                        changed = true;
+                        return;
+                    }
+                    at += n;
+                }
+            } else if (src->op == Opcode::Swizzle) {
+                i.operands[0] = src->operands[0];
+                i.indices[0] =
+                    src->indices[static_cast<size_t>(want)];
+                changed = true;
+                return;
+            } else if (src->op == Opcode::Insert) {
+                if (src->indices[0] == want) {
+                    repl[&i] = src->operands[1];
+                } else {
+                    i.operands[0] = src->operands[0];
+                }
+                changed = true;
+                return;
+            }
+            return;
+        }
+
+        // Swizzle simplifications.
+        if (i.op == Opcode::Swizzle) {
+            Instr *src = i.operands[0];
+            // Identity swizzle.
+            if (i.type == src->type) {
+                bool identity = true;
+                for (size_t k = 0; k < i.indices.size(); ++k)
+                    identity &= i.indices[k] == static_cast<int>(k);
+                if (identity) {
+                    repl[&i] = src;
+                    changed = true;
+                    return;
+                }
+            }
+            // Swizzle of swizzle composes.
+            if (src->op == Opcode::Swizzle) {
+                for (int &idx : i.indices)
+                    idx = src->indices[static_cast<size_t>(idx)];
+                i.operands[0] = src->operands[0];
+                changed = true;
+                return;
+            }
+            // Swizzle of a splat construct is the splat (same width) or
+            // a smaller splat.
+            if (src->op == Opcode::Construct &&
+                src->operands.size() == 1 &&
+                src->operands[0]->type.isScalar()) {
+                if (i.type.rows == src->type.rows) {
+                    repl[&i] = src;
+                } else {
+                    i.op = Opcode::Construct;
+                    i.operands = {src->operands[0]};
+                    i.indices.clear();
+                }
+                changed = true;
+                return;
+            }
+            return;
+        }
+
+        // Construct of a single full-width vector is that vector.
+        if (i.op == Opcode::Construct && i.operands.size() == 1 &&
+            i.operands[0]->type == i.type && !i.type.isScalar()) {
+            repl[&i] = i.operands[0];
+            changed = true;
+            return;
+        }
+        // Scalar "conversion" construct of same type.
+        if (i.op == Opcode::Construct && i.operands.size() == 1 &&
+            i.type.isScalar() && i.operands[0]->type == i.type) {
+            repl[&i] = i.operands[0];
+            changed = true;
+            return;
+        }
+    });
+
+    applyReplacements(module, repl);
+    return changed;
+}
+
+// ------------------------------------------------------------------
+// Store->load forwarding with region-aware invalidation.
+// ------------------------------------------------------------------
+struct MemEnv
+{
+    /** Whole-var known values. */
+    std::map<Var *, Instr *> whole;
+    /** Known array elements: (var, const index) -> value. */
+    std::map<std::pair<Var *, long>, Instr *> elems;
+
+    void invalidate(Var *v)
+    {
+        whole.erase(v);
+        for (auto it = elems.begin(); it != elems.end();) {
+            if (it->first.first == v)
+                it = elems.erase(it);
+            else
+                ++it;
+        }
+    }
+};
+
+/** Collect every var stored anywhere inside a region. */
+void
+collectStoredVars(const Region &region, std::unordered_set<Var *> &out)
+{
+    ir::forEachInstr(region, [&out](const Instr &i) {
+        if (i.op == Opcode::StoreVar || i.op == Opcode::StoreElem)
+            out.insert(i.var);
+    });
+}
+
+bool
+forwardRegion(Region &region, MemEnv &env,
+              std::unordered_map<Instr *, Instr *> &repl)
+{
+    bool changed = false;
+    for (auto &node : region.nodes) {
+        if (auto *b = dyn_cast<Block>(node.get())) {
+            for (auto &ip : b->instrs) {
+                Instr &i = *ip;
+                // Operands may already have replacements.
+                for (Instr *&op : i.operands) {
+                    auto it = repl.find(op);
+                    while (it != repl.end()) {
+                        op = it->second;
+                        it = repl.find(op);
+                    }
+                }
+                switch (i.op) {
+                  case Opcode::LoadVar: {
+                    auto it = env.whole.find(i.var);
+                    if (it != env.whole.end()) {
+                        repl[&i] = it->second;
+                        changed = true;
+                    } else if (!i.var->type.isArray() &&
+                               !i.var->type.isMatrix()) {
+                        // Remember the loaded value: later loads with no
+                        // intervening store forward to this one.
+                        env.whole[i.var] = &i;
+                    }
+                    break;
+                  }
+                  case Opcode::StoreVar:
+                    env.invalidate(i.var);
+                    env.whole[i.var] = i.operands[0];
+                    break;
+                  case Opcode::LoadElem: {
+                    if (i.operands[0]->op == Opcode::Const) {
+                        long idx = static_cast<long>(
+                            i.operands[0]->scalarConst());
+                        auto key = std::make_pair(i.var, idx);
+                        auto it = env.elems.find(key);
+                        if (it != env.elems.end()) {
+                            repl[&i] = it->second;
+                            changed = true;
+                        } else {
+                            env.elems[key] = &i;
+                        }
+                    }
+                    break;
+                  }
+                  case Opcode::StoreElem: {
+                    if (i.operands[0]->op == Opcode::Const) {
+                        long idx = static_cast<long>(
+                            i.operands[0]->scalarConst());
+                        // Invalidate whole-var view plus this element.
+                        env.whole.erase(i.var);
+                        env.elems[{i.var, idx}] = i.operands[1];
+                    } else {
+                        env.invalidate(i.var);
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        } else if (auto *f = dyn_cast<IfNode>(node.get())) {
+            if (f->cond) {
+                auto it = repl.find(f->cond);
+                while (it != repl.end()) {
+                    f->cond = it->second;
+                    it = repl.find(f->cond);
+                }
+            }
+            MemEnv then_env = env;
+            MemEnv else_env = env;
+            changed |= forwardRegion(f->thenRegion, then_env, repl);
+            changed |= forwardRegion(f->elseRegion, else_env, repl);
+            std::unordered_set<Var *> stored;
+            collectStoredVars(f->thenRegion, stored);
+            collectStoredVars(f->elseRegion, stored);
+            for (Var *v : stored)
+                env.invalidate(v);
+            // Loads cached inside branches don't survive (they are
+            // conditioned); keep only the pre-if knowledge minus stores.
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            std::unordered_set<Var *> stored;
+            collectStoredVars(l->condRegion, stored);
+            collectStoredVars(l->body, stored);
+            if (l->counter)
+                stored.insert(l->counter);
+            for (Var *v : stored)
+                env.invalidate(v);
+            MemEnv cond_env = env;
+            changed |= forwardRegion(l->condRegion, cond_env, repl);
+            if (l->condValue) {
+                auto it = repl.find(l->condValue);
+                while (it != repl.end()) {
+                    l->condValue = it->second;
+                    it = repl.find(l->condValue);
+                }
+            }
+            MemEnv body_env = env;
+            changed |= forwardRegion(l->body, body_env, repl);
+            for (Var *v : stored)
+                env.invalidate(v);
+        }
+    }
+    return changed;
+}
+
+bool
+storeLoadForwarding(Module &module)
+{
+    MemEnv env;
+    std::unordered_map<Instr *, Instr *> repl;
+    bool changed = forwardRegion(module.body, env, repl);
+    applyReplacements(module, repl);
+    return changed;
+}
+
+// ------------------------------------------------------------------
+// Dead store elimination.
+// ------------------------------------------------------------------
+bool
+deadStoreElim(Module &module)
+{
+    bool changed = false;
+
+    // 1. Locals that are never loaded anywhere: all their stores die.
+    std::unordered_set<Var *> loaded;
+    ir::forEachInstr(module.body, [&loaded](const Instr &i) {
+        if (i.op == Opcode::LoadVar || i.op == Opcode::LoadElem)
+            loaded.insert(i.var);
+    });
+    std::unordered_set<const Instr *> dead;
+    ir::forEachInstr(module.body, [&](const Instr &i) {
+        if ((i.op == Opcode::StoreVar || i.op == Opcode::StoreElem) &&
+            i.var->kind == VarKind::Local && !loaded.count(i.var))
+            dead.insert(&i);
+    });
+
+    // 2. Same-block overwritten stores with no intervening load.
+    ir::forEachNode(module.body, [&](Node &n) {
+        auto *b = dyn_cast<Block>(&n);
+        if (!b)
+            return;
+        std::map<Var *, Instr *> pending; // whole-var stores
+        for (auto &ip : b->instrs) {
+            Instr &i = *ip;
+            switch (i.op) {
+              case Opcode::StoreVar: {
+                auto it = pending.find(i.var);
+                if (it != pending.end())
+                    dead.insert(it->second);
+                pending[i.var] = &i;
+                break;
+              }
+              case Opcode::LoadVar:
+              case Opcode::LoadElem:
+                pending.erase(i.var);
+                break;
+              case Opcode::StoreElem:
+                pending.erase(i.var);
+                break;
+              default:
+                break;
+            }
+        }
+    });
+
+    if (!dead.empty()) {
+        ir::eraseInstrsIf(module.body, [&dead](const Instr &i) {
+            return dead.count(&i) > 0;
+        });
+        changed = true;
+    }
+    return changed;
+}
+
+// ------------------------------------------------------------------
+// Block-local CSE.
+// ------------------------------------------------------------------
+std::string
+instrKey(const Instr &i)
+{
+    std::string key = std::to_string(static_cast<int>(i.op));
+    key += "/" + i.type.str();
+    for (const Instr *op : i.operands)
+        key += ":" + std::to_string(op->id);
+    if (i.var)
+        key += "@" + std::to_string(i.var->id);
+    for (int idx : i.indices)
+        key += "." + std::to_string(idx);
+    for (double d : i.constData)
+        key += "," + std::to_string(d);
+    return key;
+}
+
+/** True if the instruction can be value-numbered. */
+bool
+isNumerable(const Instr &i)
+{
+    if (ir::hasSideEffects(i.op))
+        return false;
+    if (i.op == Opcode::LoadVar)
+        return i.var->isReadOnly();
+    if (i.op == Opcode::LoadElem)
+        return i.var->isReadOnly();
+    // Texture fetches of the same coords are the same value.
+    return true;
+}
+
+bool
+localCse(Module &module)
+{
+    bool changed = false;
+    std::unordered_map<Instr *, Instr *> repl;
+    ir::forEachNode(module.body, [&](Node &n) {
+        auto *b = dyn_cast<Block>(&n);
+        if (!b)
+            return;
+        std::unordered_map<std::string, Instr *> table;
+        for (auto &ip : b->instrs) {
+            Instr &i = *ip;
+            for (Instr *&op : i.operands) {
+                auto it = repl.find(op);
+                while (it != repl.end()) {
+                    op = it->second;
+                    it = repl.find(op);
+                }
+            }
+            if (!isNumerable(i))
+                continue;
+            std::string key = instrKey(i);
+            auto [it, inserted] = table.emplace(key, &i);
+            if (!inserted) {
+                repl[&i] = it->second;
+                changed = true;
+            }
+        }
+    });
+    applyReplacements(module, repl);
+    return changed;
+}
+
+// ------------------------------------------------------------------
+// Trivial DCE: iteratively drop unused pure instructions.
+// ------------------------------------------------------------------
+bool
+trivialDce(Module &module)
+{
+    bool changed = false;
+    for (;;) {
+        auto uses = countUses(module);
+        std::unordered_set<const Instr *> dead;
+        ir::forEachInstr(module.body, [&](const Instr &i) {
+            if (!ir::hasSideEffects(i.op) && uses[&i] == 0)
+                dead.insert(&i);
+        });
+        if (dead.empty())
+            break;
+        ir::eraseInstrsIf(module.body, [&dead](const Instr &i) {
+            return dead.count(&i) > 0;
+        });
+        changed = true;
+    }
+    return changed;
+}
+
+// ------------------------------------------------------------------
+// Structural folding: if(const) splice, dead loops, empty nodes.
+// ------------------------------------------------------------------
+bool
+foldStructure(Region &region)
+{
+    bool changed = false;
+    std::vector<ir::NodePtr> result;
+    for (auto &node : region.nodes) {
+        if (auto *f = dyn_cast<IfNode>(node.get())) {
+            changed |= foldStructure(f->thenRegion);
+            changed |= foldStructure(f->elseRegion);
+            if (f->cond && f->cond->op == Opcode::Const) {
+                Region &taken = f->cond->scalarConst() != 0.0
+                                    ? f->thenRegion
+                                    : f->elseRegion;
+                for (auto &inner : taken.nodes)
+                    result.push_back(std::move(inner));
+                changed = true;
+                continue;
+            }
+        } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+            changed |= foldStructure(l->condRegion);
+            changed |= foldStructure(l->body);
+            if (l->canonical && l->tripCount() == 0) {
+                changed = true;
+                continue;
+            }
+            if (!l->canonical && l->condValue &&
+                l->condValue->op == Opcode::Const &&
+                l->condValue->scalarConst() == 0.0) {
+                // while(false): the cond region still executes once.
+                for (auto &inner : l->condRegion.nodes)
+                    result.push_back(std::move(inner));
+                changed = true;
+                continue;
+            }
+        }
+        result.push_back(std::move(node));
+    }
+    region.nodes = std::move(result);
+    changed |= ir::simplifyRegionStructure(region);
+    return changed;
+}
+
+} // namespace
+
+bool
+canonicalize(Module &module)
+{
+    bool any = false;
+    for (int iter = 0; iter < 32; ++iter) {
+        bool changed = false;
+        changed |= foldConstants(module);
+        changed |= storeLoadForwarding(module);
+        changed |= deadStoreElim(module);
+        changed |= localCse(module);
+        changed |= trivialDce(module);
+        changed |= foldStructure(module.body);
+        if (!changed)
+            break;
+        any = true;
+    }
+    return any;
+}
+
+} // namespace gsopt::passes

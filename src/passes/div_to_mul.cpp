@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Constant-division-to-multiplication (the paper's second custom unsafe
+ * pass): `x / C` with a compile-time constant divisor becomes
+ * `x * (1/C)`, with the reciprocal computed at compile time. Applies to
+ * more than half of all shaders (Fig 8b) because dividing by constants
+ * (normalisation factors, weight totals) is ubiquitous in shading code.
+ */
+#include "ir/walk.h"
+#include "passes/passes.h"
+#include "passes/util.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::Instr;
+using ir::Module;
+using ir::Node;
+using ir::Opcode;
+
+bool
+divToMul(Module &module)
+{
+    bool changed = false;
+    ir::forEachNode(module.body, [&](Node &n) {
+        auto *b = dyn_cast<Block>(&n);
+        if (!b)
+            return;
+        for (size_t pos = 0; pos < b->instrs.size(); ++pos) {
+            Instr &i = *b->instrs[pos];
+            if (i.op != Opcode::Div || !i.type.isFloat())
+                continue;
+            Instr *divisor = i.operands[1];
+
+            // Whole-vector constant divisor (not necessarily splat).
+            if (divisor->op == Opcode::Const) {
+                bool nonzero = true;
+                for (double d : divisor->constData)
+                    nonzero &= d != 0.0;
+                if (!nonzero)
+                    continue;
+                LocalBuilder lb(module, *b, pos);
+                std::vector<double> recip = divisor->constData;
+                for (double &d : recip)
+                    d = 1.0 / d;
+                Instr *c = lb.constVec(divisor->type, std::move(recip));
+                i.op = Opcode::Mul;
+                i.operands[1] = c;
+                pos = lb.position();
+                changed = true;
+                continue;
+            }
+            // Splat of a constant scalar (Construct(const)).
+            auto c = splatConstValue(divisor);
+            if (c && *c != 0.0) {
+                LocalBuilder lb(module, *b, pos);
+                Instr *scalar = lb.constFloat(1.0 / *c);
+                Instr *recip =
+                    divisor->type.isScalar()
+                        ? scalar
+                        : lb.emit(Opcode::Construct, divisor->type,
+                                  {scalar});
+                i.op = Opcode::Mul;
+                i.operands[1] = recip;
+                pos = lb.position();
+                changed = true;
+            }
+        }
+    });
+    return changed;
+}
+
+} // namespace gsopt::passes

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Global value numbering over the structured dominance tree. The always-
+ * on CSE is block-local; GVN extends value numbering across nested
+ * structure (code before an if dominates both arms and everything after
+ * it cannot see arm-local values, which the scope stack enforces).
+ * Loads participate with a memory version per variable that bumps on
+ * stores, so redundant loads across control flow collapse too.
+ *
+ * As in the paper (Section VI-D2), this matters only for the few
+ * shaders with non-trivial control flow: straight-line redundancy is
+ * already gone after local CSE.
+ */
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/walk.h"
+#include "passes/passes.h"
+#include "passes/util.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::IfNode;
+using ir::Instr;
+using ir::LoopNode;
+using ir::Module;
+using ir::Opcode;
+using ir::Region;
+using ir::Var;
+
+namespace {
+
+class GvnPass
+{
+  public:
+    explicit GvnPass(Module &module) : module_(module) {}
+
+    bool run()
+    {
+        scopes_.emplace_back();
+        walkRegion(module_.body);
+
+        if (repl_.empty())
+            return false;
+        auto resolve = [this](Instr *v) {
+            while (v) {
+                auto it = repl_.find(v);
+                if (it == repl_.end())
+                    break;
+                v = it->second;
+            }
+            return v;
+        };
+        ir::forEachInstr(module_.body, [&](Instr &i) {
+            for (Instr *&op : i.operands)
+                op = resolve(op);
+        });
+        ir::forEachNode(module_.body, [&](ir::Node &n) {
+            if (auto *f = dyn_cast<IfNode>(&n))
+                f->cond = resolve(f->cond);
+            else if (auto *l = dyn_cast<LoopNode>(&n))
+                l->condValue = resolve(l->condValue);
+        });
+        return true;
+    }
+
+  private:
+    using Scope = std::unordered_map<std::string, Instr *>;
+
+    Instr *lookup(const std::string &key)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(key);
+            if (f != it->end())
+                return f->second;
+        }
+        return nullptr;
+    }
+
+    std::string keyOf(const Instr &i)
+    {
+        std::string key = std::to_string(static_cast<int>(i.op));
+        key += "/" + i.type.str();
+        for (const Instr *op : i.operands)
+            key += ":" + std::to_string(op->id);
+        if (i.var) {
+            key += "@" + std::to_string(i.var->id);
+            if (i.op == Opcode::LoadVar || i.op == Opcode::LoadElem)
+                key += "v" + std::to_string(memVersion_[i.var]);
+        }
+        for (int idx : i.indices)
+            key += "." + std::to_string(idx);
+        for (double d : i.constData)
+            key += "," + std::to_string(d);
+        return key;
+    }
+
+    void bumpStoredVars(const Region &region)
+    {
+        ir::forEachInstr(region, [this](const Instr &i) {
+            if (i.op == Opcode::StoreVar || i.op == Opcode::StoreElem)
+                ++memVersion_[i.var];
+        });
+    }
+
+    void walkRegion(Region &region)
+    {
+        for (auto &node : region.nodes) {
+            if (auto *b = dyn_cast<Block>(node.get())) {
+                for (auto &ip : b->instrs) {
+                    Instr &i = *ip;
+                    for (Instr *&op : i.operands) {
+                        auto it = repl_.find(op);
+                        while (it != repl_.end()) {
+                            op = it->second;
+                            it = repl_.find(op);
+                        }
+                    }
+                    if (i.op == Opcode::StoreVar ||
+                        i.op == Opcode::StoreElem) {
+                        ++memVersion_[i.var];
+                        continue;
+                    }
+                    if (ir::hasSideEffects(i.op))
+                        continue;
+                    std::string key = keyOf(i);
+                    if (Instr *prior = lookup(key)) {
+                        repl_[&i] = prior;
+                    } else {
+                        scopes_.back().emplace(std::move(key), &i);
+                    }
+                }
+            } else if (auto *f = dyn_cast<IfNode>(node.get())) {
+                if (f->cond) {
+                    auto it = repl_.find(f->cond);
+                    while (it != repl_.end()) {
+                        f->cond = it->second;
+                        it = repl_.find(f->cond);
+                    }
+                }
+                auto versions = memVersion_;
+                scopes_.emplace_back();
+                walkRegion(f->thenRegion);
+                scopes_.pop_back();
+                memVersion_ = versions;
+                scopes_.emplace_back();
+                walkRegion(f->elseRegion);
+                scopes_.pop_back();
+                memVersion_ = versions;
+                // After the if, any var stored in either arm has a new
+                // version.
+                bumpStoredVars(f->thenRegion);
+                bumpStoredVars(f->elseRegion);
+            } else if (auto *l = dyn_cast<LoopNode>(node.get())) {
+                // Everything stored by the loop varies per iteration:
+                // bump before walking so body loads don't match
+                // pre-loop loads.
+                bumpStoredVars(l->condRegion);
+                bumpStoredVars(l->body);
+                if (l->counter)
+                    ++memVersion_[l->counter];
+                // Cond region and body get *separate* scopes: values
+                // must not be shared between them (the back end emits
+                // the condition computation twice, at different points).
+                scopes_.emplace_back();
+                walkRegion(l->condRegion);
+                if (l->condValue) {
+                    auto it = repl_.find(l->condValue);
+                    while (it != repl_.end()) {
+                        l->condValue = it->second;
+                        it = repl_.find(l->condValue);
+                    }
+                }
+                scopes_.pop_back();
+                scopes_.emplace_back();
+                walkRegion(l->body);
+                scopes_.pop_back();
+                bumpStoredVars(l->condRegion);
+                bumpStoredVars(l->body);
+                if (l->counter)
+                    ++memVersion_[l->counter];
+            }
+        }
+    }
+
+    Module &module_;
+    std::vector<Scope> scopes_;
+    std::map<Var *, int> memVersion_;
+    std::unordered_map<Instr *, Instr *> repl_;
+};
+
+} // namespace
+
+bool
+gvn(Module &module)
+{
+    return GvnPass(module).run();
+}
+
+} // namespace gsopt::passes

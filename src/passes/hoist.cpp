@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Conditional flattening ("Hoist" in LunarGlass): if both arms of an if
+ * contain only speculatable code plus whole-variable assignments, the
+ * arms are merged into straight-line code and each assigned variable
+ * receives a select between its two arm values.
+ *
+ * This is the pass responsible for the paper's "huge basic blocks"
+ * artefact (III-C.c): after hoisting (especially combined with
+ * unrolling), shaders become single large blocks that stress vendor
+ * register allocators — the mechanism behind the pathological ARM
+ * slowdowns in Fig 9.
+ */
+#include <map>
+#include <unordered_map>
+
+#include "ir/walk.h"
+#include "passes/passes.h"
+#include "passes/util.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::IfNode;
+using ir::Instr;
+using ir::Module;
+using ir::NodePtr;
+using ir::Opcode;
+using ir::Region;
+using ir::Var;
+
+namespace {
+
+/** Texture ops must not be speculated (real drivers refuse too). */
+bool
+isSpeculatable(const Instr &i)
+{
+    switch (i.op) {
+      case Opcode::Texture:
+      case Opcode::TextureBias:
+      case Opcode::TextureLod:
+      case Opcode::Discard:
+      case Opcode::StoreElem:
+      case Opcode::LoadElem:
+        return false;
+      case Opcode::StoreVar:
+        return true; // handled specially
+      default:
+        return !ir::hasSideEffects(i.op);
+    }
+}
+
+/**
+ * An arm qualifies if it is a single straight-line block (or empty)
+ * whose instructions are all speculatable.
+ */
+Block *
+qualifyingArm(Region &region, bool &ok, size_t max_arm_instrs)
+{
+    ok = false;
+    if (region.nodes.empty()) {
+        ok = true;
+        return nullptr;
+    }
+    if (region.nodes.size() != 1)
+        return nullptr;
+    auto *b = dyn_cast<Block>(region.nodes[0].get());
+    if (!b)
+        return nullptr;
+    if (b->instrs.size() > max_arm_instrs)
+        return nullptr;
+    for (const auto &i : b->instrs) {
+        if (!isSpeculatable(*i))
+            return nullptr;
+    }
+    ok = true;
+    return b;
+}
+
+bool
+hoistRegion(Region &region, Module &module,
+            std::unordered_map<Instr *, Instr *> &repl,
+            std::vector<std::unique_ptr<Instr>> &graveyard,
+            size_t max_arm_instrs)
+{
+    bool changed = false;
+    // Bottom-up: flatten nested ifs first so their parents qualify.
+    for (auto &node : region.nodes) {
+        if (auto *f = dyn_cast<IfNode>(node.get())) {
+            changed |= hoistRegion(f->thenRegion, module, repl, graveyard,
+                                   max_arm_instrs);
+            changed |= hoistRegion(f->elseRegion, module, repl, graveyard,
+                                   max_arm_instrs);
+        } else if (auto *l = dyn_cast<ir::LoopNode>(node.get())) {
+            changed |= hoistRegion(l->condRegion, module, repl, graveyard,
+                                   max_arm_instrs);
+            changed |= hoistRegion(l->body, module, repl, graveyard,
+                                   max_arm_instrs);
+        }
+    }
+    if (changed)
+        ir::simplifyRegionStructure(region);
+
+    std::vector<NodePtr> result;
+    for (auto &node : region.nodes) {
+        auto *f = dyn_cast<IfNode>(node.get());
+        if (!f) {
+            result.push_back(std::move(node));
+            continue;
+        }
+        bool then_ok = false, else_ok = false;
+        Block *then_b =
+            qualifyingArm(f->thenRegion, then_ok, max_arm_instrs);
+        Block *else_b =
+            qualifyingArm(f->elseRegion, else_ok, max_arm_instrs);
+        if (!then_ok || !else_ok) {
+            result.push_back(std::move(node));
+            continue;
+        }
+
+        auto merged = std::make_unique<Block>();
+        // Variables assigned per arm: the *last* store wins.
+        std::map<Var *, Instr *> then_vals, else_vals;
+        // Pre-if values loaded on demand, shared between arms.
+        std::map<Var *, Instr *> pre_vals;
+
+        auto resolve = [&repl](Instr *v) {
+            while (v) {
+                auto it = repl.find(v);
+                if (it == repl.end())
+                    break;
+                v = it->second;
+            }
+            return v;
+        };
+        auto move_arm = [&](Block *arm, std::map<Var *, Instr *> &vals) {
+            if (!arm)
+                return;
+            for (auto &ip : arm->instrs) {
+                if (!ip)
+                    continue;
+                for (Instr *&op : ip->operands)
+                    op = resolve(op);
+                if (ip->op == Opcode::StoreVar) {
+                    vals[ip->var] = ip->operands[0];
+                    // The store dissolves into a select later. Keep the
+                    // instruction alive until the pass ends so that no
+                    // new allocation can reuse its address while stale
+                    // pointers to it sit in `repl`.
+                    graveyard.push_back(std::move(ip));
+                    continue;
+                }
+                if (ip->op == Opcode::LoadVar && vals.count(ip->var)) {
+                    // The arm already assigned this var: the load must
+                    // see the arm-local value, not the pre-if value.
+                    repl[ip.get()] = vals[ip->var];
+                    graveyard.push_back(std::move(ip));
+                    continue;
+                }
+                merged->instrs.push_back(std::move(ip));
+            }
+            arm->instrs.clear();
+        };
+        move_arm(then_b, then_vals);
+        move_arm(else_b, else_vals);
+
+        auto pre_value = [&](Var *v) -> Instr * {
+            auto it = pre_vals.find(v);
+            if (it != pre_vals.end())
+                return it->second;
+            auto load = std::make_unique<Instr>();
+            load->op = Opcode::LoadVar;
+            load->type = v->type;
+            load->id = module.nextId();
+            load->var = v;
+            Instr *raw = load.get();
+            // Pre-if loads must precede the moved arm code; insert at
+            // the front of the merged block.
+            merged->instrs.insert(merged->instrs.begin(),
+                                  std::move(load));
+            pre_vals[v] = raw;
+            return raw;
+        };
+
+        // Union of assigned vars in *var id* order: pointer-keyed maps
+        // iterate in allocation order, which is not deterministic
+        // across runs and would break textual dedup.
+        std::map<int, Var *> var_of_id;
+        std::map<int, std::pair<Instr *, Instr *>> assigned;
+        for (auto &[v, val] : then_vals) {
+            assigned[v->id].first = val;
+            var_of_id[v->id] = v;
+        }
+        for (auto &[v, val] : else_vals) {
+            assigned[v->id].second = val;
+            var_of_id[v->id] = v;
+        }
+
+        for (auto &[v_id, tv_ev] : assigned) {
+            Var *v = var_of_id[v_id];
+            Instr *tv =
+                tv_ev.first ? resolve(tv_ev.first) : pre_value(v);
+            Instr *ev =
+                tv_ev.second ? resolve(tv_ev.second) : pre_value(v);
+
+            auto sel = std::make_unique<Instr>();
+            sel->op = Opcode::Select;
+            sel->type = v->type;
+            sel->id = module.nextId();
+            sel->operands = {f->cond, tv, ev};
+            Instr *sel_raw = sel.get();
+            merged->instrs.push_back(std::move(sel));
+
+            auto store = std::make_unique<Instr>();
+            store->op = Opcode::StoreVar;
+            store->type = ir::Type::voidTy();
+            store->id = module.nextId();
+            store->var = v;
+            store->operands = {sel_raw};
+            merged->instrs.push_back(std::move(store));
+        }
+
+        result.push_back(std::move(merged));
+        changed = true;
+    }
+    region.nodes = std::move(result);
+    if (changed)
+        ir::simplifyRegionStructure(region);
+    return changed;
+}
+
+} // namespace
+
+bool
+hoist(Module &module, size_t maxArmInstrs)
+{
+    std::unordered_map<Instr *, Instr *> repl;
+    std::vector<std::unique_ptr<Instr>> graveyard;
+    bool changed =
+        hoistRegion(module.body, module, repl, graveyard, maxArmInstrs);
+    if (!repl.empty()) {
+        auto resolve = [&repl](Instr *v) {
+            while (v) {
+                auto it = repl.find(v);
+                if (it == repl.end())
+                    break;
+                v = it->second;
+            }
+            return v;
+        };
+        ir::forEachInstr(module.body, [&](Instr &i) {
+            for (Instr *&op : i.operands)
+                op = resolve(op);
+        });
+        ir::forEachNode(module.body, [&](ir::Node &n) {
+            if (auto *f = dyn_cast<IfNode>(&n))
+                f->cond = resolve(f->cond);
+            else if (auto *l = dyn_cast<ir::LoopNode>(&n))
+                l->condValue = resolve(l->condValue);
+        });
+    }
+    return changed;
+}
+
+} // namespace gsopt::passes

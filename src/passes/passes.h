@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The optimization pass set. This is the reproduction of LunarGlass's
+ * toggleable pass flags (paper Section III) plus the always-on
+ * canonicalisation (constant folding, local CSE, store/load forwarding,
+ * trivial DCE) that LunarGlass inherits from LLVM and does not expose as
+ * flags.
+ *
+ * Each flag pass is a standalone function Module -> changed?. The
+ * `optimize` entry point applies a flag set in LunarGlass's fixed pass
+ * order with canonicalisation interleaved.
+ */
+#ifndef GSOPT_PASSES_PASSES_H
+#define GSOPT_PASSES_PASSES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace gsopt::passes {
+
+// -- always-on canonicalisation ----------------------------------------
+
+/**
+ * Run constant folding, extract/construct simplification, store->load
+ * forwarding, dead-store elimination, block-local CSE, trivial DCE, and
+ * structural simplification to a fixpoint. Returns true if anything
+ * changed.
+ */
+bool canonicalize(ir::Module &module);
+
+// -- the eight toggleable flags ------------------------------------------
+
+/** Aggressive dead code elimination (never beats the trivial-DCE
+ * fixpoint in practice, exactly as the paper observes for LunarGlass). */
+bool adce(ir::Module &module);
+
+/** Flatten conditionals: if-blocks of pure code + var assignments become
+ * straight-line code with select instructions. The offline tool
+ * flattens unconditionally; driver JITs pass an arm-size budget
+ * (real drivers only if-convert small blocks). */
+bool hoist(ir::Module &module,
+           size_t maxArmInstrs = static_cast<size_t>(-1));
+
+/** Fully unroll canonical constant-trip-count loops. The offline tool
+ * uses generous caps; driver JITs pass their own heuristics' budgets. */
+bool unroll(ir::Module &module, long maxTrips = 64,
+            size_t maxUnrolledInstrs = 8192);
+
+/** Turn chains of per-component vector inserts into single swizzled
+ * construct assignments. */
+bool coalesce(ir::Module &module);
+
+/** Global value numbering across the structured dominance tree. */
+bool gvn(ir::Module &module);
+
+/** Integer reassociation (plus the float x+0 / f*0 cases LunarGlass's
+ * pass handles). */
+bool reassociate(ir::Module &module);
+
+/** The paper's custom unsafe floating-point reassociation: factorisation
+ * ab+ac -> a(b+c), a+b-a -> b, a+a+a -> 3a, constant/scalar grouping
+ * f1(f2 v) -> (f1 f2)v, identity removal, canonical operand order. */
+bool fpReassociate(ir::Module &module);
+
+/** Replace division by a compile-time constant with multiplication by
+ * its reciprocal (unsafe). */
+bool divToMul(ir::Module &module);
+
+// -- driver-side scheduling ----------------------------------------------
+
+/**
+ * Pressure-reducing scheduler: sink pure single-use values defined more
+ * than @p minSpan instructions before their only user down to the use
+ * site. Not one of the eight flags — the *driver* models run it before
+ * register accounting, because every production compiler list-schedules
+ * for pressure (see src/passes/schedule.cpp).
+ */
+bool scheduleForPressure(ir::Module &module, size_t minSpan = 48);
+
+// -- pipeline -------------------------------------------------------------
+
+/** One bit per toggleable pass, in the order used by FlagSet. */
+struct OptFlags
+{
+    bool adce = false;
+    bool coalesce = false;
+    bool gvn = false;
+    bool reassociate = false;
+    bool unroll = false;
+    bool hoist = false;
+    bool fpReassociate = false;
+    bool divToMul = false;
+
+    /** The passes LunarGlass enables by default (paper Table I text). */
+    static OptFlags lunarGlassDefaults()
+    {
+        OptFlags f;
+        f.adce = true;
+        f.coalesce = true;
+        f.gvn = true;
+        f.reassociate = true;
+        f.unroll = true;
+        f.hoist = true;
+        return f;
+    }
+
+    /** Everything on. */
+    static OptFlags all()
+    {
+        OptFlags f = lunarGlassDefaults();
+        f.fpReassociate = true;
+        f.divToMul = true;
+        return f;
+    }
+
+    /** Everything off (the LunarGlass passthrough baseline of Fig 9). */
+    static OptFlags none() { return OptFlags{}; }
+};
+
+/**
+ * Apply the optimizer with the given flags. Canonicalisation always
+ * runs (before, between, and after the flagged passes), mirroring the
+ * paper's note that folding/CSE/load-store elimination "were necessary
+ * passes to canonicalize instructions".
+ */
+void optimize(ir::Module &module, const OptFlags &flags);
+
+} // namespace gsopt::passes
+
+#endif // GSOPT_PASSES_PASSES_H

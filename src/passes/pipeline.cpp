@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The fixed LunarGlass-style pass pipeline: canonicalisation always runs;
+ * the eight flags gate their passes in a fixed order.
+ */
+#include "ir/verifier.h"
+#include "passes/passes.h"
+
+namespace gsopt::passes {
+
+void
+optimize(ir::Module &module, const OptFlags &flags)
+{
+    canonicalize(module);
+
+    if (flags.unroll) {
+        unroll(module);
+        canonicalize(module);
+    }
+    if (flags.hoist) {
+        hoist(module);
+        canonicalize(module);
+    }
+    if (flags.coalesce) {
+        coalesce(module);
+        canonicalize(module);
+    }
+    if (flags.reassociate) {
+        reassociate(module);
+        canonicalize(module);
+    }
+    if (flags.fpReassociate) {
+        fpReassociate(module);
+        canonicalize(module);
+        // A second application catches chains exposed by the first
+        // (e.g. factorised groups whose inner sums now fold).
+        fpReassociate(module);
+        canonicalize(module);
+    }
+    if (flags.divToMul) {
+        divToMul(module);
+        canonicalize(module);
+    }
+    if (flags.gvn) {
+        gvn(module);
+        canonicalize(module);
+    }
+    if (flags.adce) {
+        adce(module);
+        canonicalize(module);
+    }
+
+    ir::verifyOrDie(module, "after optimize pipeline");
+}
+
+} // namespace gsopt::passes

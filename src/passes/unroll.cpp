@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Loop unrolling: canonical constant-trip-count loops are fully unrolled,
+ * with each clone of the body seeing the counter as a literal constant.
+ * This is LunarGlass's "simple loop unrolling for constant loop indices"
+ * and is the enabling transformation of the paper's motivating example
+ * (Listing 1 -> Listing 2): after unrolling, the weight table indexes
+ * become constant, the weight sum folds away, and the texture offsets
+ * become literals.
+ */
+#include "ir/walk.h"
+#include "passes/passes.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::Instr;
+using ir::LoopNode;
+using ir::Module;
+using ir::NodePtr;
+using ir::Opcode;
+using ir::Region;
+
+namespace {
+
+/** Replace loads of the loop counter with the literal iteration value. */
+void
+substituteCounter(Region &region, ir::Var *counter, long value)
+{
+    ir::forEachInstr(region, [&](Instr &i) {
+        if (i.op == Opcode::LoadVar && i.var == counter) {
+            i.op = Opcode::Const;
+            i.constData = {static_cast<double>(value)};
+            i.var = nullptr;
+        }
+    });
+}
+
+bool
+unrollRegion(Region &region, Module &module, long max_trips,
+             size_t max_instrs)
+{
+    bool changed = false;
+    std::vector<NodePtr> result;
+    for (auto &node : region.nodes) {
+        if (auto *f = dyn_cast<ir::IfNode>(node.get())) {
+            changed |= unrollRegion(f->thenRegion, module, max_trips, max_instrs);
+            changed |= unrollRegion(f->elseRegion, module, max_trips, max_instrs);
+            result.push_back(std::move(node));
+            continue;
+        }
+        auto *loop = dyn_cast<LoopNode>(node.get());
+        if (!loop) {
+            result.push_back(std::move(node));
+            continue;
+        }
+        // Unroll inner loops first so nested constant loops flatten
+        // completely.
+        changed |= unrollRegion(loop->body, module, max_trips, max_instrs);
+
+        const long trips = loop->tripCount();
+        const size_t body_size = loop->body.instructionCount();
+        if (!loop->canonical || trips <= 0 || trips > max_trips ||
+            static_cast<size_t>(trips) * body_size > max_instrs) {
+            changed |= unrollRegion(loop->condRegion, module, max_trips,
+                                    max_instrs);
+            result.push_back(std::move(node));
+            continue;
+        }
+
+        for (long it = 0, v = loop->init; it < trips;
+             ++it, v += loop->step) {
+            Region clone;
+            ir::ValueMap map;
+            ir::cloneRegionInto(loop->body, clone, module, map);
+            substituteCounter(clone, loop->counter, v);
+            for (auto &inner : clone.nodes)
+                result.push_back(std::move(inner));
+        }
+        changed = true;
+    }
+    region.nodes = std::move(result);
+    return changed;
+}
+
+} // namespace
+
+bool
+unroll(Module &module, long maxTrips, size_t maxUnrolledInstrs)
+{
+    bool changed =
+        unrollRegion(module.body, module, maxTrips, maxUnrolledInstrs);
+    if (changed)
+        ir::simplifyRegionStructure(module.body);
+    return changed;
+}
+
+} // namespace gsopt::passes

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared machinery for optimization passes: module-wide use counts, an
+ * insert-anywhere instruction factory, and the constant evaluator used by
+ * folding.
+ */
+#ifndef GSOPT_PASSES_UTIL_H
+#define GSOPT_PASSES_UTIL_H
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace gsopt::passes {
+
+/** Number of uses of each value (operands + structured condition refs). */
+std::unordered_map<const ir::Instr *, int>
+countUses(const ir::Module &module);
+
+/**
+ * Creates instructions inside an existing Block at a fixed position
+ * (before the instruction passes are rewriting). Keeps SSA order valid:
+ * everything emitted lands before the rewrite root.
+ */
+class LocalBuilder
+{
+  public:
+    /** Insert before @p block->instrs[pos]; pos may equal size(). */
+    LocalBuilder(ir::Module &module, ir::Block &block, size_t pos)
+        : module_(module), block_(block), pos_(pos)
+    {
+    }
+
+    ir::Instr *emit(ir::Opcode op, ir::Type type,
+                    std::vector<ir::Instr *> operands = {},
+                    ir::Var *var = nullptr,
+                    std::vector<int> indices = {});
+
+    ir::Instr *constFloat(double v);
+    ir::Instr *constSplat(ir::Type type, double v);
+    ir::Instr *constVec(ir::Type type, std::vector<double> lanes);
+
+    /** Position after all emissions (== index of the rewrite root). */
+    size_t position() const { return pos_; }
+
+  private:
+    ir::Module &module_;
+    ir::Block &block_;
+    size_t pos_;
+};
+
+/**
+ * Evaluate an instruction whose operands are all Const, returning the
+ * result lanes; nullopt if the op is not foldable.
+ */
+std::optional<std::vector<double>> foldConstInstr(const ir::Instr &instr);
+
+/** True if the value is a Const (scalar or splat vector) equal to v. */
+bool isConstSplatValue(const ir::Instr *instr, double v);
+
+/**
+ * If @p instr is a "scalar-like" constant — a Const scalar, a Const
+ * splat vector, or a Construct splat of a Const scalar — return the
+ * scalar value.
+ */
+std::optional<double> splatConstValue(const ir::Instr *instr);
+
+} // namespace gsopt::passes
+
+#endif // GSOPT_PASSES_UTIL_H

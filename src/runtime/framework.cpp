@@ -1,0 +1,124 @@
+#include "runtime/framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace gsopt::runtime {
+
+std::string
+generateVertexShader(const glsl::ShaderInterface &iface)
+{
+    // The paper auto-generates simplified vertex shaders from the
+    // fragment inputs, with a uniform controlling the full-screen
+    // triangle's depth. Varyings are passed through from attributes.
+    std::ostringstream os;
+    os << "#version 450\n";
+    os << "uniform float quad_depth;\n";
+    os << "in vec2 position;\n";
+    int slot = 1;
+    for (const auto &in : iface.inputs) {
+        if (in.name == "gl_FragCoord")
+            continue;
+        os << "in " << in.type.str() << " attr_" << in.name << ";\n";
+        os << "out " << in.type.str() << " " << in.name << ";\n";
+        ++slot;
+    }
+    os << "void main() {\n";
+    for (const auto &in : iface.inputs) {
+        if (in.name == "gl_FragCoord")
+            continue;
+        os << "    " << in.name << " = attr_" << in.name << ";\n";
+    }
+    os << "    gl_Position = vec4(position, quad_depth, 1.0);\n";
+    os << "}\n";
+    (void)slot;
+    return os.str();
+}
+
+ir::InterpEnv
+defaultEnvironment(const glsl::ShaderInterface &iface)
+{
+    ir::InterpEnv env;
+    auto fill = [](const glsl::Type &t) {
+        const int comp = t.isArray()
+                             ? t.arraySize *
+                                   t.elementType().componentCount()
+                             : t.componentCount();
+        double v = t.isInt() ? 1.0 : 0.5;
+        return ir::LaneVector(static_cast<size_t>(comp), v);
+    };
+    for (const auto &in : iface.inputs)
+        env.inputs[in.name] = fill(in.type);
+    for (const auto &u : iface.uniforms) {
+        if (u.type.isSampler())
+            continue; // default procedural texture applies
+        if (u.type.isMatrix()) {
+            // Near-identity matrix keeps positions finite.
+            ir::LaneVector m(
+                static_cast<size_t>(u.type.componentCount()), 0.0);
+            for (int c = 0; c < u.type.cols; ++c)
+                m[static_cast<size_t>(c * u.type.rows + c)] = 1.0;
+            env.uniforms[u.name] = std::move(m);
+        } else {
+            env.uniforms[u.name] = fill(u.type);
+        }
+    }
+    return env;
+}
+
+TimingResult
+measureShader(const std::string &glslSource,
+              const gpu::DeviceModel &device, const std::string &label)
+{
+    TimingResult result;
+    result.binary = gpu::driverCompile(glslSource, device);
+
+    const double draw_ns =
+        gpu::drawTimeNs(result.binary, device, kFragmentsPerDraw);
+    const int draws = device.trianglesPerFrame;
+    const double frame_ns = draw_ns * draws;
+
+    // Sum of `draws` independent noisy draw timings: by CLT one
+    // gaussian with sigma/sqrt(draws) models the per-frame noise;
+    // a second term models frame-level environmental jitter.
+    const double per_frame_sigma =
+        device.noiseSigma / std::sqrt(static_cast<double>(draws));
+    const double env_sigma = device.noiseSigma * 0.5;
+
+    result.frameTimesNs.reserve(
+        static_cast<size_t>(kFramesPerRun * kRepetitions));
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        Rng rng(label + "/" + device.vendor + "/rep" +
+                std::to_string(rep));
+        // Environmental drift for this run (thermals, clocks).
+        const double run_scale = 1.0 + rng.gaussian(0.0, env_sigma);
+        for (int frame = 0; frame < kFramesPerRun; ++frame) {
+            double t = frame_ns * run_scale *
+                       (1.0 + rng.gaussian(0.0, per_frame_sigma));
+            // Timer query quantisation.
+            t = std::round(t / device.timerQuantumNs) *
+                device.timerQuantumNs;
+            result.frameTimesNs.push_back(std::max(0.0, t));
+        }
+    }
+
+    Summary s = summarize(result.frameTimesNs);
+    result.meanNs = s.mean;
+    result.medianNs = s.median;
+    result.stddevNs = s.stddev;
+    return result;
+}
+
+double
+speedupPercent(const TimingResult &baseline, const TimingResult &variant)
+{
+    if (baseline.meanNs <= 0.0)
+        return 0.0;
+    return (baseline.meanNs - variant.meanNs) / baseline.meanNs * 100.0;
+}
+
+} // namespace gsopt::runtime

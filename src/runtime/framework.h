@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The shader measurement framework (paper Section IV-B), reproduced
+ * over the simulated devices:
+ *
+ *  - shaders execute in an *isolated context* (one fragment shader at a
+ *    time, nothing else on the queue);
+ *  - full-screen triangles clipped to 500x500 quads: 250,000 fragment
+ *    invocations per draw against 3 vertex-shader invocations;
+ *  - 1000 triangles per frame on desktop, 100 on mobile, drawn
+ *    front-to-back; every draw is timed with a GL_TIME_ELAPSED-style
+ *    query (noisy, quantised);
+ *  - 100 frames per run, 5 runs per shader variant;
+ *  - the vertex shader is auto-generated from the fragment shader's
+ *    inputs, and uniforms/textures are auto-initialised from the
+ *    interface reflection (floats 0.5, ints 1, colourful procedural
+ *    texture), exactly as the paper describes.
+ */
+#ifndef GSOPT_RUNTIME_FRAMEWORK_H
+#define GSOPT_RUNTIME_FRAMEWORK_H
+
+#include <string>
+#include <vector>
+
+#include "glsl/sema.h"
+#include "gpu/device.h"
+#include "gpu/driver.h"
+#include "ir/interp.h"
+
+namespace gsopt::runtime {
+
+/** Fragments shaded per draw: 500x500 full-screen quad. */
+constexpr long kFragmentsPerDraw = 500L * 500L;
+/** Frames measured per repetition. */
+constexpr int kFramesPerRun = 100;
+/** Repetitions per shader variant. */
+constexpr int kRepetitions = 5;
+
+/** A timed measurement of one shader variant on one device. */
+struct TimingResult
+{
+    std::vector<double> frameTimesNs; ///< all samples (runs x frames)
+    double meanNs = 0;
+    double medianNs = 0;
+    double stddevNs = 0;
+    gpu::ShaderBinary binary;         ///< the driver's compilation
+};
+
+/**
+ * Generate the matching vertex shader for a fragment shader interface
+ * (pass-through varyings + full-screen position with depth uniform).
+ */
+std::string generateVertexShader(const glsl::ShaderInterface &iface);
+
+/**
+ * Auto-initialise an interpreter environment from the interface:
+ * floats/vecs to 0.5, ints to 1, matrices to identity-ish, samplers to
+ * the default colourful pattern. Used by tests and the examples to run
+ * shaders functionally.
+ */
+ir::InterpEnv defaultEnvironment(const glsl::ShaderInterface &iface);
+
+/**
+ * Run the full measurement protocol for one shader on one device.
+ *
+ * @param glslSource fragment shader text (post- or pre-optimization)
+ * @param device     target device model
+ * @param label      seed label making the noise deterministic per
+ *                   (shader, device, variant) triple
+ */
+TimingResult measureShader(const std::string &glslSource,
+                           const gpu::DeviceModel &device,
+                           const std::string &label);
+
+/** Percentage speed-up of variant vs baseline mean times (+ is faster). */
+double speedupPercent(const TimingResult &baseline,
+                      const TimingResult &variant);
+
+} // namespace gsopt::runtime
+
+#endif // GSOPT_RUNTIME_FRAMEWORK_H

@@ -1,0 +1,68 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+namespace gsopt {
+
+std::string
+SourceLoc::str() const
+{
+    std::ostringstream os;
+    os << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    const char *sev = severity == Severity::Error     ? "error"
+                      : severity == Severity::Warning ? "warning"
+                                                      : "note";
+    std::ostringstream os;
+    os << loc.str() << ": " << sev << ": " << message;
+    return os.str();
+}
+
+CompileError::CompileError(std::vector<Diagnostic> diags)
+    : std::runtime_error(diags.empty() ? std::string("compile error")
+                                       : diags.front().str()),
+      diags_(std::move(diags))
+{
+}
+
+void
+DiagEngine::error(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Error, loc, std::move(message)});
+    ++errorCount_;
+}
+
+void
+DiagEngine::warning(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Warning, loc, std::move(message)});
+}
+
+void
+DiagEngine::note(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Note, loc, std::move(message)});
+}
+
+void
+DiagEngine::checkpoint() const
+{
+    if (hasErrors())
+        throw CompileError(diags_);
+}
+
+std::string
+DiagEngine::str() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+} // namespace gsopt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities shared across the compiler and harness.
+ */
+#ifndef GSOPT_SUPPORT_STRINGS_H
+#define GSOPT_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsopt {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split into non-empty whitespace-separated tokens. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Join with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Replace every occurrence of @p from with @p to. */
+std::string replaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+/**
+ * Format a double the way GLSL source should carry it: shortest form that
+ * still contains a decimal point or exponent (so it re-lexes as a float).
+ */
+std::string formatGlslFloat(double v);
+
+} // namespace gsopt
+
+#endif // GSOPT_SUPPORT_STRINGS_H

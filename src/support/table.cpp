@@ -1,0 +1,69 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gsopt {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream os;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << "| " << cell
+               << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << render_row(header_) << "\n";
+    for (size_t c = 0; c < widths.size(); ++c)
+        os << "|" << std::string(widths[c] + 2, '-');
+    os << "|\n";
+    for (const auto &row : rows_)
+        os << render_row(row) << "\n";
+    return os.str();
+}
+
+} // namespace gsopt

@@ -1,0 +1,424 @@
+#include "tuner/experiment.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/framework.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace gsopt::tuner {
+
+namespace {
+
+/** Bump when the measurement schema, a pass, or a cost model changes:
+ * anything that can alter variants or timings without touching the
+ * corpus or device parameters. */
+constexpr uint64_t kSchemaVersion = 11;
+
+uint64_t
+campaignKey(const std::vector<corpus::CorpusShader> &shaders)
+{
+    uint64_t key = kSchemaVersion;
+    for (const auto &s : shaders) {
+        key = hashCombine(key, fnv1a(s.name));
+        key = hashCombine(key, fnv1a(s.source));
+        for (const auto &[k, v] : s.defines) {
+            key = hashCombine(key, fnv1a(k));
+            key = hashCombine(key, fnv1a(v));
+        }
+    }
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        const gpu::DeviceModel &d = gpu::deviceModel(id);
+        std::ostringstream os;
+        os << d.name << d.clockGhz << d.shaderUnits << d.costAddMul
+           << d.costDiv << d.costSqrt << d.costTranscendental
+           << d.costMov << d.costBranch << d.divergencePenalty
+           << d.texIssueCost << d.texLatency << d.wavesToHideTex
+           << d.regBudget << d.spillThreshold << d.spillCost
+           << d.maxWaves << d.icacheInstrs << d.icachePenalty
+           << d.slpEfficiency << d.noiseSigma << d.trianglesPerFrame
+           << static_cast<int>(d.isa) << d.jitFlags.adce
+           << d.jitFlags.coalesce << d.jitFlags.gvn
+           << d.jitFlags.reassociate << d.jitFlags.unroll
+           << d.jitFlags.hoist << d.jitFlags.fpReassociate
+           << d.jitFlags.divToMul << d.jitUnrollTrips
+           << d.jitUnrollInstrs << d.jitHoistArmInstrs
+           << d.baseOverheadCycles << d.schedulerWindow;
+        key = hashCombine(key, fnv1a(os.str()));
+    }
+    return key;
+}
+
+} // namespace
+
+double
+ShaderResult::bestSpeedup(gpu::DeviceId dev) const
+{
+    const auto &m = byDevice.at(dev);
+    double best = -1e30;
+    for (size_t v = 0; v < m.variantMeanNs.size(); ++v)
+        best = std::max(best, m.speedupOf(static_cast<int>(v)));
+    return best;
+}
+
+FlagSet
+ShaderResult::bestFlags(gpu::DeviceId dev) const
+{
+    const auto &m = byDevice.at(dev);
+    int best_variant = 0;
+    double best = -1e30;
+    for (size_t v = 0; v < m.variantMeanNs.size(); ++v) {
+        double s = m.speedupOf(static_cast<int>(v));
+        if (s > best) {
+            best = s;
+            best_variant = static_cast<int>(v);
+        }
+    }
+    // Prefer the smallest flag set among producers (minimal set).
+    const auto &producers =
+        exploration.variants[static_cast<size_t>(best_variant)]
+            .producers;
+    FlagSet minimal = producers.front();
+    int min_bits = 9;
+    for (const FlagSet &f : producers) {
+        int n = __builtin_popcount(f.bits);
+        if (n < min_bits) {
+            min_bits = n;
+            minimal = f;
+        }
+    }
+    return minimal;
+}
+
+double
+ShaderResult::isolatedFlagSpeedup(gpu::DeviceId dev, int bit) const
+{
+    const auto &m = byDevice.at(dev);
+    const int with = exploration.variantOfFlags[1 << bit];
+    const int base = exploration.passthroughVariant;
+    const double t_with =
+        m.variantMeanNs[static_cast<size_t>(with)];
+    const double t_base =
+        m.variantMeanNs[static_cast<size_t>(base)];
+    return (t_base - t_with) / t_base * 100.0;
+}
+
+ExperimentEngine::ExperimentEngine(
+    const std::vector<corpus::CorpusShader> &shaders)
+{
+    run(shaders);
+}
+
+const ExperimentEngine &
+ExperimentEngine::instance()
+{
+    static const ExperimentEngine engine = [] {
+        ExperimentEngine e;
+        const auto &shaders = corpus::corpus();
+        const uint64_t key = campaignKey(shaders);
+        const std::string path = "experiment_cache.bin";
+        const bool no_cache = std::getenv("GSOPT_NO_CACHE") != nullptr;
+        if (!no_cache && e.loadCache(path, key))
+            return e;
+        e.run(shaders);
+        if (!no_cache)
+            e.saveCache(path, key);
+        return e;
+    }();
+    return engine;
+}
+
+void
+ExperimentEngine::run(const std::vector<corpus::CorpusShader> &shaders)
+{
+    results_.resize(shaders.size());
+
+    // Shaders are independent: explore + measure in parallel.
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const size_t idx = next.fetch_add(1);
+            if (idx >= shaders.size())
+                return;
+            const corpus::CorpusShader &shader = shaders[idx];
+            ShaderResult r;
+            r.exploration = exploreShader(shader);
+
+            // Drivers receive what an application would ship: the
+            // original preprocessed text (real engines preprocess
+            // übershaders before glShaderSource).
+            const std::string &original =
+                r.exploration.preprocessedOriginal;
+
+            for (gpu::DeviceId id : gpu::allDevices()) {
+                const gpu::DeviceModel &device = gpu::deviceModel(id);
+                DeviceMeasurement m;
+                m.originalMeanNs =
+                    runtime::measureShader(
+                        original, device, shader.name + "/original")
+                        .meanNs;
+                m.variantMeanNs.reserve(r.exploration.variants.size());
+                for (size_t v = 0; v < r.exploration.variants.size();
+                     ++v) {
+                    const auto &variant = r.exploration.variants[v];
+                    m.variantMeanNs.push_back(
+                        runtime::measureShader(
+                            variant.source, device,
+                            shader.name + "/v" + std::to_string(v))
+                            .meanNs);
+                }
+                r.byDevice.emplace(id, std::move(m));
+            }
+            results_[idx] = std::move(r);
+        }
+    };
+
+    const unsigned n_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+const ShaderResult &
+ExperimentEngine::result(const std::string &shaderName) const
+{
+    for (const auto &r : results_) {
+        if (r.exploration.shaderName == shaderName)
+            return r;
+    }
+    throw std::out_of_range("no result for shader " + shaderName);
+}
+
+double
+ExperimentEngine::meanSpeedup(gpu::DeviceId dev, FlagSet flags) const
+{
+    std::vector<double> speedups;
+    speedups.reserve(results_.size());
+    for (const auto &r : results_)
+        speedups.push_back(r.speedupFor(dev, flags));
+    return mean(speedups);
+}
+
+double
+ExperimentEngine::meanBestSpeedup(gpu::DeviceId dev) const
+{
+    std::vector<double> speedups;
+    speedups.reserve(results_.size());
+    for (const auto &r : results_)
+        speedups.push_back(r.bestSpeedup(dev));
+    return mean(speedups);
+}
+
+FlagSet
+ExperimentEngine::bestStaticFlags(gpu::DeviceId dev) const
+{
+    FlagSet best;
+    double best_mean = -1e30;
+    for (const FlagSet &flags : allFlagSets()) {
+        const double m = meanSpeedup(dev, flags);
+        const bool better =
+            m > best_mean + 1e-12 ||
+            (m > best_mean - 1e-12 &&
+             __builtin_popcount(flags.bits) <
+                 __builtin_popcount(best.bits));
+        if (better) {
+            best_mean = m;
+            best = flags;
+        }
+    }
+    return best;
+}
+
+FlagSet
+ExperimentEngine::bestStaticFlagsOverall() const
+{
+    FlagSet best;
+    double best_mean = -1e30;
+    for (const FlagSet &flags : allFlagSets()) {
+        double sum = 0;
+        for (gpu::DeviceId dev : gpu::allDevices())
+            sum += meanSpeedup(dev, flags);
+        if (sum > best_mean) {
+            best_mean = sum;
+            best = flags;
+        }
+    }
+    return best;
+}
+
+std::vector<double>
+ExperimentEngine::perShaderSpeedups(gpu::DeviceId dev,
+                                    FlagSet flags) const
+{
+    std::vector<double> out;
+    out.reserve(results_.size());
+    for (const auto &r : results_)
+        out.push_back(r.speedupFor(dev, flags));
+    return out;
+}
+
+std::vector<double>
+ExperimentEngine::perShaderBestSpeedups(gpu::DeviceId dev) const
+{
+    std::vector<double> out;
+    out.reserve(results_.size());
+    for (const auto &r : results_)
+        out.push_back(r.bestSpeedup(dev));
+    return out;
+}
+
+// ---------------------------------------------------------------- cache
+
+namespace {
+
+void
+writeString(std::ofstream &os, const std::string &s)
+{
+    const uint64_t n = s.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    os.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+bool
+readString(std::ifstream &is, std::string &s)
+{
+    uint64_t n = 0;
+    if (!is.read(reinterpret_cast<char *>(&n), sizeof(n)))
+        return false;
+    if (n > (1ull << 30))
+        return false;
+    s.resize(n);
+    return static_cast<bool>(
+        is.read(s.data(), static_cast<std::streamsize>(n)));
+}
+
+template <typename T>
+void
+writePod(std::ofstream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::ifstream &is, T &v)
+{
+    return static_cast<bool>(
+        is.read(reinterpret_cast<char *>(&v), sizeof(T)));
+}
+
+} // namespace
+
+void
+ExperimentEngine::saveCache(const std::string &path, uint64_t key) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return;
+    writePod(os, key);
+    writePod(os, static_cast<uint64_t>(results_.size()));
+    for (const auto &r : results_) {
+        writeString(os, r.exploration.shaderName);
+        writeString(os, r.exploration.preprocessedOriginal);
+        writeString(os, r.exploration.originalSource);
+        writePod(os,
+                 static_cast<uint64_t>(r.exploration.variants.size()));
+        for (const auto &v : r.exploration.variants) {
+            writeString(os, v.source);
+            writePod(os, v.sourceHash);
+            writePod(os, static_cast<uint64_t>(v.producers.size()));
+            for (const FlagSet &f : v.producers)
+                writePod(os, f.bits);
+        }
+        os.write(reinterpret_cast<const char *>(
+                     r.exploration.variantOfFlags),
+                 sizeof(r.exploration.variantOfFlags));
+        writePod(os, r.exploration.passthroughVariant);
+        writePod(os, static_cast<uint64_t>(r.byDevice.size()));
+        for (const auto &[dev, m] : r.byDevice) {
+            writePod(os, static_cast<int>(dev));
+            writePod(os, m.originalMeanNs);
+            writePod(os,
+                     static_cast<uint64_t>(m.variantMeanNs.size()));
+            for (double t : m.variantMeanNs)
+                writePod(os, t);
+        }
+    }
+}
+
+bool
+ExperimentEngine::loadCache(const std::string &path, uint64_t key)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    uint64_t file_key = 0;
+    if (!readPod(is, file_key) || file_key != key)
+        return false;
+    uint64_t n_shaders = 0;
+    if (!readPod(is, n_shaders))
+        return false;
+    std::vector<ShaderResult> loaded;
+    loaded.resize(n_shaders);
+    for (auto &r : loaded) {
+        if (!readString(is, r.exploration.shaderName) ||
+            !readString(is, r.exploration.preprocessedOriginal) ||
+            !readString(is, r.exploration.originalSource))
+            return false;
+        uint64_t n_variants = 0;
+        if (!readPod(is, n_variants) || n_variants > 100000)
+            return false;
+        r.exploration.variants.resize(n_variants);
+        for (auto &v : r.exploration.variants) {
+            if (!readString(is, v.source) ||
+                !readPod(is, v.sourceHash))
+                return false;
+            uint64_t n_producers = 0;
+            if (!readPod(is, n_producers) || n_producers > 256)
+                return false;
+            v.producers.resize(n_producers);
+            for (auto &f : v.producers) {
+                if (!readPod(is, f.bits))
+                    return false;
+            }
+        }
+        if (!is.read(reinterpret_cast<char *>(
+                         r.exploration.variantOfFlags),
+                     sizeof(r.exploration.variantOfFlags)))
+            return false;
+        if (!readPod(is, r.exploration.passthroughVariant))
+            return false;
+        uint64_t n_devices = 0;
+        if (!readPod(is, n_devices) || n_devices > 16)
+            return false;
+        for (uint64_t d = 0; d < n_devices; ++d) {
+            int dev_int = 0;
+            DeviceMeasurement m;
+            if (!readPod(is, dev_int) ||
+                !readPod(is, m.originalMeanNs))
+                return false;
+            uint64_t n_times = 0;
+            if (!readPod(is, n_times) || n_times > 100000)
+                return false;
+            m.variantMeanNs.resize(n_times);
+            for (double &t : m.variantMeanNs) {
+                if (!readPod(is, t))
+                    return false;
+            }
+            r.byDevice.emplace(static_cast<gpu::DeviceId>(dev_int),
+                               std::move(m));
+        }
+    }
+    results_ = std::move(loaded);
+    return true;
+}
+
+} // namespace gsopt::tuner

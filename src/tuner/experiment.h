@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The experiment engine: runs the paper's full measurement campaign —
+ * every corpus shader x 256 flag combinations (deduped) x 5 devices x
+ * the 100-frame/5-repetition timing protocol — and exposes the derived
+ * quantities every figure and table needs.
+ *
+ * Because all the benches share this campaign, the engine caches its
+ * results under build/experiment_cache/ keyed by a hash of the corpus,
+ * the device models, and the engine schema. Delete the cache (or set
+ * GSOPT_NO_CACHE=1) to force a re-run.
+ */
+#ifndef GSOPT_TUNER_EXPERIMENT_H
+#define GSOPT_TUNER_EXPERIMENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "tuner/explore.h"
+
+namespace gsopt::tuner {
+
+/** Timing of every variant of one shader on one device. */
+struct DeviceMeasurement
+{
+    double originalMeanNs = 0;  ///< unmodified shader via the driver
+    std::vector<double> variantMeanNs; ///< per unique variant
+
+    /** Percent speed-up of a variant against the original shader. */
+    double speedupOf(int variant_index) const
+    {
+        const double v =
+            variantMeanNs[static_cast<size_t>(variant_index)];
+        return (originalMeanNs - v) / originalMeanNs * 100.0;
+    }
+};
+
+/** Everything measured for one shader. */
+struct ShaderResult
+{
+    Exploration exploration;
+    std::map<gpu::DeviceId, DeviceMeasurement> byDevice;
+
+    double speedupFor(gpu::DeviceId dev, FlagSet flags) const
+    {
+        const auto &m = byDevice.at(dev);
+        return m.speedupOf(exploration.variantOfFlags[flags.bits]);
+    }
+
+    /** Best speed-up over all 256 combinations (green line, Fig 7). */
+    double bestSpeedup(gpu::DeviceId dev) const;
+    /** Combination achieving bestSpeedup. */
+    FlagSet bestFlags(gpu::DeviceId dev) const;
+    /** Speed-up of a single-flag variant vs the all-off passthrough
+     * variant (Fig 9's baseline convention). */
+    double isolatedFlagSpeedup(gpu::DeviceId dev, int bit) const;
+};
+
+/** The full campaign. */
+class ExperimentEngine
+{
+  public:
+    /** Run (or load from cache) the complete campaign. */
+    static const ExperimentEngine &instance();
+
+    /** Run fresh with explicit options (no caching). Used by tests with
+     * a reduced corpus. */
+    explicit ExperimentEngine(
+        const std::vector<corpus::CorpusShader> &shaders);
+
+    const std::vector<ShaderResult> &results() const { return results_; }
+    const ShaderResult &result(const std::string &shaderName) const;
+
+    // ---- derived analyses ------------------------------------------------
+    /** Static flag set maximising mean speed-up on a device (Table I). */
+    FlagSet bestStaticFlags(gpu::DeviceId dev) const;
+    /** Static flag set maximising the mean across *all* devices. */
+    FlagSet bestStaticFlagsOverall() const;
+    /** Mean speed-up across shaders for a fixed flag set. */
+    double meanSpeedup(gpu::DeviceId dev, FlagSet flags) const;
+    /** Mean of per-shader best speed-ups ("iterative" line, Fig 5). */
+    double meanBestSpeedup(gpu::DeviceId dev) const;
+    /** Per-shader speed-ups for a fixed flag set (Fig 7 series). */
+    std::vector<double> perShaderSpeedups(gpu::DeviceId dev,
+                                          FlagSet flags) const;
+    /** Per-shader best speed-ups (Fig 7 green series). */
+    std::vector<double> perShaderBestSpeedups(gpu::DeviceId dev) const;
+
+  private:
+    ExperimentEngine() = default;
+    void run(const std::vector<corpus::CorpusShader> &shaders);
+    bool loadCache(const std::string &path, uint64_t key);
+    void saveCache(const std::string &path, uint64_t key) const;
+
+    std::vector<ShaderResult> results_;
+};
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_EXPERIMENT_H

@@ -1,0 +1,73 @@
+#include "tuner/explore.h"
+
+#include <unordered_map>
+
+#include "emit/offline.h"
+#include "glsl/frontend.h"
+#include "support/rng.h"
+
+namespace gsopt::tuner {
+
+bool
+Variant::mostlyHasFlag(int bit) const
+{
+    size_t with = 0;
+    for (const FlagSet &f : producers)
+        with += f.has(bit);
+    return with * 2 >= producers.size();
+}
+
+bool
+Exploration::flagChangesOutput(int bit) const
+{
+    for (int combo = 0; combo < 256; ++combo) {
+        if ((combo >> bit) & 1)
+            continue;
+        if (variantOfFlags[combo] !=
+            variantOfFlags[combo | (1 << bit)])
+            return true;
+    }
+    return false;
+}
+
+Exploration
+exploreShader(const corpus::CorpusShader &shader)
+{
+    Exploration ex;
+    ex.shaderName = shader.name;
+    ex.originalSource = shader.source;
+
+    // Preprocess once for the LoC metric (Fig 4a counts preprocessed
+    // lines).
+    {
+        glsl::CompiledShader cs =
+            glsl::compileShader(shader.source, shader.defines);
+        ex.preprocessedOriginal = cs.preprocessedText;
+    }
+
+    std::unordered_map<uint64_t, int> by_hash;
+    for (const FlagSet &flags : allFlagSets()) {
+        std::string text = emit::optimizeShaderSource(
+            shader.source, flags.toOptFlags(), shader.defines);
+        const uint64_t hash = fnv1a(text);
+        auto it = by_hash.find(hash);
+        int index;
+        if (it == by_hash.end()) {
+            index = static_cast<int>(ex.variants.size());
+            by_hash.emplace(hash, index);
+            Variant v;
+            v.source = std::move(text);
+            v.sourceHash = hash;
+            ex.variants.push_back(std::move(v));
+        } else {
+            index = it->second;
+        }
+        ex.variants[static_cast<size_t>(index)].producers.push_back(
+            flags);
+        ex.variantOfFlags[flags.bits] = index;
+    }
+    ex.passthroughVariant = ex.variantOfFlags[FlagSet::none().bits];
+    return ex;
+}
+
+} // namespace gsopt::tuner

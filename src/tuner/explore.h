@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Exhaustive variant exploration: compile one shader under all 256 flag
+ * combinations and dedup the outputs by source text (paper Fig 4c —
+ * most combinations produce identical code, so every shader has only a
+ * handful of unique variants; the maximum the paper observed was 48).
+ */
+#ifndef GSOPT_TUNER_EXPLORE_H
+#define GSOPT_TUNER_EXPLORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "tuner/flags.h"
+
+namespace gsopt::tuner {
+
+/** One unique optimised shader text plus the flag sets producing it. */
+struct Variant
+{
+    std::string source;
+    uint64_t sourceHash = 0;
+    std::vector<FlagSet> producers; ///< every combo mapping here
+
+    /** Does at least half of the producing combos set this flag? */
+    bool mostlyHasFlag(int bit) const;
+};
+
+/** The full exploration of one shader. */
+struct Exploration
+{
+    std::string shaderName;
+    std::string preprocessedOriginal; ///< for the LoC metric
+    std::string originalSource;       ///< what the app would ship
+    std::vector<Variant> variants;    ///< unique outputs
+    int variantOfFlags[256] = {};     ///< combo -> variant index
+    int passthroughVariant = 0;       ///< index of flags-none output
+
+    size_t uniqueCount() const { return variants.size(); }
+
+    /** Does toggling @p bit ever change the output text? (Fig 8 red) */
+    bool flagChangesOutput(int bit) const;
+};
+
+/** Run the 256-combination exploration for one corpus shader. */
+Exploration exploreShader(const corpus::CorpusShader &shader);
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_EXPLORE_H

@@ -1,0 +1,93 @@
+#include "tuner/flags.h"
+
+namespace gsopt::tuner {
+
+const char *
+flagName(int bit)
+{
+    switch (bit) {
+      case kAdce: return "ADCE";
+      case kCoalesce: return "Coalesce";
+      case kGvn: return "GVN";
+      case kReassociate: return "Reassociate";
+      case kUnroll: return "Unroll";
+      case kHoist: return "Hoist";
+      case kFpReassociate: return "FP Reassociate";
+      case kDivToMul: return "Div to Mul";
+    }
+    return "?";
+}
+
+passes::OptFlags
+FlagSet::toOptFlags() const
+{
+    passes::OptFlags f;
+    f.adce = has(kAdce);
+    f.coalesce = has(kCoalesce);
+    f.gvn = has(kGvn);
+    f.reassociate = has(kReassociate);
+    f.unroll = has(kUnroll);
+    f.hoist = has(kHoist);
+    f.fpReassociate = has(kFpReassociate);
+    f.divToMul = has(kDivToMul);
+    return f;
+}
+
+FlagSet
+FlagSet::fromOptFlags(const passes::OptFlags &flags)
+{
+    FlagSet s;
+    if (flags.adce)
+        s = s.with(kAdce);
+    if (flags.coalesce)
+        s = s.with(kCoalesce);
+    if (flags.gvn)
+        s = s.with(kGvn);
+    if (flags.reassociate)
+        s = s.with(kReassociate);
+    if (flags.unroll)
+        s = s.with(kUnroll);
+    if (flags.hoist)
+        s = s.with(kHoist);
+    if (flags.fpReassociate)
+        s = s.with(kFpReassociate);
+    if (flags.divToMul)
+        s = s.with(kDivToMul);
+    return s;
+}
+
+FlagSet
+FlagSet::lunarGlassDefaults()
+{
+    return fromOptFlags(passes::OptFlags::lunarGlassDefaults());
+}
+
+std::string
+FlagSet::str() const
+{
+    if (bits == 0)
+        return "{none}";
+    std::string out = "{";
+    bool first = true;
+    for (int b = 0; b < kFlagCount; ++b) {
+        if (!has(b))
+            continue;
+        if (!first)
+            out += ",";
+        out += flagName(b);
+        first = false;
+    }
+    return out + "}";
+}
+
+std::vector<FlagSet>
+allFlagSets()
+{
+    std::vector<FlagSet> out;
+    out.reserve(256);
+    for (int b = 0; b < 256; ++b)
+        out.push_back(FlagSet(static_cast<uint8_t>(b)));
+    return out;
+}
+
+} // namespace gsopt::tuner

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FlagSet: the 8-bit encoding of the LunarGlass pass flags used for the
+ * exhaustive 256-combination search (paper Section III-A).
+ */
+#ifndef GSOPT_TUNER_FLAGS_H
+#define GSOPT_TUNER_FLAGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "passes/passes.h"
+
+namespace gsopt::tuner {
+
+/** Bit positions, in the order used throughout the experiments. */
+enum FlagBit {
+    kAdce = 0,
+    kCoalesce = 1,
+    kGvn = 2,
+    kReassociate = 3,
+    kUnroll = 4,
+    kHoist = 5,
+    kFpReassociate = 6,
+    kDivToMul = 7,
+    kFlagCount = 8,
+};
+
+/** Display names, indexed by FlagBit (paper Table I column order). */
+const char *flagName(int bit);
+
+/** One of the 256 flag combinations. */
+struct FlagSet
+{
+    uint8_t bits = 0;
+
+    constexpr FlagSet() = default;
+    constexpr explicit FlagSet(uint8_t b) : bits(b) {}
+
+    bool has(int bit) const { return (bits >> bit) & 1; }
+    FlagSet with(int bit) const
+    {
+        return FlagSet(static_cast<uint8_t>(bits | (1u << bit)));
+    }
+    FlagSet without(int bit) const
+    {
+        return FlagSet(static_cast<uint8_t>(bits & ~(1u << bit)));
+    }
+
+    bool operator==(const FlagSet &o) const { return bits == o.bits; }
+
+    /** Convert to the pass pipeline's flag struct. */
+    passes::OptFlags toOptFlags() const;
+
+    /** Inverse of toOptFlags(). */
+    static FlagSet fromOptFlags(const passes::OptFlags &flags);
+
+    /** The LunarGlass default set (defaults on, custom passes off). */
+    static FlagSet lunarGlassDefaults();
+    /** Everything on. */
+    static FlagSet all() { return FlagSet(0xff); }
+    /** Everything off (passthrough baseline). */
+    static FlagSet none() { return FlagSet(0); }
+
+    /** Compact spelling like "{Coalesce,Unroll,FPReassoc,DivToMul}". */
+    std::string str() const;
+};
+
+/** All 256 combinations in numeric order. */
+std::vector<FlagSet> allFlagSets();
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_FLAGS_H

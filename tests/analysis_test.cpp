@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the analysis module: the Fig-4a executable-LoC metric.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/loc.h"
+
+namespace gsopt::analysis {
+namespace {
+
+TEST(Loc, CountsExecutableOnly)
+{
+    const char *src = R"(
+uniform sampler2D tex;
+in vec2 uv;
+out vec4 color;
+
+// a comment line
+void main() {
+    vec4 c = texture(tex, uv);
+    /* block comment */
+    color = c * 2.0;
+}
+)";
+    // Counted: "void main() {" (has content beyond brackets),
+    // "vec4 c = ...", "color = ...". Declarations/comments/braces are
+    // not.
+    EXPECT_EQ(executableLines(src), 3);
+}
+
+TEST(Loc, IgnoresLoneBrackets)
+{
+    EXPECT_EQ(executableLines("{\n}\n(\n)\n;\n"), 0);
+}
+
+TEST(Loc, IgnoresBlankAndComments)
+{
+    EXPECT_EQ(executableLines("\n\n   \n// c\n/* multi\nline\n*/\n"),
+              0);
+}
+
+TEST(Loc, MultiLineBlockCommentSpansLines)
+{
+    const char *src = "float a = 1.0; /* start\nstill comment\nend */ "
+                      "float b = 2.0;\nfloat c = 3.0;\n";
+    EXPECT_EQ(executableLines(src), 3);
+}
+
+TEST(Loc, UnusedFunctionsStillCount)
+{
+    // Paper: unused function definitions inflate the metric.
+    const char *src = R"(
+float unused_helper(float x) {
+    return x * 2.0;
+}
+void main() {
+    float y = 1.0;
+}
+)";
+    EXPECT_EQ(executableLines(src), 4);
+}
+
+TEST(Loc, DeclarationLinesIgnored)
+{
+    const char *src = "uniform vec4 u;\nin vec2 uv;\nout vec4 c;\n"
+                      "precision highp float;\nlayout(location = 0) "
+                      "out vec4 o;\n#version 450\n";
+    EXPECT_EQ(executableLines(src), 0);
+}
+
+} // namespace
+} // namespace gsopt::analysis

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the GLSL back end: output is re-parseable by our own front
+ * end, deterministic, semantically equivalent to the IR it came from,
+ * and stable under a second round trip.
+ */
+#include <gtest/gtest.h>
+
+#include "emit/emit.h"
+#include "emit/offline.h"
+#include "ir/interp.h"
+#include "ir/verifier.h"
+#include "passes/passes.h"
+
+namespace gsopt {
+namespace {
+
+using passes::OptFlags;
+
+const char *kShaders[] = {
+    R"(
+        out vec4 fragColor;
+        in vec2 uv;
+        uniform sampler2D tex;
+        uniform vec4 ambient;
+        void main() {
+            float weightTotal = 0.0;
+            fragColor = vec4(0.0);
+            for (int i = 0; i < 9; i++) {
+                weightTotal += 0.1;
+                fragColor += texture(tex, uv) * 3.0 * ambient;
+            }
+            fragColor /= weightTotal;
+        }
+    )",
+    R"(
+        in vec2 uv;
+        in float t;
+        out vec4 c;
+        void main() {
+            vec4 v = vec4(0.0);
+            v.x = uv.x;
+            v.y = uv.y;
+            if (t > 0.5) { v.z = 1.0; } else { v.z = t * 2.0; }
+            v.w = 1.0;
+            c = v;
+        }
+    )",
+    R"(
+        uniform mat4 mvp;
+        in vec2 uv;
+        out vec4 c;
+        void main() {
+            c = mvp * vec4(uv, 0.0, 1.0);
+        }
+    )",
+    R"(
+        uniform int n;
+        in float x;
+        out float c;
+        void main() {
+            float s = x;
+            for (int i = 0; i < n; i++) { s = s * 0.5 + 0.1; }
+            c = s;
+        }
+    )",
+};
+
+std::vector<ir::InterpEnv>
+probeEnvs()
+{
+    std::vector<ir::InterpEnv> envs;
+    for (double a : {0.2, 0.8}) {
+        ir::InterpEnv env;
+        env.inputs["uv"] = {a, 1.0 - a};
+        env.inputs["t"] = {a};
+        env.inputs["x"] = {a};
+        env.uniforms["ambient"] = {0.5, 0.6, 0.7, 1.0};
+        env.uniforms["n"] = {3.0};
+        env.uniforms["mvp"] = {1, 0, 0, 0, 0, 2, 0, 0,
+                               0, 0, 1, 0, 0, 0, 0, 1};
+        envs.push_back(std::move(env));
+    }
+    return envs;
+}
+
+void
+expectSameOutputs(const ir::Module &a, const ir::Module &b)
+{
+    for (const auto &env : probeEnvs()) {
+        auto ra = ir::interpret(a, env);
+        auto rb = ir::interpret(b, env);
+        ASSERT_EQ(ra.outputs.size(), rb.outputs.size());
+        for (const auto &[name, lanes] : ra.outputs) {
+            const auto &other = rb.outputs.at(name);
+            ASSERT_EQ(lanes.size(), other.size());
+            for (size_t k = 0; k < lanes.size(); ++k)
+                EXPECT_NEAR(lanes[k], other[k], 1e-9) << name;
+        }
+    }
+}
+
+TEST(Emit, OutputReparses)
+{
+    for (const char *src : kShaders) {
+        auto m = emit::compileToIr(src);
+        std::string text = emit::emitGlsl(*m);
+        // The driver-JIT path: our own front end must accept it.
+        auto m2 = emit::compileToIr(text);
+        EXPECT_TRUE(ir::verify(*m2).empty()) << text;
+    }
+}
+
+TEST(Emit, RoundTripPreservesSemantics)
+{
+    for (const char *src : kShaders) {
+        auto m = emit::compileToIr(src);
+        std::string text = emit::emitGlsl(*m);
+        auto m2 = emit::compileToIr(text);
+        expectSameOutputs(*m, *m2);
+    }
+}
+
+TEST(Emit, OptimizedRoundTripPreservesSemantics)
+{
+    for (const char *src : kShaders) {
+        auto reference = emit::compileToIr(src);
+        for (OptFlags flags :
+             {OptFlags::none(), OptFlags::lunarGlassDefaults(),
+              OptFlags::all()}) {
+            std::string text = emit::optimizeShaderSource(src, flags);
+            auto m2 = emit::compileToIr(text);
+            expectSameOutputs(*reference, *m2);
+        }
+    }
+}
+
+TEST(Emit, Deterministic)
+{
+    for (const char *src : kShaders) {
+        std::string a =
+            emit::optimizeShaderSource(src, OptFlags::all());
+        std::string b =
+            emit::optimizeShaderSource(src, OptFlags::all());
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Emit, SecondRoundTripIsStable)
+{
+    // Emission reaches a textual fixpoint after at most one round trip
+    // (generic while-loops normalise on the first re-parse; everything
+    // else is stable immediately). Within the experiments all variants
+    // are produced by a single pipeline application, so dedup by text
+    // is sound either way — this test pins the convergence behaviour.
+    for (const char *src : kShaders) {
+        std::string once =
+            emit::optimizeShaderSource(src, OptFlags::none());
+        std::string twice =
+            emit::optimizeShaderSource(once, OptFlags::none());
+        std::string thrice =
+            emit::optimizeShaderSource(twice, OptFlags::none());
+        EXPECT_EQ(twice, thrice) << src;
+    }
+}
+
+TEST(Emit, KeepsInterfaceDeclarations)
+{
+    auto m = emit::compileToIr(kShaders[0]);
+    passes::optimize(*m, OptFlags::all());
+    std::string text = emit::emitGlsl(*m);
+    EXPECT_NE(text.find("uniform sampler2D tex;"), std::string::npos);
+    EXPECT_NE(text.find("uniform vec4 ambient;"), std::string::npos);
+    EXPECT_NE(text.find("out vec4 fragColor;"), std::string::npos);
+    EXPECT_NE(text.find("in vec2 uv;"), std::string::npos);
+}
+
+TEST(Emit, UnrolledShaderHasNoLoops)
+{
+    auto flags = OptFlags::none();
+    flags.unroll = true;
+    std::string text =
+        emit::optimizeShaderSource(kShaders[0], flags);
+    EXPECT_EQ(text.find("for ("), std::string::npos);
+    EXPECT_EQ(text.find("while ("), std::string::npos);
+}
+
+TEST(Emit, DynamicLoopEmitsWhile)
+{
+    std::string text =
+        emit::optimizeShaderSource(kShaders[3], OptFlags::none());
+    EXPECT_NE(text.find("while ("), std::string::npos);
+    // And it must re-parse + keep meaning.
+    auto m1 = emit::compileToIr(kShaders[3]);
+    auto m2 = emit::compileToIr(text);
+    expectSameOutputs(*m1, *m2);
+}
+
+TEST(Emit, UniqueVariantsDedupByText)
+{
+    // Flag combos that do nothing must produce byte-identical text.
+    auto base = emit::optimizeShaderSource(kShaders[2],
+                                           OptFlags::none());
+    auto unrolled = [&] {
+        OptFlags f;
+        f.unroll = true; // no loops in shader 2: no effect
+        return emit::optimizeShaderSource(kShaders[2], f);
+    }();
+    EXPECT_EQ(base, unrolled);
+}
+
+} // namespace
+} // namespace gsopt

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Unit tests for the GLSL front end: lexer, preprocessor, parser,
+ * semantic analysis, and printer round-tripping.
+ */
+#include <gtest/gtest.h>
+
+#include "glsl/frontend.h"
+#include "glsl/lexer.h"
+#include "glsl/parser.h"
+#include "glsl/printer.h"
+#include "glsl/type.h"
+
+namespace gsopt::glsl {
+namespace {
+
+// ---------------------------------------------------------------- types
+
+TEST(Type, Spellings)
+{
+    EXPECT_EQ(Type::vec(3).str(), "vec3");
+    EXPECT_EQ(Type::mat(4).str(), "mat4");
+    EXPECT_EQ(Type::floatTy().str(), "float");
+    EXPECT_EQ(Type::ivec(2).str(), "ivec2");
+    EXPECT_EQ(Type::bvec(4).str(), "bvec4");
+    EXPECT_EQ(Type::vec(4).array(9).str(), "vec4[9]");
+    EXPECT_EQ(Type::sampler2D().str(), "sampler2D");
+}
+
+TEST(Type, KeywordRoundTrip)
+{
+    for (const char *name :
+         {"float", "int", "bool", "vec2", "vec3", "vec4", "ivec3",
+          "bvec2", "mat2", "mat3", "mat4", "sampler2D"}) {
+        EXPECT_TRUE(isTypeKeyword(name)) << name;
+        EXPECT_EQ(typeFromKeyword(name).str(), name);
+    }
+    EXPECT_FALSE(isTypeKeyword("vec5"));
+    EXPECT_FALSE(isTypeKeyword("banana"));
+}
+
+TEST(Type, ComponentCounts)
+{
+    EXPECT_EQ(Type::floatTy().componentCount(), 1);
+    EXPECT_EQ(Type::vec(3).componentCount(), 3);
+    EXPECT_EQ(Type::mat(3).componentCount(), 9);
+    EXPECT_TRUE(Type::vec(2).isVector());
+    EXPECT_TRUE(Type::mat(2).isMatrix());
+    EXPECT_FALSE(Type::mat(2).isVector());
+    EXPECT_TRUE(Type::floatTy().isScalar());
+}
+
+// ---------------------------------------------------------------- lexer
+
+std::vector<Token>
+lexOk(const std::string &src)
+{
+    DiagEngine diags;
+    auto toks = lex(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return toks;
+}
+
+TEST(Lexer, NumbersAndSuffixes)
+{
+    auto t = lexOk("1 2.5 .5 3. 1e3 2.5e-2 7f");
+    ASSERT_EQ(t.size(), 8u); // 7 tokens + End
+    EXPECT_EQ(t[0].kind, TokKind::IntLit);
+    EXPECT_EQ(t[0].intValue, 1);
+    EXPECT_EQ(t[1].kind, TokKind::FloatLit);
+    EXPECT_DOUBLE_EQ(t[1].floatValue, 2.5);
+    EXPECT_EQ(t[2].kind, TokKind::FloatLit);
+    EXPECT_DOUBLE_EQ(t[2].floatValue, 0.5);
+    EXPECT_EQ(t[3].kind, TokKind::FloatLit);
+    EXPECT_EQ(t[4].kind, TokKind::FloatLit);
+    EXPECT_DOUBLE_EQ(t[4].floatValue, 1000.0);
+    EXPECT_DOUBLE_EQ(t[5].floatValue, 0.025);
+    EXPECT_EQ(t[6].kind, TokKind::FloatLit);
+}
+
+TEST(Lexer, OperatorsAndComments)
+{
+    auto t = lexOk("a += b; // comment\n/* block\n */ c ++ <= &&");
+    EXPECT_EQ(t[0].text, "a");
+    EXPECT_EQ(t[1].kind, TokKind::PlusAssign);
+    EXPECT_EQ(t[4].text, "c");
+    EXPECT_EQ(t[5].kind, TokKind::PlusPlus);
+    EXPECT_EQ(t[6].kind, TokKind::LessEq);
+    EXPECT_EQ(t[7].kind, TokKind::AmpAmp);
+}
+
+TEST(Lexer, TracksLocations)
+{
+    auto t = lexOk("a\n  b");
+    EXPECT_EQ(t[0].loc.line, 1);
+    EXPECT_EQ(t[1].loc.line, 2);
+    EXPECT_EQ(t[1].loc.column, 3);
+}
+
+TEST(Lexer, RejectsBadChars)
+{
+    DiagEngine diags;
+    lex("a @ b", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// -------------------------------------------------------- preprocessor
+
+std::string
+ppOk(const std::string &src,
+     const std::map<std::string, std::string> &defs = {})
+{
+    DiagEngine diags;
+    auto r = preprocess(src, defs, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    return r.text;
+}
+
+TEST(Preprocessor, ObjectMacros)
+{
+    EXPECT_EQ(ppOk("#define N 9\nint x = N;"), "int x = 9;\n");
+}
+
+TEST(Preprocessor, FunctionMacros)
+{
+    std::string out =
+        ppOk("#define SQ(x) ((x)*(x))\nfloat y = SQ(a + b);");
+    EXPECT_NE(out.find("(((a + b))*((a + b)))"), std::string::npos);
+}
+
+TEST(Preprocessor, NestedMacroExpansion)
+{
+    std::string out = ppOk("#define A B\n#define B 3\nint x = A;");
+    EXPECT_EQ(out, "int x = 3;\n");
+}
+
+TEST(Preprocessor, IfdefBranches)
+{
+    std::string src = "#ifdef FEATURE\nfloat a;\n#else\nfloat b;\n#endif";
+    EXPECT_EQ(ppOk(src), "float b;\n");
+    EXPECT_EQ(ppOk(src, {{"FEATURE", ""}}), "float a;\n");
+}
+
+TEST(Preprocessor, IfExpressionsAndElif)
+{
+    std::string src = "#define LEVEL 2\n"
+                      "#if LEVEL >= 3\nfloat hi;\n"
+                      "#elif LEVEL == 2\nfloat mid;\n"
+                      "#else\nfloat lo;\n#endif";
+    EXPECT_EQ(ppOk(src), "float mid;\n");
+}
+
+TEST(Preprocessor, DefinedOperator)
+{
+    std::string src = "#if defined(A) && !defined(B)\nok;\n#endif";
+    EXPECT_EQ(ppOk(src, {{"A", ""}}), "ok;\n");
+    EXPECT_EQ(ppOk(src, {{"A", ""}, {"B", ""}}), "");
+}
+
+TEST(Preprocessor, NestedConditionals)
+{
+    std::string src = "#ifdef A\n#ifdef B\nab;\n#else\na;\n#endif\n#endif";
+    EXPECT_EQ(ppOk(src, {{"A", ""}, {"B", ""}}), "ab;\n");
+    EXPECT_EQ(ppOk(src, {{"A", ""}}), "a;\n");
+    EXPECT_EQ(ppOk(src), "");
+}
+
+TEST(Preprocessor, VersionCaptured)
+{
+    DiagEngine diags;
+    auto r = preprocess("#version 450 core\nfloat x;", {}, diags);
+    EXPECT_EQ(r.version, 450);
+    EXPECT_EQ(r.text, "float x;\n");
+}
+
+TEST(Preprocessor, LineContinuation)
+{
+    EXPECT_EQ(ppOk("#define M 1 + \\\n2\nint x = M;"),
+              "int x = 1 + 2;\n");
+}
+
+TEST(Preprocessor, UndefAndRedefine)
+{
+    std::string src = "#define X 1\n#undef X\n#ifdef X\nyes;\n#else\n"
+                      "no;\n#endif";
+    EXPECT_EQ(ppOk(src), "no;\n");
+}
+
+TEST(Preprocessor, ErrorsOnUnterminatedIf)
+{
+    DiagEngine diags;
+    preprocess("#ifdef A\nx;\n", {}, diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// --------------------------------------------------------------- parser
+
+CompiledShader
+feOk(const std::string &src,
+     const std::map<std::string, std::string> &defs = {})
+{
+    return compileShader(src, defs);
+}
+
+const char *kMinimal = R"(
+out vec4 fragColor;
+void main() {
+    fragColor = vec4(1.0);
+}
+)";
+
+TEST(Parser, MinimalShader)
+{
+    auto cs = feOk(kMinimal);
+    ASSERT_EQ(cs.ast.functions.size(), 1u);
+    EXPECT_EQ(cs.ast.functions[0].name, "main");
+    ASSERT_EQ(cs.ast.globals.size(), 1u);
+    EXPECT_EQ(cs.ast.globals[0].qual, Qualifier::Out);
+}
+
+TEST(Parser, Precedence)
+{
+    auto cs = feOk("out vec4 c; void main() { float x = 1.0 + 2.0 * "
+                   "3.0; c = vec4(x); }");
+    const Stmt &decl = *cs.ast.functions[0].body->body[0];
+    ASSERT_EQ(decl.kind, StmtKind::Decl);
+    EXPECT_EQ(printExpr(*decl.rhs), "1.0 + 2.0 * 3.0");
+}
+
+TEST(Parser, ParensPreserved)
+{
+    auto cs = feOk("out vec4 c; void main() { float x = (1.0 + 2.0) * "
+                   "3.0; c = vec4(x); }");
+    const Stmt &decl = *cs.ast.functions[0].body->body[0];
+    EXPECT_EQ(printExpr(*decl.rhs), "(1.0 + 2.0) * 3.0");
+}
+
+TEST(Parser, ForLoopWithIncrement)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        void main() {
+            float sum = 0.0;
+            for (int i = 0; i < 9; i++) { sum += 1.0; }
+            c = vec4(sum);
+        }
+    )");
+    const Stmt &loop = *cs.ast.functions[0].body->body[1];
+    ASSERT_EQ(loop.kind, StmtKind::For);
+    ASSERT_NE(loop.init, nullptr);
+    ASSERT_NE(loop.cond, nullptr);
+    ASSERT_NE(loop.step, nullptr);
+    EXPECT_EQ(loop.step->kind, StmtKind::Assign);
+    EXPECT_EQ(loop.step->assignOp, AssignOp::AddAssign);
+}
+
+TEST(Parser, ArrayConstructorsAndIndexing)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        const vec4 weights[3] = vec4[](vec4(0.1), vec4(0.2), vec4(0.3));
+        void main() {
+            c = weights[0] + weights[2];
+        }
+    )");
+    EXPECT_EQ(cs.ast.globals[1].type.arraySize, 3);
+    ASSERT_NE(cs.ast.globals[1].init, nullptr);
+    EXPECT_EQ(cs.ast.globals[1].init->kind, ExprKind::Construct);
+}
+
+TEST(Parser, UnsizedArrayGetsSizeFromInit)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        void main() {
+            const float w[] = float[](0.1, 0.2, 0.3, 0.4);
+            c = vec4(w[0]);
+        }
+    )");
+    const Stmt &decl = *cs.ast.functions[0].body->body[0];
+    EXPECT_EQ(decl.declType.arraySize, 4);
+}
+
+TEST(Parser, TernaryAndSwizzle)
+{
+    auto cs = feOk(R"(
+        in vec2 uv;
+        out vec4 c;
+        void main() {
+            float v = uv.x > 0.5 ? uv.y : 1.0 - uv.y;
+            c = vec4(uv.xy, v, 1.0).zyxw;
+        }
+    )");
+    const Stmt &assign = *cs.ast.functions[0].body->body[1];
+    EXPECT_EQ(assign.rhs->kind, ExprKind::Member);
+    EXPECT_EQ(assign.rhs->name, "zyxw");
+    EXPECT_EQ(assign.rhs->type.str(), "vec4");
+}
+
+TEST(Parser, LayoutAndPrecisionIgnored)
+{
+    auto cs = feOk(R"(
+        precision highp float;
+        layout(location = 0) out highp vec4 color;
+        uniform lowp sampler2D tex;
+        in mediump vec2 uv;
+        void main() { color = texture(tex, uv); }
+    )");
+    EXPECT_EQ(cs.interface.outputs.size(), 1u);
+    EXPECT_EQ(cs.interface.uniforms.size(), 1u);
+    EXPECT_EQ(cs.interface.inputs.size(), 1u);
+}
+
+TEST(Parser, UserFunctions)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        float half_of(float x) { return x * 0.5; }
+        void main() { c = vec4(half_of(3.0)); }
+    )");
+    ASSERT_EQ(cs.ast.functions.size(), 2u);
+    EXPECT_EQ(cs.ast.functions[0].name, "half_of");
+}
+
+TEST(Parser, MultipleDeclarators)
+{
+    auto cs = feOk("out vec4 c; void main() { float a = 1.0, b = 2.0; "
+                   "c = vec4(a + b); }");
+    // Declarator list expands to a block of two decls.
+    const Stmt &first = *cs.ast.functions[0].body->body[0];
+    EXPECT_EQ(first.kind, StmtKind::Block);
+    EXPECT_EQ(first.body.size(), 2u);
+}
+
+TEST(Parser, RejectsBreak)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "out vec4 c; void main() { for (int i = 0; i < 4; i++) { break; "
+        "} c = vec4(0.0); }",
+        {}, diags);
+    EXPECT_EQ(r, nullptr);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+// ----------------------------------------------------------------- sema
+
+TEST(Sema, TypesAnnotated)
+{
+    auto cs = feOk(R"(
+        in vec2 uv;
+        uniform sampler2D tex;
+        out vec4 c;
+        void main() {
+            vec4 t = texture(tex, uv);
+            float l = dot(t.rgb, vec3(0.299, 0.587, 0.114));
+            c = vec4(l);
+        }
+    )");
+    const auto &body = cs.ast.functions[0].body->body;
+    EXPECT_EQ(body[0]->rhs->type.str(), "vec4");
+    EXPECT_EQ(body[1]->rhs->type.str(), "float");
+}
+
+TEST(Sema, IntToFloatCoercion)
+{
+    auto cs = feOk("out vec4 c; void main() { float x = 3; c = vec4(x * "
+                   "2); }");
+    const Stmt &decl = *cs.ast.functions[0].body->body[0];
+    EXPECT_EQ(decl.rhs->kind, ExprKind::FloatLit);
+    EXPECT_DOUBLE_EQ(decl.rhs->floatValue, 3.0);
+}
+
+TEST(Sema, ScalarVectorArithmetic)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        void main() {
+            vec3 v = vec3(1.0, 2.0, 3.0);
+            vec3 w = v * 2.0;
+            vec3 u = 0.5 * w + v;
+            c = vec4(u, 1.0);
+        }
+    )");
+    const auto &body = cs.ast.functions[0].body->body;
+    EXPECT_EQ(body[1]->rhs->type.str(), "vec3");
+    EXPECT_EQ(body[2]->rhs->type.str(), "vec3");
+}
+
+TEST(Sema, MatrixTyping)
+{
+    auto cs = feOk(R"(
+        uniform mat4 mvp;
+        in vec2 uv;
+        out vec4 c;
+        void main() {
+            vec4 p = mvp * vec4(uv, 0.0, 1.0);
+            mat4 m2 = mvp * mvp;
+            c = m2 * p;
+        }
+    )");
+    const auto &body = cs.ast.functions[0].body->body;
+    EXPECT_EQ(body[0]->rhs->type.str(), "vec4");
+    EXPECT_EQ(body[1]->rhs->type.str(), "mat4");
+}
+
+TEST(Sema, RejectsUndefinedVariable)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "out vec4 c; void main() { c = vec4(nope); }", {}, diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, RejectsAssignToUniform)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "uniform float u; out vec4 c; void main() { u = 1.0; c = "
+        "vec4(u); }",
+        {}, diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, RejectsAssignToConst)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "out vec4 c; void main() { const float k = 1.0; k = 2.0; c = "
+        "vec4(k); }",
+        {}, diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, RejectsBadSwizzle)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "in vec2 uv; out vec4 c; void main() { c = vec4(uv.z); }", {},
+        diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, RejectsTypeMismatch)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader(
+        "out vec4 c; void main() { vec3 v = vec2(1.0); c = vec4(v, "
+        "1.0); }",
+        {}, diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, RequiresMain)
+{
+    DiagEngine diags;
+    auto r = tryCompileShader("out vec4 c;", {}, diags);
+    EXPECT_EQ(r, nullptr);
+}
+
+TEST(Sema, ShadowedLocalsAreRenamed)
+{
+    auto cs = feOk(R"(
+        out vec4 c;
+        void main() {
+            float x = 1.0;
+            if (x > 0.5) {
+                float x = 2.0;
+                c = vec4(x);
+            } else {
+                c = vec4(x);
+            }
+        }
+    )");
+    const auto &ifstmt = *cs.ast.functions[0].body->body[1];
+    const auto &then_block = *ifstmt.body[0];
+    const Stmt &inner = *then_block.body[0];
+    ASSERT_EQ(inner.kind, StmtKind::Decl);
+    EXPECT_NE(inner.name, "x"); // alpha-renamed
+}
+
+TEST(Sema, GlFragCoordAvailable)
+{
+    auto cs = feOk("out vec4 c; void main() { c = gl_FragCoord; }");
+    EXPECT_EQ(cs.ast.functions[0].body->body[0]->rhs->type.str(),
+              "vec4");
+}
+
+TEST(Sema, InterfaceCollected)
+{
+    auto cs = feOk(R"(
+        in vec2 uv;
+        in vec3 normal;
+        uniform sampler2D tex;
+        uniform vec4 tint;
+        out vec4 color;
+        void main() { color = texture(tex, uv) * tint *
+                              vec4(normal, 1.0); }
+    )");
+    EXPECT_EQ(cs.interface.inputs.size(), 2u);
+    EXPECT_EQ(cs.interface.uniforms.size(), 2u);
+    ASSERT_EQ(cs.interface.outputs.size(), 1u);
+    EXPECT_EQ(cs.interface.outputs[0].name, "color");
+}
+
+// -------------------------------------------------------------- printer
+
+TEST(Printer, RoundTripIsStable)
+{
+    const char *src = R"(
+        in vec2 uv;
+        uniform sampler2D tex;
+        uniform vec4 ambient;
+        out vec4 fragColor;
+        void main() {
+            float weightTotal = 0.0;
+            fragColor = vec4(0.0);
+            for (int i = 0; i < 9; i++) {
+                fragColor += texture(tex, uv) * 3.0 * ambient;
+                weightTotal += 0.1;
+            }
+            fragColor /= weightTotal;
+        }
+    )";
+    auto cs1 = feOk(src);
+    std::string printed1 = printShader(cs1.ast);
+    auto cs2 = feOk(printed1);
+    std::string printed2 = printShader(cs2.ast);
+    EXPECT_EQ(printed1, printed2);
+}
+
+TEST(Printer, EmitsValidFloats)
+{
+    auto cs = feOk("out vec4 c; void main() { c = vec4(0.5, 1.0, "
+                   "0.699301, 3.0); }");
+    std::string printed = printShader(cs.ast);
+    EXPECT_NE(printed.find("0.699301"), std::string::npos);
+    EXPECT_NE(printed.find("vec4(0.5, 1.0"), std::string::npos);
+}
+
+TEST(Printer, IfElsePrinted)
+{
+    auto cs = feOk(R"(
+        in vec2 uv; out vec4 c;
+        void main() {
+            if (uv.x > 0.5) { c = vec4(1.0); } else { c = vec4(0.0); }
+        }
+    )");
+    std::string printed = printShader(cs.ast);
+    EXPECT_NE(printed.find("if (uv.x > 0.5) {"), std::string::npos);
+    EXPECT_NE(printed.find("} else {"), std::string::npos);
+}
+
+// ------------------------------------------------ übershader behaviour
+
+TEST(Ubershader, DefinesSelectVariants)
+{
+    const char *uber = R"(
+        in vec2 uv;
+        uniform sampler2D tex;
+        out vec4 c;
+        void main() {
+            vec4 base = texture(tex, uv);
+        #ifdef GRAYSCALE
+            float l = dot(base.rgb, vec3(0.299, 0.587, 0.114));
+            base = vec4(l, l, l, base.a);
+        #endif
+        #ifdef INVERT
+            base = vec4(1.0) - base;
+        #endif
+            c = base;
+        }
+    )";
+    auto plain = feOk(uber);
+    auto gray = feOk(uber, {{"GRAYSCALE", ""}});
+    auto both = feOk(uber, {{"GRAYSCALE", ""}, {"INVERT", ""}});
+    EXPECT_LT(printShader(plain.ast).size(),
+              printShader(gray.ast).size());
+    EXPECT_LT(printShader(gray.ast).size(),
+              printShader(both.ast).size());
+}
+
+} // namespace
+} // namespace gsopt::glsl

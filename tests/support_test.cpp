@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG determinism, statistics,
+ * string utilities, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diag.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace gsopt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabelSeedingIsDeterministic)
+{
+    Rng a("ARM/shader/rep0"), b("ARM/shader/rep0"),
+        c("ARM/shader/rep1");
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianMeanSigma)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 0.1);
+    EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(Hash, Fnv1aStable)
+{
+    EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+    EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+    EXPECT_NE(fnv1a(""), fnv1a(" "));
+}
+
+TEST(Stats, SummaryBasics)
+{
+    Summary s = summarize({1, 2, 3, 4, 5});
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 1);
+    EXPECT_DOUBLE_EQ(s.max, 5);
+    EXPECT_DOUBLE_EQ(s.median, 3);
+    EXPECT_DOUBLE_EQ(s.mean, 3);
+    EXPECT_DOUBLE_EQ(s.q1, 2);
+    EXPECT_DOUBLE_EQ(s.q3, 4);
+}
+
+TEST(Stats, SummaryEmpty)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0, 10}, 50), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({0, 10}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({0, 10}, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentile({3}, 75), 3.0);
+}
+
+TEST(Stats, HistogramCountsAll)
+{
+    auto bins = histogram({0.1, 0.2, 0.9, 0.5, 0.55}, 10, 0.0, 1.0);
+    ASSERT_EQ(bins.size(), 10u);
+    size_t total = 0;
+    for (const auto &b : bins)
+        total += b.count;
+    EXPECT_EQ(total, 5u);
+    EXPECT_EQ(bins[1].count, 1u); // 0.1
+    EXPECT_EQ(bins[9].count, 1u); // 0.9
+}
+
+TEST(Stats, HistogramClampsOutliers)
+{
+    auto bins = histogram({-5.0, 5.0}, 4, 0.0, 1.0);
+    EXPECT_EQ(bins.front().count, 1u);
+    EXPECT_EQ(bins.back().count, 1u);
+}
+
+TEST(Stats, GeomeanSpeedup)
+{
+    // +10% and -9.0909..% cancel out.
+    EXPECT_NEAR(geomeanSpeedup({0.10, -1.0 / 11.0}), 0.0, 1e-12);
+    EXPECT_NEAR(geomeanSpeedup({0.05, 0.05}), 0.05, 1e-12);
+}
+
+TEST(Strings, TrimAndSplit)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    auto ws = splitWhitespace("  foo\t bar\nbaz ");
+    ASSERT_EQ(ws.size(), 3u);
+    EXPECT_EQ(ws[2], "baz");
+}
+
+TEST(Strings, ReplaceAll)
+{
+    EXPECT_EQ(replaceAll("aaa", "a", "bb"), "bbbbbb");
+    EXPECT_EQ(replaceAll("xyx", "y", ""), "xx");
+}
+
+TEST(Strings, FormatGlslFloatRoundTrips)
+{
+    for (double v : {0.0, 1.0, -2.5, 0.699301, 1e-8, 3.14159265358979,
+                     1234567.0}) {
+        std::string s = formatGlslFloat(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+        // Must re-lex as a float, not an int.
+        EXPECT_TRUE(s.find('.') != std::string::npos ||
+                    s.find('e') != std::string::npos)
+            << s;
+    }
+}
+
+TEST(Diag, CollectsAndThrows)
+{
+    DiagEngine diags;
+    diags.warning({1, 2}, "w");
+    EXPECT_FALSE(diags.hasErrors());
+    diags.checkpoint(); // no throw
+    diags.error({3, 4}, "bad");
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_THROW(diags.checkpoint(), CompileError);
+    EXPECT_NE(diags.str().find("3:4: error: bad"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", TextTable::num(1.5)});
+    t.addRow({"longer_name", TextTable::pct(0.0425)});
+    std::string s = t.str();
+    EXPECT_NE(s.find("longer_name"), std::string::npos);
+    EXPECT_NE(s.find("+4.25%"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+} // namespace
+} // namespace gsopt

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the tuner: flag sets, exhaustive exploration with dedup,
+ * and the experiment engine analyses (on a reduced corpus to stay
+ * fast; the full-campaign shape checks live in experiments_test.cpp).
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "tuner/experiment.h"
+#include "tuner/explore.h"
+#include "tuner/flags.h"
+
+namespace gsopt::tuner {
+namespace {
+
+TEST(FlagSet, RoundTripsOptFlags)
+{
+    for (int bits = 0; bits < 256; ++bits) {
+        FlagSet f(static_cast<uint8_t>(bits));
+        EXPECT_EQ(FlagSet::fromOptFlags(f.toOptFlags()).bits, f.bits);
+    }
+}
+
+TEST(FlagSet, DefaultsMatchPaper)
+{
+    // LunarGlass defaults: the six stock passes on, the two custom
+    // unsafe FP passes off (paper Section III-A/B).
+    FlagSet d = FlagSet::lunarGlassDefaults();
+    EXPECT_TRUE(d.has(kAdce));
+    EXPECT_TRUE(d.has(kCoalesce));
+    EXPECT_TRUE(d.has(kGvn));
+    EXPECT_TRUE(d.has(kReassociate));
+    EXPECT_TRUE(d.has(kUnroll));
+    EXPECT_TRUE(d.has(kHoist));
+    EXPECT_FALSE(d.has(kFpReassociate));
+    EXPECT_FALSE(d.has(kDivToMul));
+}
+
+TEST(FlagSet, Spelling)
+{
+    EXPECT_EQ(FlagSet::none().str(), "{none}");
+    FlagSet f = FlagSet::none().with(kUnroll).with(kDivToMul);
+    EXPECT_EQ(f.str(), "{Unroll,Div to Mul}");
+    EXPECT_EQ(allFlagSets().size(), 256u);
+}
+
+TEST(Explore, MotivatingExampleHasMultipleVariants)
+{
+    Exploration ex = exploreShader(corpus::motivatingExample());
+    // 256 combos collapse to a handful of unique variants (Fig 4c).
+    EXPECT_GE(ex.uniqueCount(), 4u);
+    EXPECT_LE(ex.uniqueCount(), 48u);
+    // Every combo maps to a valid variant.
+    for (int c = 0; c < 256; ++c) {
+        ASSERT_GE(ex.variantOfFlags[c], 0);
+        ASSERT_LT(ex.variantOfFlags[c],
+                  static_cast<int>(ex.uniqueCount()));
+    }
+    // Producer lists partition the 256 combos.
+    size_t total = 0;
+    for (const auto &v : ex.variants)
+        total += v.producers.size();
+    EXPECT_EQ(total, 256u);
+}
+
+TEST(Explore, TrivialShaderHasOneVariant)
+{
+    corpus::CorpusShader s;
+    s.name = "test/trivial";
+    s.family = "test";
+    s.source = "#version 450\nout vec4 c;\nvoid main() { c = "
+               "vec4(0.25); }\n";
+    Exploration ex = exploreShader(s);
+    EXPECT_EQ(ex.uniqueCount(), 1u);
+    // No flag changes the output of a constant shader.
+    for (int b = 0; b < kFlagCount; ++b)
+        EXPECT_FALSE(ex.flagChangesOutput(b)) << flagName(b);
+}
+
+TEST(Explore, AdceNeverChangesOutput)
+{
+    // The paper's VI-D1 observation, verified on real corpus entries.
+    for (const char *name :
+         {"blur/weighted9", "pbr/full", "fxaa/high", "toon/bands3"}) {
+        Exploration ex = exploreShader(*corpus::findShader(name));
+        EXPECT_FALSE(ex.flagChangesOutput(kAdce)) << name;
+    }
+}
+
+TEST(Explore, UnrollChangesLoopShaders)
+{
+    Exploration ex = exploreShader(corpus::motivatingExample());
+    EXPECT_TRUE(ex.flagChangesOutput(kUnroll));
+    EXPECT_TRUE(ex.flagChangesOutput(kFpReassociate));
+    EXPECT_TRUE(ex.flagChangesOutput(kDivToMul));
+}
+
+TEST(Explore, MostlyHasFlagSemantics)
+{
+    Variant v;
+    v.producers = {FlagSet(0b00000001), FlagSet(0b00000011),
+                   FlagSet(0b00000010)};
+    EXPECT_TRUE(v.mostlyHasFlag(0));  // 2 of 3
+    EXPECT_TRUE(v.mostlyHasFlag(1));  // 2 of 3
+    EXPECT_FALSE(v.mostlyHasFlag(2)); // 0 of 3
+}
+
+/** Reduced corpus keeps engine tests fast. */
+std::vector<corpus::CorpusShader>
+miniCorpus()
+{
+    std::vector<corpus::CorpusShader> out;
+    for (const char *name :
+         {"blur/weighted9", "simple/grayscale", "tonemap/aces",
+          "toon/bands3", "deferred/lights4"}) {
+        out.push_back(*corpus::findShader(name));
+    }
+    return out;
+}
+
+TEST(Engine, MeasuresEveryShaderOnEveryDevice)
+{
+    ExperimentEngine engine(miniCorpus());
+    ASSERT_EQ(engine.results().size(), 5u);
+    for (const auto &r : engine.results()) {
+        EXPECT_EQ(r.byDevice.size(), gpu::allDevices().size());
+        for (const auto &[dev, m] : r.byDevice) {
+            EXPECT_GT(m.originalMeanNs, 0.0);
+            EXPECT_EQ(m.variantMeanNs.size(),
+                      r.exploration.uniqueCount());
+        }
+    }
+}
+
+TEST(Engine, BestNeverWorseThanFixedFlags)
+{
+    ExperimentEngine engine(miniCorpus());
+    for (const auto &r : engine.results()) {
+        for (gpu::DeviceId dev : gpu::allDevices()) {
+            double best = r.bestSpeedup(dev);
+            EXPECT_GE(best + 1e-9,
+                      r.speedupFor(dev, FlagSet::lunarGlassDefaults()));
+            EXPECT_GE(best + 1e-9, r.speedupFor(dev, FlagSet::all()));
+            EXPECT_GE(best + 1e-9, r.speedupFor(dev, FlagSet::none()));
+        }
+    }
+}
+
+TEST(Engine, BestStaticIsArgmaxOfMean)
+{
+    ExperimentEngine engine(miniCorpus());
+    for (gpu::DeviceId dev :
+         {gpu::DeviceId::Amd, gpu::DeviceId::Arm}) {
+        FlagSet best = engine.bestStaticFlags(dev);
+        double best_mean = engine.meanSpeedup(dev, best);
+        for (const FlagSet &f :
+             {FlagSet::none(), FlagSet::all(),
+              FlagSet::lunarGlassDefaults()}) {
+            EXPECT_GE(best_mean + 1e-9, engine.meanSpeedup(dev, f));
+        }
+    }
+}
+
+TEST(Engine, PerShaderSeriesShapes)
+{
+    ExperimentEngine engine(miniCorpus());
+    auto best = engine.perShaderBestSpeedups(gpu::DeviceId::Amd);
+    auto defs = engine.perShaderSpeedups(gpu::DeviceId::Amd,
+                                         FlagSet::lunarGlassDefaults());
+    ASSERT_EQ(best.size(), 5u);
+    ASSERT_EQ(defs.size(), 5u);
+    for (size_t i = 0; i < best.size(); ++i)
+        EXPECT_GE(best[i] + 1e-9, defs[i]);
+}
+
+TEST(Engine, MinimalBestFlagsPreferred)
+{
+    // bestFlags returns the smallest flag set among producers of the
+    // winning variant: ADCE (a no-op) never appears in it.
+    ExperimentEngine engine(miniCorpus());
+    for (const auto &r : engine.results()) {
+        FlagSet f = r.bestFlags(gpu::DeviceId::Intel);
+        EXPECT_FALSE(f.has(kAdce))
+            << r.exploration.shaderName << " " << f.str();
+    }
+}
+
+} // namespace
+} // namespace gsopt::tuner
