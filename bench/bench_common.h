@@ -5,8 +5,10 @@
  *
  * Every binary regenerates one table or figure of the paper and prints
  * the same rows/series the paper reports. The first binary run pays for
- * the measurement campaign (~15 s on one core); the results are cached
- * in ./experiment_cache.bin for all subsequent runs.
+ * the measurement campaign (~4 s on one core since the compile-once
+ * exploration refactor; ~15 s before it — see bench/micro_explore.cpp
+ * for the trajectory); the results are cached in ./experiment_cache.bin
+ * for all subsequent runs.
  */
 #ifndef GSOPT_BENCH_BENCH_COMMON_H
 #define GSOPT_BENCH_BENCH_COMMON_H

@@ -12,6 +12,7 @@
 #include "emit/offline.h"
 #include "glsl/frontend.h"
 #include "gpu/driver.h"
+#include "ir/interp.h"
 #include "lower/lower.h"
 #include "passes/passes.h"
 #include "runtime/framework.h"
@@ -115,7 +116,7 @@ BM_DriverCompileNvidia(benchmark::State &state)
     const std::string &text = cs.preprocessedText;
     const auto &dev = gpu::deviceModel(gpu::DeviceId::Nvidia);
     for (auto _ : state) {
-        auto bin = gpu::driverCompile(text, dev);
+        auto bin = gpu::driverCompileUncached(text, dev);
         benchmark::DoNotOptimize(bin.cyclesPerFragment);
     }
 }
@@ -129,11 +130,79 @@ BM_DriverCompileMali(benchmark::State &state)
     const std::string &text = cs.preprocessedText;
     const auto &dev = gpu::deviceModel(gpu::DeviceId::Arm);
     for (auto _ : state) {
-        auto bin = gpu::driverCompile(text, dev);
+        auto bin = gpu::driverCompileUncached(text, dev);
         benchmark::DoNotOptimize(bin.cyclesPerFragment);
     }
 }
 BENCHMARK(BM_DriverCompileMali);
+
+void
+BM_DriverCompileCacheHit(benchmark::State &state)
+{
+    const auto &s = heavyShader();
+    auto cs = glsl::compileShader(s.source, s.defines);
+    const std::string &text = cs.preprocessedText;
+    const auto &dev = gpu::deviceModel(gpu::DeviceId::Nvidia);
+    gpu::driverCompile(text, dev); // warm the content-addressed cache
+    for (auto _ : state) {
+        auto bin = gpu::driverCompile(text, dev);
+        benchmark::DoNotOptimize(bin.cyclesPerFragment);
+    }
+}
+BENCHMARK(BM_DriverCompileCacheHit);
+
+void
+BM_Interpret(benchmark::State &state)
+{
+    const auto &s = heavyShader();
+    auto cs = glsl::compileShader(s.source, s.defines);
+    auto module = lower::lowerShader(cs);
+    passes::canonicalize(*module);
+    for (auto _ : state) {
+        auto r = ir::interpret(*module, {});
+        benchmark::DoNotOptimize(r.executedInstructions);
+    }
+}
+BENCHMARK(BM_Interpret);
+
+void
+BM_InterpretMapReference(benchmark::State &state)
+{
+    const auto &s = heavyShader();
+    auto cs = glsl::compileShader(s.source, s.defines);
+    auto module = lower::lowerShader(cs);
+    passes::canonicalize(*module);
+    for (auto _ : state) {
+        auto r = ir::interpretReference(*module, {});
+        benchmark::DoNotOptimize(r.executedInstructions);
+    }
+}
+BENCHMARK(BM_InterpretMapReference);
+
+void
+BM_ModuleClone(benchmark::State &state)
+{
+    const auto &s = heavyShader();
+    auto module = emit::compileToIr(s.source, s.defines);
+    passes::canonicalize(*module);
+    for (auto _ : state) {
+        auto copy = module->clone();
+        benchmark::DoNotOptimize(copy->instructionCount());
+    }
+}
+BENCHMARK(BM_ModuleClone);
+
+void
+BM_Fingerprint(benchmark::State &state)
+{
+    const auto &s = heavyShader();
+    auto module = emit::compileToIr(s.source, s.defines);
+    passes::canonicalize(*module);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ir::fingerprint(*module));
+    }
+}
+BENCHMARK(BM_Fingerprint);
 
 void
 BM_MeasurementProtocol(benchmark::State &state)

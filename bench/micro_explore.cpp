@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Perf trajectory for the compile-once exploration pipeline. Runs the
+ * same campaign two ways over a probe set of corpus shaders:
+ *
+ *   legacy — the pre-refactor path: a full front end (preprocess, lex,
+ *            parse, sema, lower) for every one of the 256 flag
+ *            combinations, every variant printed, and the driver
+ *            compile cache defeated so every measurement pays a cold
+ *            vendor compile (exactly what the seed code did);
+ *   new    — tuner::exploreShader (front end once, passes on clones,
+ *            fingerprint dedup before the printer) plus the
+ *            content-addressed driver cache.
+ *
+ * It prints per-phase wall-clock (front end / lower / passes /
+ * fingerprint / print / driver compile / measurement), the campaign
+ * totals, and the interpreter microbenchmark (slot-indexed engine vs
+ * the map-based reference). Future perf PRs report against these
+ * numbers. Pass --full to run the entire corpus instead of the probe
+ * set.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "corpus/corpus.h"
+#include "emit/offline.h"
+#include "glsl/frontend.h"
+#include "gpu/driver.h"
+#include "ir/interp.h"
+#include "lower/lower.h"
+#include "passes/passes.h"
+#include "runtime/framework.h"
+#include "support/rng.h"
+#include "tuner/explore.h"
+
+using namespace gsopt;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The seed's exploreShader: full front end per combo, dedup on text. */
+tuner::Exploration
+exploreShaderLegacy(const corpus::CorpusShader &shader)
+{
+    tuner::Exploration ex;
+    ex.shaderName = shader.name;
+    ex.originalSource = shader.source;
+    {
+        glsl::CompiledShader cs =
+            glsl::compileShader(shader.source, shader.defines);
+        ex.preprocessedOriginal = cs.preprocessedText;
+    }
+    std::unordered_map<uint64_t, int> by_hash;
+    for (const tuner::FlagSet &flags : tuner::allFlagSets()) {
+        std::string text = emit::optimizeShaderSource(
+            shader.source, flags.toOptFlags(), shader.defines);
+        const uint64_t hash = fnv1a(text);
+        auto it = by_hash.find(hash);
+        int index;
+        if (it == by_hash.end()) {
+            index = static_cast<int>(ex.variants.size());
+            by_hash.emplace(hash, index);
+            tuner::Variant v;
+            v.source = std::move(text);
+            v.sourceHash = hash;
+            ex.variants.push_back(std::move(v));
+        } else {
+            index = it->second;
+        }
+        ex.variants[static_cast<size_t>(index)].producers.push_back(
+            flags);
+        ex.variantOfFlags[flags.bits] = index;
+    }
+    ex.passthroughVariant =
+        ex.variantOfFlags[tuner::FlagSet::none().bits];
+    return ex;
+}
+
+struct CampaignTiming
+{
+    double exploreMs = 0;
+    double measureMs = 0;
+    double totalMs() const { return exploreMs + measureMs; }
+    size_t variants = 0;
+    size_t measurements = 0;
+};
+
+/** Measure one explored shader on every device (the engine's inner
+ * loop). @p defeatCache reproduces the pre-refactor cost model: every
+ * measurement recompiles its text from scratch. */
+double
+measureAll(const tuner::Exploration &ex, bool defeatCache,
+           size_t &measurements)
+{
+    const double t0 = nowMs();
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        const gpu::DeviceModel &device = gpu::deviceModel(id);
+        if (defeatCache)
+            gpu::clearDriverCache();
+        runtime::measureShader(ex.preprocessedOriginal, device,
+                               ex.shaderName + "/original");
+        ++measurements;
+        for (size_t v = 0; v < ex.variants.size(); ++v) {
+            if (defeatCache)
+                gpu::clearDriverCache();
+            runtime::measureShader(ex.variants[v].source, device,
+                                   ex.shaderName + "/v" +
+                                       std::to_string(v));
+            ++measurements;
+        }
+    }
+    return nowMs() - t0;
+}
+
+void
+interpreterMicrobench()
+{
+    const corpus::CorpusShader &s =
+        *corpus::findShader("uber/car_chase");
+    glsl::CompiledShader cs = glsl::compileShader(s.source, s.defines);
+    auto module = lower::lowerShader(cs);
+    passes::canonicalize(*module);
+    ir::InterpEnv env = runtime::defaultEnvironment(cs.interface);
+
+    // Warm up + pick a rep count that keeps the bench quick.
+    const int reps = 200;
+    auto time_engine = [&](auto &&run) {
+        double best = 1e300;
+        for (int trial = 0; trial < 3; ++trial) {
+            const double t0 = nowMs();
+            for (int r = 0; r < reps; ++r)
+                run();
+            best = std::min(best, nowMs() - t0);
+        }
+        return best;
+    };
+
+    double slot_ms = time_engine(
+        [&] { ir::interpret(*module, env); });
+    double map_ms = time_engine(
+        [&] { ir::interpretReference(*module, env); });
+
+    std::printf("Interpreter microbenchmark (uber/car_chase, %d runs, "
+                "best of 3):\n",
+                reps);
+    std::printf("  map-based reference : %8.2f ms  (%.1f us/run)\n",
+                map_ms, map_ms * 1000.0 / reps);
+    std::printf("  slot-indexed engine : %8.2f ms  (%.1f us/run)\n",
+                slot_ms, slot_ms * 1000.0 / reps);
+    std::printf("  speedup             : %8.2fx  (target >= 5x)\n\n",
+                map_ms / slot_ms);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool full =
+        argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+    bench::banner("micro_explore",
+                  "Campaign per-phase timing: compile-once exploration "
+                  "+ driver cache vs the legacy pipeline");
+
+    interpreterMicrobench();
+
+    std::vector<corpus::CorpusShader> probe;
+    if (full) {
+        probe = corpus::corpus();
+    } else {
+        for (const char *name :
+             {"blur/weighted9", "simple/grayscale", "tonemap/aces",
+              "toon/bands3", "deferred/lights4", "pbr/full",
+              "fxaa/high", "godrays/march32", "ssao/kernel16",
+              "uber/car_chase"}) {
+            probe.push_back(*corpus::findShader(name));
+        }
+    }
+    std::printf("Probe set: %zu shaders x 256 combos x %zu devices%s\n\n",
+                probe.size(), gpu::allDevices().size(),
+                full ? " (full corpus)" : "");
+
+    // ---- legacy path ---------------------------------------------------
+    CampaignTiming legacy;
+    for (const auto &s : probe) {
+        const double t0 = nowMs();
+        tuner::Exploration ex = exploreShaderLegacy(s);
+        legacy.exploreMs += nowMs() - t0;
+        legacy.variants += ex.uniqueCount();
+        legacy.measureMs +=
+            measureAll(ex, /*defeatCache=*/true, legacy.measurements);
+    }
+
+    // ---- new path ------------------------------------------------------
+    gpu::clearDriverCache();
+    tuner::exploreCounters().reset();
+    CampaignTiming fresh;
+    for (const auto &s : probe) {
+        const double t0 = nowMs();
+        tuner::Exploration ex = tuner::exploreShader(s);
+        fresh.exploreMs += nowMs() - t0;
+        fresh.variants += ex.uniqueCount();
+        fresh.measureMs +=
+            measureAll(ex, /*defeatCache=*/false, fresh.measurements);
+    }
+    const tuner::ExploreCounters &c = tuner::exploreCounters();
+    const gpu::DriverCacheStats cache = gpu::driverCacheStats();
+
+    auto ms = [](uint64_t ns) {
+        return static_cast<double>(ns) / 1e6;
+    };
+    std::printf("New-path exploration phases (%zu shaders):\n",
+                probe.size());
+    std::printf("  front end   : %9.1f ms  (%llu runs)\n",
+                ms(c.frontEndNs),
+                static_cast<unsigned long long>(c.frontEndRuns.load()));
+    std::printf("  lowering    : %9.1f ms  (%llu runs)\n", ms(c.lowerNs),
+                static_cast<unsigned long long>(c.lowerRuns.load()));
+    std::printf("  pass runs   : %9.1f ms  (%llu clone+optimize)\n",
+                ms(c.pipelineNs),
+                static_cast<unsigned long long>(c.pipelineRuns.load()));
+    std::printf("  fingerprint : %9.1f ms  (%llu dedup hits)\n",
+                ms(c.fingerprintNs),
+                static_cast<unsigned long long>(
+                    c.fingerprintHits.load()));
+    std::printf("  print       : %9.1f ms  (%llu runs)\n", ms(c.printNs),
+                static_cast<unsigned long long>(c.printRuns.load()));
+    std::printf("Driver cache: %llu hits / %llu misses, %9.1f ms "
+                "compiling\n\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                ms(cache.compileNs));
+
+    std::printf("Campaign wall-clock summary:\n");
+    std::printf("  %-28s %12s %12s %12s\n", "", "explore", "measure",
+                "total");
+    std::printf("  %-28s %9.1f ms %9.1f ms %9.1f ms\n",
+                "legacy (recompile always)", legacy.exploreMs,
+                legacy.measureMs, legacy.totalMs());
+    std::printf("  %-28s %9.1f ms %9.1f ms %9.1f ms\n",
+                "compile-once + cache", fresh.exploreMs, fresh.measureMs,
+                fresh.totalMs());
+    std::printf("  %-28s %9.2fx %11.2fx %11.2fx  (target >= 3x total)\n",
+                "speedup", legacy.exploreMs / fresh.exploreMs,
+                legacy.measureMs / fresh.measureMs,
+                legacy.totalMs() / fresh.totalMs());
+    if (legacy.variants != fresh.variants) {
+        std::printf("  WARNING: variant partitions differ (legacy %zu, "
+                    "new %zu)\n",
+                    legacy.variants, fresh.variants);
+    }
+    return 0;
+}

@@ -1,18 +1,165 @@
 #include "gpu/driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "emit/offline.h"
 #include "passes/passes.h"
+#include "support/rng.h"
+#include "support/time.h"
 
 namespace gsopt::gpu {
+
+namespace {
+
+/** Hash every device parameter that can influence the compiled binary
+ * or its cost accounting. Over-keying is harmless (a distinct entry);
+ * under-keying would let tweaked ablation models alias stock ones. */
+uint64_t
+deviceConfigHash(const DeviceModel &d)
+{
+    auto mixDouble = [](uint64_t h, double v) {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        return hashCombine(h, bits);
+    };
+    uint64_t h = fnv1a(d.name);
+    h = hashCombine(h, static_cast<uint64_t>(d.id));
+    h = hashCombine(h, static_cast<uint64_t>(d.isa));
+    for (double v :
+         {d.clockGhz, static_cast<double>(d.shaderUnits),
+          d.baseOverheadCycles, d.costAddMul, d.costDiv, d.costSqrt,
+          d.costTranscendental, d.costMov, d.costBranch,
+          d.divergencePenalty, d.texIssueCost, d.texLatency,
+          d.wavesToHideTex, d.regBudget, d.spillThreshold, d.spillCost,
+          d.maxWaves, d.icacheInstrs, d.icachePenalty, d.slpEfficiency})
+        h = mixDouble(h, v);
+    uint64_t jit = 0;
+    jit = (jit << 1) | d.jitFlags.adce;
+    jit = (jit << 1) | d.jitFlags.coalesce;
+    jit = (jit << 1) | d.jitFlags.gvn;
+    jit = (jit << 1) | d.jitFlags.reassociate;
+    jit = (jit << 1) | d.jitFlags.unroll;
+    jit = (jit << 1) | d.jitFlags.hoist;
+    jit = (jit << 1) | d.jitFlags.fpReassociate;
+    jit = (jit << 1) | d.jitFlags.divToMul;
+    h = hashCombine(h, jit);
+    h = hashCombine(h, static_cast<uint64_t>(d.jitUnrollTrips));
+    h = hashCombine(h, d.jitUnrollInstrs);
+    h = hashCombine(h, d.jitHoistArmInstrs);
+    h = hashCombine(h, d.schedulerWindow);
+    return h;
+}
+
+std::shared_mutex cacheMutex;
+std::unordered_map<uint64_t, ShaderBinary> cache;
+std::atomic<uint64_t> cacheHits{0};
+std::atomic<uint64_t> cacheMisses{0};
+std::atomic<uint64_t> cacheCompileNs{0};
+
+/** Front-end sharing across devices: the driver's parse+lower of a
+ * given text is device-independent, so a campaign compiling one
+ * variant on five devices parses it once and clones the IR per device
+ * for the vendor pass set. Entries are immutable once inserted (vendor
+ * passes always run on a clone). Both caches are deliberately
+ * unbounded: a full campaign tops out at a few hundred unique texts x
+ * 5 devices, and clearDriverCache() is the pressure valve for
+ * longer-lived processes. */
+std::mutex irCacheMutex;
+std::unordered_map<uint64_t, std::unique_ptr<ir::Module>> irCache;
+
+std::unique_ptr<ir::Module>
+frontEndIr(const std::string &glslSource)
+{
+    const uint64_t key = fnv1a(glslSource);
+    {
+        std::lock_guard lock(irCacheMutex);
+        auto it = irCache.find(key);
+        if (it != irCache.end())
+            return it->second->clone();
+    }
+    auto module = emit::compileToIr(glslSource);
+    auto result = module->clone();
+    {
+        std::lock_guard lock(irCacheMutex);
+        irCache.try_emplace(key, std::move(module));
+    }
+    return result;
+}
+
+/** Vendor pass set + cost model over an already-parsed module. */
+ShaderBinary compileIr(ir::Module &module, const DeviceModel &device);
+
+} // namespace
 
 ShaderBinary
 driverCompile(const std::string &glslSource, const DeviceModel &device)
 {
+    const uint64_t key =
+        hashCombine(fnv1a(glslSource), deviceConfigHash(device));
+    {
+        std::shared_lock lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            cacheHits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Miss: front end via the cross-device IR cache (parse each unique
+    // text once, vendor passes on a clone), then the vendor pipeline.
+    const uint64_t t0 = nowNs();
+    auto module = frontEndIr(glslSource);
+    ShaderBinary bin = compileIr(*module, device);
+    cacheCompileNs.fetch_add(nowNs() - t0, std::memory_order_relaxed);
+    {
+        std::unique_lock lock(cacheMutex);
+        cacheMisses.fetch_add(1, std::memory_order_relaxed);
+        cache.emplace(key, bin);
+    }
+    return bin;
+}
+
+DriverCacheStats
+driverCacheStats()
+{
+    std::shared_lock lock(cacheMutex);
+    return {cacheHits, cacheMisses, cache.size(), cacheCompileNs};
+}
+
+void
+clearDriverCache()
+{
+    {
+        std::lock_guard lock(irCacheMutex);
+        irCache.clear();
+    }
+    std::unique_lock lock(cacheMutex);
+    cache.clear();
+    cacheHits = 0;
+    cacheMisses = 0;
+    cacheCompileNs = 0;
+}
+
+ShaderBinary
+driverCompileUncached(const std::string &glslSource,
+                      const DeviceModel &device)
+{
     // Front end: the driver parses whatever text it is given.
     auto module = emit::compileToIr(glslSource);
+    return compileIr(*module, device);
+}
+
+namespace {
+
+ShaderBinary
+compileIr(ir::Module &moduleRef, const DeviceModel &device)
+{
+    ir::Module *module = &moduleRef;
 
     // Vendor optimization set. Every real driver folds constants and
     // CSEs (canonicalize); the flags encode what else this vendor's
@@ -84,6 +231,8 @@ driverCompile(const std::string &glslSource, const DeviceModel &device)
                             bin.texStallCycles + bin.icacheStallCycles;
     return bin;
 }
+
+} // namespace
 
 double
 drawTimeNs(const ShaderBinary &binary, const DeviceModel &device,

@@ -39,9 +39,37 @@ struct ShaderBinary
 /**
  * Compile GLSL source exactly as the vendor driver would. Throws
  * gsopt::CompileError on invalid source.
+ *
+ * Compilations are memoised in a process-wide content-addressed cache
+ * keyed by (source-text hash, device-configuration hash): across a
+ * whole measurement campaign each unique variant text is compiled once
+ * per device instead of once per measurement — the real-driver analogue
+ * of the GL shader binary cache. The key covers every compilation- and
+ * cost-relevant device parameter, so ablation studies that tweak a
+ * model (e.g. disabling its JIT passes) never alias with the stock
+ * model. Thread-safe.
  */
 ShaderBinary driverCompile(const std::string &glslSource,
                            const DeviceModel &device);
+
+/** The raw uncached compile path (the cache's fill function). Exposed
+ * for benchmarks that need to price a cold compile. */
+ShaderBinary driverCompileUncached(const std::string &glslSource,
+                                   const DeviceModel &device);
+
+/** Cumulative cache statistics since process start (or last reset). */
+struct DriverCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+    uint64_t compileNs = 0; ///< time spent in uncached fills
+};
+
+DriverCacheStats driverCacheStats();
+
+/** Drop all cached binaries and zero the stats (benchmarks only). */
+void clearDriverCache();
 
 /** Timing: nanoseconds to shade one full-screen draw (noise-free). */
 double drawTimeNs(const ShaderBinary &binary, const DeviceModel &device,

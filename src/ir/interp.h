@@ -64,9 +64,25 @@ std::array<double, 4> defaultTexture(double u, double v, double lod);
  * component (the measurement framework's auto-initialisation rule);
  * missing samplers use defaultTexture.
  *
+ * Implementation: SSA values live in a dense slot-indexed register file
+ * (one slot per Instr::id, small-buffer lane storage — GLSL values are
+ * at most 4 components, so the hot path never heap-allocates), and var
+ * memory is a dense table indexed by Var::id. Modules whose ids did not
+ * come from Module::nextId()/newVar (hand-assembled test IR) fall back
+ * to the map-based reference engine automatically.
+ *
  * Throws std::runtime_error on malformed modules or runaway loops.
  */
 InterpResult interpret(const Module &module, const InterpEnv &env);
+
+/**
+ * The original map-based interpreter (`unordered_map<const Instr*,
+ * LaneVector>` value storage). Kept as the golden reference: the
+ * slot-indexed engine must produce bit-identical outputs, and the
+ * equivalence test suite pins that.
+ */
+InterpResult interpretReference(const Module &module,
+                                const InterpEnv &env);
 
 } // namespace gsopt::ir
 

@@ -1,5 +1,10 @@
 #include "ir/ir.h"
 
+#include <cstring>
+#include <unordered_map>
+
+#include "support/rng.h"
+
 namespace gsopt::ir {
 
 const char *
@@ -138,6 +143,206 @@ Module::newVar(std::string name, Type type, VarKind kind)
     var->kind = kind;
     vars.push_back(std::move(var));
     return vars.back().get();
+}
+
+namespace {
+
+/** Region deep-copy preserving instruction ids (unlike
+ * walk.h's cloneRegionInto, which allocates fresh ones). */
+void
+cloneRegionExact(const Region &src, Region &dst,
+                 const std::unordered_map<const Var *, Var *> &varMap,
+                 std::unordered_map<const Instr *, Instr *> &valueMap)
+{
+    auto mappedVar = [&varMap](Var *v) -> Var * {
+        if (!v)
+            return nullptr;
+        auto it = varMap.find(v);
+        return it == varMap.end() ? v : it->second;
+    };
+    auto mappedValue = [&valueMap](Instr *v) -> Instr * {
+        if (!v)
+            return nullptr;
+        auto it = valueMap.find(v);
+        return it == valueMap.end() ? v : it->second;
+    };
+
+    for (const auto &node : src.nodes) {
+        if (const auto *b = dyn_cast<Block>(node.get())) {
+            auto nb = std::make_unique<Block>();
+            nb->instrs.reserve(b->instrs.size());
+            for (const auto &i : b->instrs) {
+                auto ni = std::make_unique<Instr>();
+                ni->op = i->op;
+                ni->type = i->type;
+                ni->id = i->id;
+                ni->var = mappedVar(i->var);
+                ni->indices = i->indices;
+                ni->constData = i->constData;
+                ni->operands.reserve(i->operands.size());
+                for (Instr *op : i->operands)
+                    ni->operands.push_back(mappedValue(op));
+                valueMap[i.get()] = ni.get();
+                nb->instrs.push_back(std::move(ni));
+            }
+            dst.nodes.push_back(std::move(nb));
+        } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
+            auto nf = std::make_unique<IfNode>();
+            nf->cond = mappedValue(f->cond);
+            cloneRegionExact(f->thenRegion, nf->thenRegion, varMap,
+                             valueMap);
+            cloneRegionExact(f->elseRegion, nf->elseRegion, varMap,
+                             valueMap);
+            dst.nodes.push_back(std::move(nf));
+        } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
+            auto nl = std::make_unique<LoopNode>();
+            nl->canonical = l->canonical;
+            nl->counter = mappedVar(l->counter);
+            nl->init = l->init;
+            nl->limit = l->limit;
+            nl->step = l->step;
+            cloneRegionExact(l->condRegion, nl->condRegion, varMap,
+                             valueMap);
+            nl->condValue = mappedValue(l->condValue);
+            cloneRegionExact(l->body, nl->body, varMap, valueMap);
+            dst.nodes.push_back(std::move(nl));
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+Module::clone() const
+{
+    auto out = std::make_unique<Module>();
+    std::unordered_map<const Var *, Var *> varMap;
+    varMap.reserve(vars.size());
+    out->vars.reserve(vars.size());
+    for (const auto &v : vars) {
+        auto nv = std::make_unique<Var>(*v);
+        varMap[v.get()] = nv.get();
+        out->vars.push_back(std::move(nv));
+    }
+    std::unordered_map<const Instr *, Instr *> valueMap;
+    valueMap.reserve(static_cast<size_t>(nextId_));
+    cloneRegionExact(body, out->body, varMap, valueMap);
+    out->nextId_ = nextId_;
+    out->nextVarId_ = nextVarId_;
+    return out;
+}
+
+namespace {
+
+/** Running-hash state for fingerprint(): values are numbered by their
+ * position in the structural walk so id history cannot leak in. */
+struct Fingerprinter
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    std::unordered_map<const Instr *, uint64_t> position;
+    uint64_t nextPosition = 1; // 0 = null/external reference
+    std::unordered_map<const Var *, uint64_t> varPosition; // 1-based
+
+    uint64_t positionOfVar(const Var *v) const
+    {
+        if (!v)
+            return 0;
+        auto it = varPosition.find(v);
+        return it == varPosition.end() ? 0 : it->second;
+    }
+
+    void mix(uint64_t v) { h = hashCombine(h, v); }
+
+    void mixDouble(double d)
+    {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix(bits);
+    }
+
+    void mixType(const Type &t)
+    {
+        mix((static_cast<uint64_t>(t.base) << 48) ^
+            (static_cast<uint64_t>(t.cols) << 32) ^
+            (static_cast<uint64_t>(t.rows) << 16) ^
+            static_cast<uint64_t>(static_cast<uint16_t>(t.arraySize)));
+    }
+
+    uint64_t positionOf(const Instr *i)
+    {
+        if (!i)
+            return 0;
+        auto it = position.find(i);
+        return it == position.end() ? 0 : it->second;
+    }
+
+    void walk(const Region &region)
+    {
+        mix(0x5245); // region open tag
+        for (const auto &node : region.nodes) {
+            if (const auto *b = dyn_cast<Block>(node.get())) {
+                mix(0x424c);
+                for (const auto &i : b->instrs)
+                    walkInstr(*i);
+            } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
+                mix(0x4946);
+                mix(positionOf(f->cond));
+                walk(f->thenRegion);
+                walk(f->elseRegion);
+            } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
+                mix(0x4c50);
+                mix(l->canonical);
+                mix(positionOfVar(l->counter));
+                mix(static_cast<uint64_t>(l->init));
+                mix(static_cast<uint64_t>(l->limit));
+                mix(static_cast<uint64_t>(l->step));
+                walk(l->condRegion);
+                mix(positionOf(l->condValue));
+                walk(l->body);
+            }
+        }
+        mix(0x2f52); // region close tag
+    }
+
+    void walkInstr(const Instr &i)
+    {
+        position[&i] = nextPosition++;
+        mix(static_cast<uint64_t>(i.op));
+        mixType(i.type);
+        mix(positionOfVar(i.var));
+        mix(i.operands.size());
+        for (const Instr *op : i.operands)
+            mix(positionOf(op));
+        mix(i.indices.size());
+        for (int idx : i.indices)
+            mix(static_cast<uint64_t>(idx));
+        mix(i.constData.size());
+        for (double d : i.constData)
+            mixDouble(d);
+    }
+};
+
+} // namespace
+
+uint64_t
+fingerprint(const Module &module)
+{
+    Fingerprinter fp;
+    fp.position.reserve(module.instructionCount());
+    fp.varPosition.reserve(module.vars.size());
+    fp.mix(module.vars.size());
+    for (const auto &v : module.vars) {
+        const uint64_t pos = fp.varPosition.size() + 1;
+        fp.varPosition[v.get()] = pos;
+        fp.mix(fnv1a(v->name));
+        fp.mixType(v->type);
+        fp.mix(static_cast<uint64_t>(v->kind));
+        fp.mix(v->constInit.size());
+        for (double d : v->constInit)
+            fp.mixDouble(d);
+    }
+    fp.walk(module.body);
+    return fp.h;
 }
 
 Var *

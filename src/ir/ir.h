@@ -296,13 +296,39 @@ class Module
     /** Allocate a fresh instruction id. */
     int nextId() { return nextId_++; }
 
+    /**
+     * Exclusive upper bound on instruction ids allocated so far. Dense
+     * per-value side tables (the interpreter's register file) index by
+     * Instr::id and size themselves with this.
+     */
+    int idBound() const { return nextId_; }
+
     /** Total instruction count of the body. */
     size_t instructionCount() const { return body.instructionCount(); }
+
+    /**
+     * Deep copy. The clone owns fresh Vars and Instrs mirroring this
+     * module exactly — same var/instr ids, same structure — with every
+     * operand and var reference remapped into the clone. Cloning a
+     * lowered module and running a pass pipeline on the copy is
+     * behaviourally identical to re-lowering from source (the
+     * compile-once exploration relies on this).
+     */
+    std::unique_ptr<Module> clone() const;
 
   private:
     int nextId_ = 0;
     int nextVarId_ = 0;
 };
+
+/**
+ * Structural fingerprint of a module: a hash over the var table and the
+ * body in structural order, with values and vars numbered by position
+ * (not by Instr::id / Var::id), so two modules that would render to
+ * identical GLSL hash identically regardless of their id history. Used
+ * to dedup variants *before* paying for the printer.
+ */
+uint64_t fingerprint(const Module &module);
 
 } // namespace gsopt::ir
 

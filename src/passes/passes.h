@@ -14,6 +14,7 @@
 #define GSOPT_PASSES_PASSES_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,26 @@ struct OptFlags
  * passes to canonicalize instructions".
  */
 void optimize(ir::Module &module, const OptFlags &flags);
+
+/**
+ * Run the flagged pipeline for every one of the 256 flag combinations
+ * against @p base, invoking @p sink with each combination's final
+ * module (valid only for the duration of the call).
+ *
+ * Because the pipeline applies passes in a fixed order, the 256
+ * combinations form a binary prefix tree over 8 include/exclude
+ * decisions; this walks that tree, cloning at branch points, so work
+ * shared by combinations with a common pass prefix runs once (255 pass
+ * applications instead of ~1024). Every root-to-leaf path performs
+ * exactly the mutation sequence optimize() would, so each delivered
+ * module is bit-identical to optimize(base.clone(), flags).
+ *
+ * Sink invocation order follows the tree walk, not numeric flag order.
+ */
+void forEachFlagCombination(
+    const ir::Module &base,
+    const std::function<void(const OptFlags &, const ir::Module &)>
+        &sink);
 
 } // namespace gsopt::passes
 

@@ -1,56 +1,118 @@
 /**
  * @file
  * The fixed LunarGlass-style pass pipeline: canonicalisation always runs;
- * the eight flags gate their passes in a fixed order.
+ * the eight flags gate their passes in a fixed order. The stage table is
+ * the single source of truth for that order — optimize() and the
+ * prefix-sharing forEachFlagCombination() both walk it, which is what
+ * guarantees the tree walk reproduces the linear pipeline bit-for-bit.
  */
 #include "ir/verifier.h"
 #include "passes/passes.h"
 
 namespace gsopt::passes {
 
+namespace {
+
+struct Stage
+{
+    bool OptFlags::*flag;
+    void (*apply)(ir::Module &);
+};
+
+/** Pipeline order (not FlagSet bit order). Each apply() includes the
+ * trailing canonicalisation the linear pipeline performs. */
+const Stage kStages[] = {
+    {&OptFlags::unroll,
+     [](ir::Module &m) {
+         unroll(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::hoist,
+     [](ir::Module &m) {
+         hoist(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::coalesce,
+     [](ir::Module &m) {
+         coalesce(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::reassociate,
+     [](ir::Module &m) {
+         reassociate(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::fpReassociate,
+     [](ir::Module &m) {
+         fpReassociate(m);
+         canonicalize(m);
+         // A second application catches chains exposed by the first
+         // (e.g. factorised groups whose inner sums now fold).
+         fpReassociate(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::divToMul,
+     [](ir::Module &m) {
+         divToMul(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::gvn,
+     [](ir::Module &m) {
+         gvn(m);
+         canonicalize(m);
+     }},
+    {&OptFlags::adce,
+     [](ir::Module &m) {
+         adce(m);
+         canonicalize(m);
+     }},
+};
+
+constexpr size_t kStageCount = sizeof(kStages) / sizeof(kStages[0]);
+
+void
+walkCombinations(
+    const ir::Module &module, size_t stage, const OptFlags &flags,
+    const std::function<void(const OptFlags &, const ir::Module &)>
+        &sink)
+{
+    if (stage == kStageCount) {
+        ir::verifyOrDie(module, "after optimize pipeline");
+        sink(flags, module);
+        return;
+    }
+    // Skip branch: the module is untouched — share it, no copy.
+    walkCombinations(module, stage + 1, flags, sink);
+    // Apply branch: clone, run the stage, recurse.
+    auto on = module.clone();
+    kStages[stage].apply(*on);
+    OptFlags with = flags;
+    with.*kStages[stage].flag = true;
+    walkCombinations(*on, stage + 1, with, sink);
+}
+
+} // namespace
+
 void
 optimize(ir::Module &module, const OptFlags &flags)
 {
     canonicalize(module);
-
-    if (flags.unroll) {
-        unroll(module);
-        canonicalize(module);
+    for (const Stage &stage : kStages) {
+        if (flags.*stage.flag)
+            stage.apply(module);
     }
-    if (flags.hoist) {
-        hoist(module);
-        canonicalize(module);
-    }
-    if (flags.coalesce) {
-        coalesce(module);
-        canonicalize(module);
-    }
-    if (flags.reassociate) {
-        reassociate(module);
-        canonicalize(module);
-    }
-    if (flags.fpReassociate) {
-        fpReassociate(module);
-        canonicalize(module);
-        // A second application catches chains exposed by the first
-        // (e.g. factorised groups whose inner sums now fold).
-        fpReassociate(module);
-        canonicalize(module);
-    }
-    if (flags.divToMul) {
-        divToMul(module);
-        canonicalize(module);
-    }
-    if (flags.gvn) {
-        gvn(module);
-        canonicalize(module);
-    }
-    if (flags.adce) {
-        adce(module);
-        canonicalize(module);
-    }
-
     ir::verifyOrDie(module, "after optimize pipeline");
+}
+
+void
+forEachFlagCombination(
+    const ir::Module &base,
+    const std::function<void(const OptFlags &, const ir::Module &)>
+        &sink)
+{
+    auto root = base.clone();
+    canonicalize(*root);
+    walkCombinations(*root, 0, OptFlags{}, sink);
 }
 
 } // namespace gsopt::passes

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Monotonic wall-clock helpers shared by the phase-timing
+ * instrumentation (tuner explore counters, driver cache stats, perf
+ * benches).
+ */
+#ifndef GSOPT_SUPPORT_TIME_H
+#define GSOPT_SUPPORT_TIME_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace gsopt {
+
+/** Monotonic nanoseconds since an arbitrary epoch. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace gsopt
+
+#endif // GSOPT_SUPPORT_TIME_H

@@ -18,7 +18,10 @@ namespace {
 /** Bump when the measurement schema, a pass, or a cost model changes:
  * anything that can alter variants or timings without touching the
  * corpus or device parameters. */
-constexpr uint64_t kSchemaVersion = 11;
+/* 12: compile-once exploration (fingerprint dedup can reorder variant
+ * discovery) + content-addressed driver cache changed measurement
+ * counts/ordering. */
+constexpr uint64_t kSchemaVersion = 12;
 
 uint64_t
 campaignKey(const std::vector<corpus::CorpusShader> &shaders)

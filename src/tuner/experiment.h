@@ -28,9 +28,13 @@ struct DeviceMeasurement
     double originalMeanNs = 0;  ///< unmodified shader via the driver
     std::vector<double> variantMeanNs; ///< per unique variant
 
-    /** Percent speed-up of a variant against the original shader. */
+    /** Percent speed-up of a variant against the original shader.
+     * Degenerate baselines (zero/negative mean) report 0, matching
+     * runtime::speedupPercent. */
     double speedupOf(int variant_index) const
     {
+        if (originalMeanNs <= 0.0)
+            return 0.0;
         const double v =
             variantMeanNs[static_cast<size_t>(variant_index)];
         return (originalMeanNs - v) / originalMeanNs * 100.0;

@@ -2,11 +2,37 @@
 
 #include <unordered_map>
 
-#include "emit/offline.h"
+#include "emit/emit.h"
 #include "glsl/frontend.h"
+#include "ir/ir.h"
+#include "lower/lower.h"
+#include "passes/passes.h"
 #include "support/rng.h"
+#include "support/time.h"
 
 namespace gsopt::tuner {
+
+void
+ExploreCounters::reset()
+{
+    frontEndRuns = 0;
+    lowerRuns = 0;
+    pipelineRuns = 0;
+    printRuns = 0;
+    fingerprintHits = 0;
+    frontEndNs = 0;
+    lowerNs = 0;
+    pipelineNs = 0;
+    fingerprintNs = 0;
+    printNs = 0;
+}
+
+ExploreCounters &
+exploreCounters()
+{
+    static ExploreCounters counters;
+    return counters;
+}
 
 bool
 Variant::mostlyHasFlag(int bit) const
@@ -33,30 +59,78 @@ Exploration::flagChangesOutput(int bit) const
 Exploration
 exploreShader(const corpus::CorpusShader &shader)
 {
+    ExploreCounters &counters = exploreCounters();
     Exploration ex;
     ex.shaderName = shader.name;
     ex.originalSource = shader.source;
 
-    // Preprocess once for the LoC metric (Fig 4a counts preprocessed
-    // lines).
-    {
-        glsl::CompiledShader cs =
-            glsl::compileShader(shader.source, shader.defines);
-        ex.preprocessedOriginal = cs.preprocessedText;
-    }
+    // Front end once: preprocess/lex/parse/sema run a single time per
+    // shader; every flag combination reuses the result. (The
+    // preprocessed text also feeds the Fig 4a LoC metric.)
+    uint64_t t0 = nowNs();
+    glsl::CompiledShader cs =
+        glsl::compileShader(shader.source, shader.defines);
+    counters.frontEndRuns.fetch_add(1, std::memory_order_relaxed);
+    counters.frontEndNs.fetch_add(nowNs() - t0,
+                                  std::memory_order_relaxed);
+    ex.preprocessedOriginal = cs.preprocessedText;
 
-    std::unordered_map<uint64_t, int> by_hash;
+    // Lower once: the flag pipelines all start from clones of this
+    // module, which is behaviourally identical to re-lowering (clone
+    // preserves structure and ids exactly).
+    t0 = nowNs();
+    auto base = lower::lowerShader(cs);
+    counters.lowerRuns.fetch_add(1, std::memory_order_relaxed);
+    counters.lowerNs.fetch_add(nowNs() - t0, std::memory_order_relaxed);
+
+    // Phase A — run all 256 pipelines over the prefix-sharing tree
+    // (combos with a common pass prefix share that work). Each leaf is
+    // fingerprinted; only fingerprint-unique modules reach the printer
+    // (most of the 256 combos are structurally identical — Fig 4c).
+    uint64_t combo_fp[256] = {};
+    std::unordered_map<uint64_t, std::string> text_of_fp;
+    uint64_t fp_ns = 0, print_ns = 0;
+    const uint64_t tree_t0 = nowNs();
+    passes::forEachFlagCombination(
+        *base,
+        [&](const passes::OptFlags &flags, const ir::Module &module) {
+            counters.pipelineRuns.fetch_add(1,
+                                            std::memory_order_relaxed);
+            uint64_t t = nowNs();
+            const uint64_t fp = ir::fingerprint(module);
+            fp_ns += nowNs() - t;
+            combo_fp[FlagSet::fromOptFlags(flags).bits] = fp;
+            if (!text_of_fp.count(fp)) {
+                t = nowNs();
+                text_of_fp.emplace(fp, emit::emitGlsl(module));
+                counters.printRuns.fetch_add(
+                    1, std::memory_order_relaxed);
+                print_ns += nowNs() - t;
+            } else {
+                counters.fingerprintHits.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        });
+    counters.pipelineNs.fetch_add(nowNs() - tree_t0 - fp_ns - print_ns,
+                                  std::memory_order_relaxed);
+    counters.fingerprintNs.fetch_add(fp_ns, std::memory_order_relaxed);
+    counters.printNs.fetch_add(print_ns, std::memory_order_relaxed);
+
+    // Phase B — assign variant indices in numeric combo order with the
+    // text-hash dedup the seed used, so the variant partition and
+    // ordering stay exactly what per-combo text dedup would produce
+    // (fingerprints only decide who pays for printing).
+    std::unordered_map<uint64_t, int> by_text_hash;
     for (const FlagSet &flags : allFlagSets()) {
-        std::string text = emit::optimizeShaderSource(
-            shader.source, flags.toOptFlags(), shader.defines);
+        const std::string &text = text_of_fp.at(combo_fp[flags.bits]);
         const uint64_t hash = fnv1a(text);
-        auto it = by_hash.find(hash);
+        auto it = by_text_hash.find(hash);
         int index;
-        if (it == by_hash.end()) {
+        if (it == by_text_hash.end()) {
             index = static_cast<int>(ex.variants.size());
-            by_hash.emplace(hash, index);
+            by_text_hash.emplace(hash, index);
             Variant v;
-            v.source = std::move(text);
+            v.source = text;
             v.sourceHash = hash;
             ex.variants.push_back(std::move(v));
         } else {

@@ -8,6 +8,7 @@
 #ifndef GSOPT_TUNER_EXPLORE_H
 #define GSOPT_TUNER_EXPLORE_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +17,34 @@
 #include "tuner/flags.h"
 
 namespace gsopt::tuner {
+
+/**
+ * Process-wide phase accounting for exploreShader. The compile-once
+ * pipeline promises exactly one front-end (preprocess/lex/parse/sema)
+ * and one lowering per shader regardless of the 256 flag combinations;
+ * these counters make that verifiable and give the perf benches their
+ * per-phase breakdown. Thread-safe (the experiment engine explores
+ * shaders from a worker pool); times are cumulative nanoseconds.
+ */
+struct ExploreCounters
+{
+    std::atomic<uint64_t> frontEndRuns{0};  ///< compileShader calls
+    std::atomic<uint64_t> lowerRuns{0};     ///< lowerShader calls
+    std::atomic<uint64_t> pipelineRuns{0};  ///< clone+optimize per combo
+    std::atomic<uint64_t> printRuns{0};     ///< emitGlsl calls
+    std::atomic<uint64_t> fingerprintHits{0}; ///< combos deduped pre-print
+
+    std::atomic<uint64_t> frontEndNs{0};
+    std::atomic<uint64_t> lowerNs{0};
+    std::atomic<uint64_t> pipelineNs{0};   ///< clone + pass pipeline
+    std::atomic<uint64_t> fingerprintNs{0};
+    std::atomic<uint64_t> printNs{0};
+
+    void reset();
+};
+
+/** The process-wide counters (never reset implicitly). */
+ExploreCounters &exploreCounters();
 
 /** One unique optimised shader text plus the flag sets producing it. */
 struct Variant

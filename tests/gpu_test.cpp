@@ -51,6 +51,42 @@ TEST(Device, PaperPlatformProperties)
     EXPECT_EQ(dev(DeviceId::Nvidia).isa, IsaKind::Scalar);
 }
 
+TEST(Driver, CompileCacheHitsOnRepeatedTextDevicePairs)
+{
+    const std::string src =
+        "in vec2 uv; out vec4 c; void main() { c = vec4(uv, 0.5, 1.0); "
+        "}";
+    const DeviceModel &nv = dev(DeviceId::Nvidia);
+
+    DriverCacheStats before = driverCacheStats();
+    ShaderBinary a = driverCompile(src, nv);
+    ShaderBinary b = driverCompile(src, nv);
+    DriverCacheStats after = driverCacheStats();
+
+    // Second compile of the same (text, device) pair is a hit and
+    // returns the identical binary.
+    EXPECT_GE(after.hits, before.hits + 1);
+    EXPECT_DOUBLE_EQ(a.cyclesPerFragment, b.cyclesPerFragment);
+    EXPECT_DOUBLE_EQ(a.occupancyWaves, b.occupancyWaves);
+
+    // A different device misses; a tweaked copy of the same device
+    // (ablation-style) must also miss — the key covers configuration,
+    // not just DeviceId.
+    DriverCacheStats s0 = driverCacheStats();
+    driverCompile(src, dev(DeviceId::Arm));
+    DeviceModel tweaked = nv;
+    tweaked.jitFlags = passes::OptFlags{};
+    tweaked.jitUnrollTrips = 0;
+    ShaderBinary t = driverCompile(src, tweaked);
+    DriverCacheStats s1 = driverCacheStats();
+    EXPECT_GE(s1.misses, s0.misses + 2);
+    (void)t;
+
+    // The uncached path always agrees with the cached result.
+    ShaderBinary fresh = driverCompileUncached(src, nv);
+    EXPECT_DOUBLE_EQ(fresh.cyclesPerFragment, a.cyclesPerFragment);
+}
+
 TEST(Codegen, ScalarIsaPaysPerLane)
 {
     auto m = emit::compileToIr(

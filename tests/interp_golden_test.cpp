@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Golden equivalence for the slot-indexed interpreter: across corpus
+ * shaders and a sample of pass combinations, the dense-register engine
+ * must produce *bit-identical* results to the map-based reference
+ * implementation it replaced (same outputs, same discard behaviour,
+ * same dynamic instruction count).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/corpus.h"
+#include "glsl/frontend.h"
+#include "ir/interp.h"
+#include "lower/lower.h"
+#include "passes/passes.h"
+#include "runtime/framework.h"
+#include "tuner/flags.h"
+
+namespace gsopt {
+namespace {
+
+/** Shaders spanning the corpus families: loops + const arrays,
+ * branches, textures, übershader specialisation, generic loops. */
+const char *kShaders[] = {
+    "blur/weighted9", "simple/grayscale", "tonemap/aces",
+    "toon/bands3",    "deferred/lights4", "pbr/full",
+    "fxaa/high",      "uber/car_chase",
+};
+
+/** Pass combinations sampling the flag space: none, defaults, all,
+ * each flag alone, and a few mixed sets. */
+std::vector<tuner::FlagSet>
+sampleFlagSets()
+{
+    std::vector<tuner::FlagSet> out = {
+        tuner::FlagSet::none(),
+        tuner::FlagSet::lunarGlassDefaults(),
+        tuner::FlagSet::all(),
+    };
+    for (int bit = 0; bit < tuner::kFlagCount; ++bit)
+        out.push_back(tuner::FlagSet::none().with(bit));
+    out.push_back(tuner::FlagSet(0b01010101));
+    out.push_back(tuner::FlagSet(0b10101010));
+    out.push_back(tuner::FlagSet(0b11000011));
+    return out;
+}
+
+void
+expectBitIdentical(const ir::InterpResult &got,
+                   const ir::InterpResult &want, const char *what)
+{
+    ASSERT_EQ(got.discarded, want.discarded) << what;
+    ASSERT_EQ(got.executedInstructions, want.executedInstructions)
+        << what;
+    ASSERT_EQ(got.outputs.size(), want.outputs.size()) << what;
+    for (const auto &[name, lanes] : want.outputs) {
+        const auto &g = got.outputs.at(name);
+        ASSERT_EQ(g.size(), lanes.size()) << what << " " << name;
+        for (size_t k = 0; k < lanes.size(); ++k) {
+            // EXPECT_EQ on doubles is exact — bit-identity, not
+            // tolerance.
+            EXPECT_EQ(g[k], lanes[k])
+                << what << " " << name << "[" << k << "]";
+        }
+    }
+}
+
+TEST(InterpGolden, SlotEngineMatchesMapReferenceAcrossCorpus)
+{
+    for (const char *name : kShaders) {
+        const corpus::CorpusShader *shader = corpus::findShader(name);
+        ASSERT_NE(shader, nullptr) << name;
+        glsl::CompiledShader cs =
+            glsl::compileShader(shader->source, shader->defines);
+
+        // A handful of probe environments: the framework default plus
+        // perturbed fragment positions.
+        std::vector<ir::InterpEnv> envs;
+        envs.push_back(runtime::defaultEnvironment(cs.interface));
+        for (double p : {0.15, 0.85}) {
+            ir::InterpEnv env = envs.front();
+            for (auto &[k, v] : env.inputs) {
+                for (size_t c = 0; c < v.size(); ++c)
+                    v[c] = p + 0.1 * static_cast<double>(c);
+            }
+            envs.push_back(std::move(env));
+        }
+
+        for (const tuner::FlagSet &flags : sampleFlagSets()) {
+            auto module = lower::lowerShader(cs);
+            passes::optimize(*module, flags.toOptFlags());
+            for (const ir::InterpEnv &env : envs) {
+                auto fast = ir::interpret(*module, env);
+                auto gold = ir::interpretReference(*module, env);
+                expectBitIdentical(
+                    fast, gold,
+                    (std::string(name) + " " + flags.str()).c_str());
+            }
+        }
+    }
+}
+
+TEST(InterpGolden, ExploredVariantsMatchOnClonedModules)
+{
+    // The compile-once pipeline interprets clones; pin that a cloned
+    // module's execution is bit-identical to the original's under both
+    // engines.
+    const corpus::CorpusShader &shader = corpus::motivatingExample();
+    glsl::CompiledShader cs =
+        glsl::compileShader(shader.source, shader.defines);
+    auto base = lower::lowerShader(cs);
+    ir::InterpEnv env = runtime::defaultEnvironment(cs.interface);
+
+    auto want = ir::interpretReference(*base, env);
+    for (const tuner::FlagSet &flags : sampleFlagSets()) {
+        auto clone = base->clone();
+        passes::optimize(*clone, flags.toOptFlags());
+        auto got = ir::interpret(*clone, env);
+        // Optimised clones keep semantics up to FP reassociation;
+        // the *unsafe* flags may legitimately change bits, so compare
+        // only the safe sets bit-exactly.
+        if (flags.has(tuner::kFpReassociate) ||
+            flags.has(tuner::kDivToMul))
+            continue;
+        ASSERT_EQ(got.discarded, want.discarded);
+        for (const auto &[name, lanes] : want.outputs) {
+            const auto &g = got.outputs.at(name);
+            ASSERT_EQ(g.size(), lanes.size());
+            for (size_t k = 0; k < lanes.size(); ++k)
+                EXPECT_NEAR(g[k], lanes[k],
+                            1e-9 * (1.0 + std::fabs(lanes[k])))
+                    << name << "[" << k << "] " << flags.str();
+        }
+    }
+}
+
+} // namespace
+} // namespace gsopt

@@ -159,6 +159,148 @@ TEST(Dump, ContainsOpcodeAndVars)
     EXPECT_NE(text.find("store"), std::string::npos);
 }
 
+// ------------------------------------------------------------- clone
+
+/** A module exercising every node kind: block, if, canonical loop. */
+std::unique_ptr<Module>
+buildCloneFixture()
+{
+    auto m = std::make_unique<Module>();
+    Var *in = m->newVar("x", Type::floatTy(), VarKind::Input);
+    Var *acc = m->newVar("acc", Type::floatTy(), VarKind::Local);
+    Var *out = m->newVar("o", Type::vec(2), VarKind::Output);
+    IrBuilder b(*m);
+    b.store(acc, b.constFloat(0.0));
+    LoopNode *loop = b.createLoop();
+    loop->canonical = true;
+    loop->counter = m->newVar("i", Type::intTy(), VarKind::Local);
+    loop->init = 0;
+    loop->limit = 4;
+    loop->step = 1;
+    b.pushRegion(&loop->body);
+    Instr *iv = b.construct(Type::floatTy(), {b.load(loop->counter)});
+    b.store(acc, b.binary(Opcode::Add, b.load(acc), iv));
+    b.popRegion();
+    Instr *cond = b.binary(Opcode::Gt, b.load(in), b.constFloat(0.5));
+    IfNode *ifn = b.createIf(cond);
+    b.pushRegion(&ifn->thenRegion);
+    b.store(acc, b.binary(Opcode::Mul, b.load(acc), b.constFloat(2.0)));
+    b.popRegion();
+    b.store(out, b.construct(Type::vec(2), {b.load(acc)}));
+    return m;
+}
+
+TEST(Clone, VerifiesAndMatchesFingerprint)
+{
+    auto m = buildCloneFixture();
+    auto c = m->clone();
+    EXPECT_TRUE(verify(*c).empty());
+    EXPECT_EQ(c->instructionCount(), m->instructionCount());
+    EXPECT_EQ(c->idBound(), m->idBound());
+    EXPECT_EQ(fingerprint(*c), fingerprint(*m));
+}
+
+TEST(Clone, OwnsItsReferences)
+{
+    auto m = buildCloneFixture();
+    auto c = m->clone();
+    // No instruction or var in the clone may point into the original.
+    std::unordered_map<const Instr *, bool> mine;
+    forEachInstr(c->body, [&](const Instr &i) { mine[&i] = true; });
+    forEachInstr(c->body, [&](const Instr &i) {
+        for (const Instr *op : i.operands)
+            EXPECT_TRUE(mine.count(op));
+        if (i.var) {
+            bool in_clone = false;
+            for (const auto &v : c->vars)
+                in_clone |= v.get() == i.var;
+            EXPECT_TRUE(in_clone);
+        }
+    });
+}
+
+TEST(Clone, InterpMatchesOriginal)
+{
+    auto m = buildCloneFixture();
+    auto c = m->clone();
+    for (double x : {0.1, 0.9}) {
+        InterpEnv env;
+        env.inputs["x"] = {x};
+        auto a = interpret(*m, env);
+        auto b = interpret(*c, env);
+        ASSERT_EQ(a.outputs.size(), b.outputs.size());
+        for (const auto &[name, lanes] : a.outputs) {
+            const auto &other = b.outputs.at(name);
+            ASSERT_EQ(lanes.size(), other.size());
+            for (size_t k = 0; k < lanes.size(); ++k)
+                EXPECT_EQ(lanes[k], other[k]);
+        }
+    }
+}
+
+TEST(Clone, MutatingCloneLeavesOriginalUntouched)
+{
+    auto m = buildCloneFixture();
+    const size_t before = m->instructionCount();
+    const uint64_t fp_before = fingerprint(*m);
+    auto c = m->clone();
+
+    // Hack the clone: rewrite its first constant and drop the if-node.
+    forEachInstr(c->body, [](Instr &i) {
+        if (i.op == Opcode::Const && !i.constData.empty())
+            i.constData[0] = 42.0;
+    });
+    eraseInstrsIf(c->body, [](const Instr &i) {
+        return i.op == Opcode::StoreVar;
+    });
+    EXPECT_EQ(m->instructionCount(), before);
+    EXPECT_EQ(fingerprint(*m), fp_before);
+    EXPECT_NE(fingerprint(*c), fp_before);
+
+    InterpEnv env;
+    env.inputs["x"] = {0.9};
+    EXPECT_DOUBLE_EQ(interpret(*m, env).outputs.at("o")[0],
+                     (0.0 + 1 + 2 + 3) * 2.0);
+}
+
+// ------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, InsensitiveToIdHistory)
+{
+    // Two modules with identical structure but different id histories
+    // (builder scratch work) must fingerprint identically.
+    Module a;
+    {
+        Var *out = a.newVar("o", Type::floatTy(), VarKind::Output);
+        IrBuilder b(a);
+        b.store(out, b.constFloat(1.5));
+    }
+    Module b2;
+    {
+        b2.nextId(); // burn ids so the structural twins differ
+        b2.nextId();
+        Var *out = b2.newVar("o", Type::floatTy(), VarKind::Output);
+        IrBuilder b(b2);
+        b.store(out, b.constFloat(1.5));
+    }
+    EXPECT_EQ(fingerprint(a), fingerprint(b2));
+}
+
+TEST(Fingerprint, SensitiveToStructure)
+{
+    Module a;
+    Var *oa = a.newVar("o", Type::floatTy(), VarKind::Output);
+    IrBuilder ba(a);
+    ba.store(oa, ba.constFloat(1.5));
+
+    Module b;
+    Var *ob = b.newVar("o", Type::floatTy(), VarKind::Output);
+    IrBuilder bb(b);
+    bb.store(ob, bb.constFloat(2.5));
+
+    EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
 // ----------------------------------------------------------- interp
 
 TEST(Interp, EvaluatesArithmetic)

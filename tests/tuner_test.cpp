@@ -64,6 +64,29 @@ TEST(Explore, MotivatingExampleHasMultipleVariants)
     EXPECT_EQ(total, 256u);
 }
 
+TEST(Explore, FrontEndAndLoweringRunOncePerShader)
+{
+    ExploreCounters &c = exploreCounters();
+    const uint64_t fe0 = c.frontEndRuns, lo0 = c.lowerRuns;
+    const uint64_t pi0 = c.pipelineRuns, pr0 = c.printRuns;
+    const uint64_t fh0 = c.fingerprintHits;
+
+    Exploration ex = exploreShader(corpus::motivatingExample());
+
+    // Exactly one preprocess/parse/sema and one lowering for all 256
+    // combinations; the pass pipeline runs per combo; the printer runs
+    // only for fingerprint-unique modules (at least one per variant,
+    // far fewer than 256).
+    EXPECT_EQ(c.frontEndRuns - fe0, 1u);
+    EXPECT_EQ(c.lowerRuns - lo0, 1u);
+    EXPECT_EQ(c.pipelineRuns - pi0, 256u);
+    const uint64_t prints = c.printRuns - pr0;
+    EXPECT_GE(prints, ex.uniqueCount());
+    EXPECT_LT(prints, 256u);
+    // Every combo either deduped on fingerprint or went to the printer.
+    EXPECT_EQ((c.fingerprintHits - fh0) + prints, 256u);
+}
+
 TEST(Explore, TrivialShaderHasOneVariant)
 {
     corpus::CorpusShader s;
