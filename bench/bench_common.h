@@ -7,8 +7,9 @@
  * the same rows/series the paper reports. The first binary run pays for
  * the measurement campaign (~4 s on one core since the compile-once
  * exploration refactor; ~15 s before it — see bench/micro_explore.cpp
- * for the trajectory); the results are cached in ./experiment_cache.bin
- * for all subsequent runs.
+ * and bench/micro_campaign.cpp for the trajectory; GSOPT_THREADS
+ * controls the worker pool); the results are cached as per-shader
+ * shards under ./experiment_cache/ for all subsequent runs.
  */
 #ifndef GSOPT_BENCH_BENCH_COMMON_H
 #define GSOPT_BENCH_BENCH_COMMON_H
@@ -42,9 +43,11 @@ engine()
     std::printf("[campaign] loading or running the full measurement "
                 "campaign...\n");
     const auto &e = tuner::ExperimentEngine::instance();
-    std::printf("[campaign] %zu shaders x 256 flag combinations x %zu "
+    std::printf("[campaign] %zu shaders x %llu flag combinations x %zu "
                 "devices ready\n\n",
-                e.results().size(), gpu::allDevices().size());
+                e.results().size(),
+                static_cast<unsigned long long>(tuner::comboCount()),
+                gpu::allDevices().size());
     return e;
 }
 

@@ -47,8 +47,9 @@ main()
     std::printf("  %s\n%s\n", summarize(cycles).str().c_str(),
                 renderHistogram(histogram(cycles, 12), 48).c_str());
 
-    std::printf("---- (c) Unique variants out of 256 flag combinations "
-                "(paper: max 48, most < 10) ----\n");
+    std::printf("---- (c) Unique variants out of %llu flag combinations "
+                "(paper: max 48, most < 10) ----\n",
+                static_cast<unsigned long long>(tuner::comboCount()));
     std::printf("  %s\n%s\n", summarize(variants).str().c_str(),
                 renderHistogram(histogram(variants, 12), 48).c_str());
 

@@ -22,7 +22,7 @@ main()
 
     TextTable t({"Flag", "total", "changes output",
                  "in optimal set (any device)"});
-    for (int bit = 0; bit < tuner::kFlagCount; ++bit) {
+    for (int bit = 0; bit < static_cast<int>(tuner::flagCount()); ++bit) {
         size_t changes = 0, optimal = 0;
         for (const auto &r : eng.results()) {
             if (r.exploration.flagChangesOutput(bit))

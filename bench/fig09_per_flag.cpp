@@ -23,7 +23,7 @@ main()
                     gpu::deviceModel(dev).name.c_str());
         TextTable t({"Flag", "min", "q1", "median", "mean", "q3",
                      "max"});
-        for (int bit = 0; bit < tuner::kFlagCount; ++bit) {
+        for (int bit = 0; bit < static_cast<int>(tuner::flagCount()); ++bit) {
             std::vector<double> speedups;
             for (const auto &r : eng.results())
                 speedups.push_back(r.isolatedFlagSpeedup(dev, bit));

@@ -81,10 +81,10 @@ exploreShaderLegacy(const corpus::CorpusShader &shader)
         }
         ex.variants[static_cast<size_t>(index)].producers.push_back(
             flags);
-        ex.variantOfFlags[flags.bits] = index;
+        ex.variantOfCombo.emplace(flags.bits, index);
     }
-    ex.passthroughVariant =
-        ex.variantOfFlags[tuner::FlagSet::none().bits];
+    ex.exploredFlagCount = tuner::flagCount();
+    ex.passthroughVariant = ex.variantOf(tuner::FlagSet::none());
     return ex;
 }
 
@@ -189,8 +189,10 @@ main(int argc, char **argv)
             probe.push_back(*corpus::findShader(name));
         }
     }
-    std::printf("Probe set: %zu shaders x 256 combos x %zu devices%s\n\n",
-                probe.size(), gpu::allDevices().size(),
+    std::printf("Probe set: %zu shaders x %llu combos x %zu devices%s\n\n",
+                probe.size(),
+                static_cast<unsigned long long>(tuner::comboCount()),
+                gpu::allDevices().size(),
                 full ? " (full corpus)" : "");
 
     // ---- legacy path ---------------------------------------------------

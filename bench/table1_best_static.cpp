@@ -18,7 +18,7 @@ main()
     const auto &eng = bench::engine();
 
     std::vector<std::string> header = {"Platform"};
-    for (int b = 0; b < tuner::kFlagCount; ++b)
+    for (int b = 0; b < static_cast<int>(tuner::flagCount()); ++b)
         header.push_back(tuner::flagName(b));
     header.push_back("mean speed-up");
     TextTable t(header);
@@ -26,7 +26,7 @@ main()
     auto add_row = [&](const std::string &name, tuner::FlagSet flags,
                        double mean_speedup) {
         std::vector<std::string> row = {name};
-        for (int b = 0; b < tuner::kFlagCount; ++b)
+        for (int b = 0; b < static_cast<int>(tuner::flagCount()); ++b)
             row.push_back(flags.has(b) ? "X" : "-");
         row.push_back(TextTable::num(mean_speedup, 2) + "%");
         t.addRow(row);

@@ -4,7 +4,7 @@
  * when and how to optimize each shader for each platform" (Section II),
  * demonstrated on the motivating blur shader and friends.
  *
- * For each shader the tool explores all 256 flag combinations (deduped
+ * For each shader the tool explores every flag combination (deduped
  * by output text), measures every unique variant on every simulated
  * GPU, and reports the per-platform winner — compare the winners across
  * platforms to see why one static choice cannot win everywhere.
@@ -27,7 +27,8 @@ autotune(const corpus::CorpusShader &shader)
 {
     std::printf("=== %s ===\n", shader.name.c_str());
     tuner::Exploration ex = tuner::exploreShader(shader);
-    std::printf("256 flag combinations -> %zu unique variants\n\n",
+    std::printf("%llu flag combinations -> %zu unique variants\n\n",
+                static_cast<unsigned long long>(tuner::comboCount()),
                 ex.uniqueCount());
 
     TextTable t({"platform", "best flags", "speed-up vs original",
@@ -50,20 +51,14 @@ autotune(const corpus::CorpusShader &shader)
         for (size_t v = 0; v < ex.variants.size(); ++v) {
             if (by_variant[v] > best) {
                 best = by_variant[v];
-                // minimal producing flag set
-                best_flags = ex.variants[v].producers.front();
-                for (const auto &f : ex.variants[v].producers) {
-                    if (__builtin_popcount(f.bits) <
-                        __builtin_popcount(best_flags.bits))
-                        best_flags = f;
-                }
+                best_flags =
+                    tuner::minimalProducer(ex.variants[v].producers);
             }
         }
         double defaults = by_variant[static_cast<size_t>(
-            ex.variantOfFlags[tuner::FlagSet::lunarGlassDefaults()
-                                  .bits])];
+            ex.variantOf(tuner::FlagSet::lunarGlassDefaults()))];
         double all = by_variant[static_cast<size_t>(
-            ex.variantOfFlags[tuner::FlagSet::all().bits])];
+            ex.variantOf(tuner::FlagSet::all()))];
         t.addRow({device.vendor, best_flags.str(),
                   TextTable::num(best, 2) + "%",
                   TextTable::num(defaults, 2) + "%",

@@ -20,9 +20,11 @@ int
 main()
 {
     const auto &eng = tuner::ExperimentEngine::instance();
-    std::printf("Measurement campaign: %zu shaders x 256 flag "
+    std::printf("Measurement campaign: %zu shaders x %llu flag "
                 "combinations x %zu simulated GPUs\n\n",
-                eng.results().size(), gpu::allDevices().size());
+                eng.results().size(),
+                static_cast<unsigned long long>(tuner::comboCount()),
+                gpu::allDevices().size());
 
     TextTable summary({"platform", "iterative best", "best static",
                        "defaults", "best static flags"});

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Search-strategy comparison — the paper's Fig 5 shows per-shader
+ * "iterative" search beating every static flag set, but exhaustive
+ * iteration costs one on-device measurement per unique variant. This
+ * tool asks the budget question: how close do cheaper strategies
+ * (greedy hill climbing, random sampling) get to the exhaustive
+ * optimum, and at how many measurements?
+ *
+ * For each probe shader x device it runs every strategy from
+ * tuner::defaultStrategies plus extra random budgets, then prints
+ * best-found speed-up and measurements spent, and a summary of the
+ * optimum recovered per measurement budget.
+ *
+ * Build & run:  ./build/example_search_strategies [shader ...]
+ */
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "support/table.h"
+#include "tuner/search.h"
+
+using namespace gsopt;
+
+namespace {
+
+struct StrategyStats
+{
+    double speedupSum = 0;
+    double optimumSum = 0;
+    size_t measurementsSum = 0;
+    int runs = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty()) {
+        names = {"blur/weighted9", "ssao/kernel16", "pbr/full",
+                 "godrays/march32", "tier/dual_heavy"};
+    }
+
+    std::vector<std::unique_ptr<tuner::SearchStrategy>> strategies =
+        tuner::defaultStrategies(/*randomBudget=*/16);
+    strategies.push_back(
+        std::make_unique<tuner::RandomSearch>(8, 0x5eed));
+    strategies.push_back(
+        std::make_unique<tuner::RandomSearch>(4, 0x5eed));
+
+    std::map<std::string, StrategyStats> stats;
+
+    for (const std::string &name : names) {
+        const corpus::CorpusShader *shader = corpus::findShader(name);
+        if (!shader) {
+            std::printf("unknown shader '%s'\n", name.c_str());
+            return 1;
+        }
+        std::printf("=== %s ===\n", name.c_str());
+        tuner::Exploration ex = tuner::exploreShader(*shader);
+        std::printf("%zu unique variants\n\n", ex.uniqueCount());
+
+        TextTable t({"device", "strategy", "best found", "vs optimum",
+                     "measurements", "best flags"});
+        for (gpu::DeviceId id : gpu::allDevices()) {
+            const gpu::DeviceModel &device = gpu::deviceModel(id);
+
+            // The exhaustive optimum anchors the "vs optimum" column.
+            tuner::MeasurementOracle exhaustive_oracle(ex, device);
+            const tuner::SearchOutcome optimum =
+                tuner::ExhaustiveSearch{}.run(exhaustive_oracle);
+
+            for (const auto &strategy : strategies) {
+                tuner::MeasurementOracle oracle(ex, device);
+                tuner::SearchOutcome out = strategy->run(oracle);
+                StrategyStats &s = stats[strategy->name()];
+                s.speedupSum += out.bestSpeedupPercent;
+                s.optimumSum += optimum.bestSpeedupPercent;
+                s.measurementsSum += out.measurementsUsed;
+                ++s.runs;
+                t.addRow({device.vendor, strategy->name(),
+                          TextTable::num(out.bestSpeedupPercent, 2) +
+                              "%",
+                          TextTable::num(out.bestSpeedupPercent -
+                                             optimum.bestSpeedupPercent,
+                                         2) +
+                              " pp",
+                          std::to_string(out.measurementsUsed),
+                          out.bestFlags.str()});
+            }
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf("=== summary over %zu shaders x %zu devices ===\n",
+                names.size(), gpu::allDevices().size());
+    TextTable s({"strategy", "mean best found", "mean optimum",
+                 "mean measurements"});
+    for (const auto &[name, st] : stats) {
+        s.addRow({name,
+                  TextTable::num(st.speedupSum / st.runs, 2) + "%",
+                  TextTable::num(st.optimumSum / st.runs, 2) + "%",
+                  TextTable::num(
+                      static_cast<double>(st.measurementsSum) /
+                          st.runs,
+                      1)});
+    }
+    std::printf("%s", s.str().c_str());
+    return 0;
+}

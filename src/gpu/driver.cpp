@@ -39,16 +39,7 @@ deviceConfigHash(const DeviceModel &d)
           d.wavesToHideTex, d.regBudget, d.spillThreshold, d.spillCost,
           d.maxWaves, d.icacheInstrs, d.icachePenalty, d.slpEfficiency})
         h = mixDouble(h, v);
-    uint64_t jit = 0;
-    jit = (jit << 1) | d.jitFlags.adce;
-    jit = (jit << 1) | d.jitFlags.coalesce;
-    jit = (jit << 1) | d.jitFlags.gvn;
-    jit = (jit << 1) | d.jitFlags.reassociate;
-    jit = (jit << 1) | d.jitFlags.unroll;
-    jit = (jit << 1) | d.jitFlags.hoist;
-    jit = (jit << 1) | d.jitFlags.fpReassociate;
-    jit = (jit << 1) | d.jitFlags.divToMul;
-    h = hashCombine(h, jit);
+    h = hashCombine(h, d.jitFlags.mask());
     h = hashCombine(h, static_cast<uint64_t>(d.jitUnrollTrips));
     h = hashCombine(h, d.jitUnrollInstrs);
     h = hashCombine(h, d.jitHoistArmInstrs);

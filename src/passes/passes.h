@@ -83,7 +83,27 @@ bool scheduleForPressure(ir::Module &module, size_t minSpan = 48);
 
 // -- pipeline -------------------------------------------------------------
 
-/** One bit per toggleable pass, in the order used by FlagSet. */
+/** Flag-bit positions of the built-in passes (the registry assigns
+ * these at start-up in this historical order; tuner::FlagBit mirrors
+ * the same values). */
+enum BuiltinPassBit : int {
+    kPassBitAdce = 0,
+    kPassBitCoalesce = 1,
+    kPassBitGvn = 2,
+    kPassBitReassociate = 3,
+    kPassBitUnroll = 4,
+    kPassBitHoist = 5,
+    kPassBitFpReassociate = 6,
+    kPassBitDivToMul = 7,
+    kBuiltinPassCount = 8,
+};
+
+/**
+ * Selection of gated passes to apply. The paper's eight flags keep
+ * their named bools (bit order per BuiltinPassBit); passes registered
+ * beyond the built-ins live in extraMask at bit (b - 8). Use
+ * test()/set()/mask() for registry-generic code.
+ */
 struct OptFlags
 {
     bool adce = false;
@@ -94,6 +114,23 @@ struct OptFlags
     bool hoist = false;
     bool fpReassociate = false;
     bool divToMul = false;
+
+    /** Registered passes beyond the built-in eight, bit (b - 8). */
+    uint64_t extraMask = 0;
+
+    /** Is registry bit @p bit selected? */
+    bool test(int bit) const;
+    /** Select/deselect registry bit @p bit. */
+    void set(int bit, bool on = true);
+    /** Full selection as a registry-bit-ordered mask. */
+    uint64_t mask() const;
+    /** Inverse of mask(). */
+    static OptFlags fromMask(uint64_t mask);
+
+    bool operator==(const OptFlags &o) const
+    {
+        return mask() == o.mask();
+    }
 
     /** The passes LunarGlass enables by default (paper Table I text). */
     static OptFlags lunarGlassDefaults()
@@ -108,14 +145,8 @@ struct OptFlags
         return f;
     }
 
-    /** Everything on. */
-    static OptFlags all()
-    {
-        OptFlags f = lunarGlassDefaults();
-        f.fpReassociate = true;
-        f.divToMul = true;
-        return f;
-    }
+    /** Every registered pass on. */
+    static OptFlags all();
 
     /** Everything off (the LunarGlass passthrough baseline of Fig 9). */
     static OptFlags none() { return OptFlags{}; }
@@ -130,17 +161,18 @@ struct OptFlags
 void optimize(ir::Module &module, const OptFlags &flags);
 
 /**
- * Run the flagged pipeline for every one of the 256 flag combinations
- * against @p base, invoking @p sink with each combination's final
- * module (valid only for the duration of the call).
+ * Run the flagged pipeline for every one of the 2^N flag combinations
+ * of the registered passes (256 for the default built-in set) against
+ * @p base, invoking @p sink with each combination's final module
+ * (valid only for the duration of the call).
  *
- * Because the pipeline applies passes in a fixed order, the 256
- * combinations form a binary prefix tree over 8 include/exclude
+ * Because the pipeline applies passes in a fixed order, the 2^N
+ * combinations form a binary prefix tree over N include/exclude
  * decisions; this walks that tree, cloning at branch points, so work
- * shared by combinations with a common pass prefix runs once (255 pass
- * applications instead of ~1024). Every root-to-leaf path performs
- * exactly the mutation sequence optimize() would, so each delivered
- * module is bit-identical to optimize(base.clone(), flags).
+ * shared by combinations with a common pass prefix runs once (2^N - 1
+ * pass applications instead of N * 2^(N-1)). Every root-to-leaf path
+ * performs exactly the mutation sequence optimize() would, so each
+ * delivered module is bit-identical to optimize(base.clone(), flags).
  *
  * Sink invocation order follows the tree walk, not numeric flag order.
  */

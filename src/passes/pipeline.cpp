@@ -1,94 +1,108 @@
 /**
  * @file
- * The fixed LunarGlass-style pass pipeline: canonicalisation always runs;
- * the eight flags gate their passes in a fixed order. The stage table is
- * the single source of truth for that order — optimize() and the
+ * The LunarGlass-style pass pipeline, driven by the pass registry:
+ * canonicalisation always runs; each registered gated pass applies in
+ * registry pipeline order when its flag bit is selected. The registry
+ * is the single source of truth for that order — optimize() and the
  * prefix-sharing forEachFlagCombination() both walk it, which is what
- * guarantees the tree walk reproduces the linear pipeline bit-for-bit.
+ * guarantees the tree walk reproduces the linear pipeline bit-for-bit
+ * (and that newly registered passes flow through both paths with no
+ * further changes).
  */
 #include "ir/verifier.h"
 #include "passes/passes.h"
+#include "passes/registry.h"
 
 namespace gsopt::passes {
 
-namespace {
-
-struct Stage
+bool
+OptFlags::test(int bit) const
 {
-    bool OptFlags::*flag;
-    void (*apply)(ir::Module &);
-};
+    switch (bit) {
+      case kPassBitAdce: return adce;
+      case kPassBitCoalesce: return coalesce;
+      case kPassBitGvn: return gvn;
+      case kPassBitReassociate: return reassociate;
+      case kPassBitUnroll: return unroll;
+      case kPassBitHoist: return hoist;
+      case kPassBitFpReassociate: return fpReassociate;
+      case kPassBitDivToMul: return divToMul;
+      default:
+        return bit >= kBuiltinPassCount && bit < 64 + kBuiltinPassCount
+                   ? (extraMask >> (bit - kBuiltinPassCount)) & 1
+                   : false;
+    }
+}
 
-/** Pipeline order (not FlagSet bit order). Each apply() includes the
- * trailing canonicalisation the linear pipeline performs. */
-const Stage kStages[] = {
-    {&OptFlags::unroll,
-     [](ir::Module &m) {
-         unroll(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::hoist,
-     [](ir::Module &m) {
-         hoist(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::coalesce,
-     [](ir::Module &m) {
-         coalesce(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::reassociate,
-     [](ir::Module &m) {
-         reassociate(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::fpReassociate,
-     [](ir::Module &m) {
-         fpReassociate(m);
-         canonicalize(m);
-         // A second application catches chains exposed by the first
-         // (e.g. factorised groups whose inner sums now fold).
-         fpReassociate(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::divToMul,
-     [](ir::Module &m) {
-         divToMul(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::gvn,
-     [](ir::Module &m) {
-         gvn(m);
-         canonicalize(m);
-     }},
-    {&OptFlags::adce,
-     [](ir::Module &m) {
-         adce(m);
-         canonicalize(m);
-     }},
-};
+void
+OptFlags::set(int bit, bool on)
+{
+    switch (bit) {
+      case kPassBitAdce: adce = on; return;
+      case kPassBitCoalesce: coalesce = on; return;
+      case kPassBitGvn: gvn = on; return;
+      case kPassBitReassociate: reassociate = on; return;
+      case kPassBitUnroll: unroll = on; return;
+      case kPassBitHoist: hoist = on; return;
+      case kPassBitFpReassociate: fpReassociate = on; return;
+      case kPassBitDivToMul: divToMul = on; return;
+      default:
+        if (bit >= kBuiltinPassCount && bit < 64 + kBuiltinPassCount) {
+            const uint64_t b = 1ull << (bit - kBuiltinPassCount);
+            extraMask = on ? (extraMask | b) : (extraMask & ~b);
+        }
+        return;
+    }
+}
 
-constexpr size_t kStageCount = sizeof(kStages) / sizeof(kStages[0]);
+uint64_t
+OptFlags::mask() const
+{
+    uint64_t m = extraMask << kBuiltinPassCount;
+    for (int bit = 0; bit < kBuiltinPassCount; ++bit)
+        m |= static_cast<uint64_t>(test(bit)) << bit;
+    return m;
+}
+
+OptFlags
+OptFlags::fromMask(uint64_t mask)
+{
+    OptFlags f;
+    for (int bit = 0; bit < kBuiltinPassCount; ++bit)
+        f.set(bit, (mask >> bit) & 1);
+    f.extraMask = mask >> kBuiltinPassCount;
+    return f;
+}
+
+OptFlags
+OptFlags::all()
+{
+    const size_t n = PassRegistry::instance().count();
+    return fromMask(n >= 64 ? ~0ull : (1ull << n) - 1);
+}
+
+namespace {
 
 void
 walkCombinations(
     const ir::Module &module, size_t stage, const OptFlags &flags,
+    const std::vector<const PassDescriptor *> &pipeline,
     const std::function<void(const OptFlags &, const ir::Module &)>
         &sink)
 {
-    if (stage == kStageCount) {
+    if (stage == pipeline.size()) {
         ir::verifyOrDie(module, "after optimize pipeline");
         sink(flags, module);
         return;
     }
     // Skip branch: the module is untouched — share it, no copy.
-    walkCombinations(module, stage + 1, flags, sink);
+    walkCombinations(module, stage + 1, flags, pipeline, sink);
     // Apply branch: clone, run the stage, recurse.
     auto on = module.clone();
-    kStages[stage].apply(*on);
+    pipeline[stage]->apply(*on);
     OptFlags with = flags;
-    with.*kStages[stage].flag = true;
-    walkCombinations(*on, stage + 1, with, sink);
+    with.set(pipeline[stage]->bit);
+    walkCombinations(*on, stage + 1, with, pipeline, sink);
 }
 
 } // namespace
@@ -97,9 +111,10 @@ void
 optimize(ir::Module &module, const OptFlags &flags)
 {
     canonicalize(module);
-    for (const Stage &stage : kStages) {
-        if (flags.*stage.flag)
-            stage.apply(module);
+    for (const PassDescriptor *pass :
+         PassRegistry::instance().pipeline()) {
+        if (flags.test(pass->bit))
+            pass->apply(module);
     }
     ir::verifyOrDie(module, "after optimize pipeline");
 }
@@ -112,7 +127,8 @@ forEachFlagCombination(
 {
     auto root = base.clone();
     canonicalize(*root);
-    walkCombinations(*root, 0, OptFlags{}, sink);
+    walkCombinations(*root, 0, OptFlags{},
+                     PassRegistry::instance().pipeline(), sink);
 }
 
 } // namespace gsopt::passes

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * PassRegistry implementation plus the built-in registration of the
+ * paper's eight LunarGlass flags. The stage functions here are the
+ * former fixed kStages[] table: each apply() includes the trailing
+ * canonicalisation the linear pipeline performs after the pass, so the
+ * prefix-sharing combination tree replays exactly what optimize() does.
+ */
+#include "passes/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "passes/passes.h"
+#include "support/rng.h"
+
+namespace gsopt::passes {
+
+namespace {
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+[[noreturn]] void
+registryDie(const char *what)
+{
+    std::fprintf(stderr, "PassRegistry: %s\n", what);
+    std::abort();
+}
+
+} // namespace
+
+PassRegistry::PassRegistry()
+{
+    // Hard cap (see add()); reserving it keeps descriptor addresses —
+    // and the c_str()s flagName() hands out — stable across add().
+    passes_.reserve(63);
+    // The paper's eight flags, in their historical *bit* order
+    // (tuner::FlagBit). Pipeline positions encode the independent
+    // historical *application* order: Unroll, Hoist, Coalesce,
+    // Reassociate, FP Reassociate, Div to Mul, GVN, ADCE.
+    struct Builtin
+    {
+        const char *id;
+        const char *name;
+        void (*apply)(ir::Module &);
+        int position;
+    };
+    const Builtin builtins[] = {
+        {"adce", "ADCE",
+         [](ir::Module &m) {
+             adce(m);
+             canonicalize(m);
+         },
+         7},
+        {"coalesce", "Coalesce",
+         [](ir::Module &m) {
+             coalesce(m);
+             canonicalize(m);
+         },
+         2},
+        {"gvn", "GVN",
+         [](ir::Module &m) {
+             gvn(m);
+             canonicalize(m);
+         },
+         6},
+        {"reassociate", "Reassociate",
+         [](ir::Module &m) {
+             reassociate(m);
+             canonicalize(m);
+         },
+         3},
+        {"unroll", "Unroll",
+         [](ir::Module &m) {
+             unroll(m);
+             canonicalize(m);
+         },
+         0},
+        {"hoist", "Hoist",
+         [](ir::Module &m) {
+             hoist(m);
+             canonicalize(m);
+         },
+         1},
+        {"fp_reassociate", "FP Reassociate",
+         [](ir::Module &m) {
+             fpReassociate(m);
+             canonicalize(m);
+             // A second application catches chains exposed by the
+             // first (e.g. factorised groups whose inner sums fold).
+             fpReassociate(m);
+             canonicalize(m);
+         },
+         4},
+        {"div_to_mul", "Div to Mul",
+         [](ir::Module &m) {
+             divToMul(m);
+             canonicalize(m);
+         },
+         5},
+    };
+    for (const Builtin &b : builtins) {
+        PassDescriptor d;
+        d.id = b.id;
+        d.name = b.name;
+        d.apply = b.apply;
+        d.bit = static_cast<int>(passes_.size());
+        d.position = b.position;
+        passes_.push_back(std::move(d));
+    }
+    rebuildPipeline();
+}
+
+PassRegistry &
+PassRegistry::instance()
+{
+    static PassRegistry registry;
+    return registry;
+}
+
+const PassDescriptor &
+PassRegistry::pass(int bit) const
+{
+    if (bit < 0 || static_cast<size_t>(bit) >= passes_.size())
+        registryDie("pass bit out of range");
+    return passes_[static_cast<size_t>(bit)];
+}
+
+int
+PassRegistry::bitOf(const std::string &id) const
+{
+    for (const PassDescriptor &d : passes_) {
+        if (d.id == id)
+            return d.bit;
+    }
+    return -1;
+}
+
+int
+PassRegistry::add(std::string id, std::string name,
+                  std::function<void(ir::Module &)> apply, int position)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    if (bitOf(id) >= 0)
+        registryDie("duplicate pass id");
+    if (passes_.size() >= 63)
+        registryDie("flag space exhausted (max 63 gated passes)");
+    PassDescriptor d;
+    d.id = std::move(id);
+    d.name = std::move(name);
+    d.apply = std::move(apply);
+    d.bit = static_cast<int>(passes_.size());
+    d.position =
+        position < 0 ? static_cast<int>(passes_.size()) : position;
+    passes_.push_back(std::move(d));
+    rebuildPipeline();
+    return passes_.back().bit;
+}
+
+void
+PassRegistry::remove(int bit)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    if (passes_.size() <= static_cast<size_t>(kBuiltinPassCount))
+        registryDie("cannot remove built-in passes");
+    if (bit != static_cast<int>(passes_.size()) - 1)
+        registryDie("passes must be removed in LIFO order");
+    passes_.pop_back();
+    rebuildPipeline();
+}
+
+void
+PassRegistry::rebuildPipeline()
+{
+    pipeline_.clear();
+    pipeline_.reserve(passes_.size());
+    for (const PassDescriptor &d : passes_)
+        pipeline_.push_back(&d);
+    std::stable_sort(pipeline_.begin(), pipeline_.end(),
+                     [](const PassDescriptor *a,
+                        const PassDescriptor *b) {
+                         return a->position < b->position;
+                     });
+}
+
+uint64_t
+PassRegistry::signature() const
+{
+    uint64_t sig = fnv1a("pass-registry");
+    sig = hashCombine(sig, passes_.size());
+    for (const PassDescriptor &d : passes_) {
+        sig = hashCombine(sig, fnv1a(d.id));
+        sig = hashCombine(sig, static_cast<uint64_t>(d.bit));
+        sig = hashCombine(sig, static_cast<uint64_t>(d.position));
+    }
+    return sig;
+}
+
+} // namespace gsopt::passes

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The pass registry: the single source of truth for which gated
+ * (flag-toggleable) passes exist, the flag bit each one owns, and the
+ * order the pipeline applies them in.
+ *
+ * The paper's eight LunarGlass flags are registered as built-ins at
+ * start-up with their historical bit positions and pipeline order, so
+ * every 256-combination semantic (bit encodings, display names,
+ * variant partitions) is bit-compatible with the fixed-table code this
+ * replaces. New passes register on top — `optimize()`,
+ * `forEachFlagCombination()`, the tuner's `FlagSet`, exploration, the
+ * search strategies, and the experiment engine all size themselves
+ * from the registry, so a ninth pass needs no changes anywhere else.
+ */
+#ifndef GSOPT_PASSES_REGISTRY_H
+#define GSOPT_PASSES_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace gsopt::passes {
+
+/** One gated pass: what it is called and what it does. */
+struct PassDescriptor
+{
+    std::string id;   ///< stable slug used in keys, e.g. "fp_reassoc"
+    std::string name; ///< display name, e.g. "FP Reassociate"
+
+    /**
+     * Apply the pass to a module. The function must include whatever
+     * trailing canonicalisation the linear pipeline performs after the
+     * pass (the built-ins all run passes::canonicalize), because the
+     * prefix-sharing combination tree replays these stage functions
+     * verbatim to stay bit-identical with optimize().
+     */
+    std::function<void(ir::Module &)> apply;
+
+    /** Flag bit this pass owns (tuner::FlagSet bit position). Assigned
+     * by the registry in registration order. */
+    int bit = -1;
+
+    /** Position in the pipeline application order. The pipeline order
+     * is independent of the bit order (the paper's flag-bit layout
+     * predates its pipeline layout). */
+    int position = 0;
+};
+
+/**
+ * Registry of gated passes. Reads are lock-free; registration is
+ * expected at start-up or from test set-up (guarded by a mutex, but
+ * must not race active explorations).
+ */
+class PassRegistry
+{
+  public:
+    /** The process-wide registry, pre-loaded with the paper's eight. */
+    static PassRegistry &instance();
+
+    /** Number of registered gated passes (N of the N-bit flag space). */
+    size_t count() const { return passes_.size(); }
+
+    /** 2^count(): the size of the flag-combination space. */
+    uint64_t comboCount() const { return 1ull << passes_.size(); }
+
+    /** Descriptor owning @p bit. Aborts on out-of-range bits. */
+    const PassDescriptor &pass(int bit) const;
+
+    /** Bit owned by pass @p id, or -1 if no such pass. */
+    int bitOf(const std::string &id) const;
+
+    /** Descriptors in pipeline application order. */
+    const std::vector<const PassDescriptor *> &pipeline() const
+    {
+        return pipeline_;
+    }
+
+    /**
+     * Register a gated pass and return its assigned bit. @p position
+     * orders it within the pipeline (built-ins occupy 0..7); passes
+     * registered with equal positions apply in registration order;
+     * omit it to append at the end of the pipeline.
+     */
+    int add(std::string id, std::string name,
+            std::function<void(ir::Module &)> apply, int position = -1);
+
+    /** Remove the most recently added pass (stack discipline: bits are
+     * dense, so only the top of the stack can be retired). Aborts if
+     * @p bit is not the highest live bit. */
+    void remove(int bit);
+
+    /**
+     * Fingerprint of the registered pass set (ids, bit order, pipeline
+     * order). Campaign cache keys include it so registering a pass
+     * invalidates cached results.
+     */
+    uint64_t signature() const;
+
+  private:
+    PassRegistry();
+    void rebuildPipeline();
+
+    std::vector<PassDescriptor> passes_; ///< indexed by bit
+    std::vector<const PassDescriptor *> pipeline_;
+};
+
+/**
+ * RAII registration for tests and experiments: registers a pass on
+ * construction, retires it on destruction. Nest in LIFO order.
+ */
+class ScopedPass
+{
+  public:
+    ScopedPass(std::string id, std::string name,
+               std::function<void(ir::Module &)> apply,
+               int position = -1)
+        : bit_(PassRegistry::instance().add(
+              std::move(id), std::move(name), std::move(apply),
+              position))
+    {
+    }
+    ~ScopedPass() { PassRegistry::instance().remove(bit_); }
+    ScopedPass(const ScopedPass &) = delete;
+    ScopedPass &operator=(const ScopedPass &) = delete;
+
+    int bit() const { return bit_; }
+
+  private:
+    int bit_;
+};
+
+} // namespace gsopt::passes
+
+#endif // GSOPT_PASSES_REGISTRY_H

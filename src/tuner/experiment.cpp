@@ -1,15 +1,21 @@
 #include "tuner/experiment.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
+#include "passes/registry.h"
 #include "runtime/framework.h"
 #include "support/rng.h"
 #include "support/stats.h"
+#include "support/thread_pool.h"
 
 namespace gsopt::tuner {
 
@@ -18,46 +24,95 @@ namespace {
 /** Bump when the measurement schema, a pass, or a cost model changes:
  * anything that can alter variants or timings without touching the
  * corpus or device parameters. */
-/* 12: compile-once exploration (fingerprint dedup can reorder variant
- * discovery) + content-addressed driver cache changed measurement
- * counts/ordering. */
-constexpr uint64_t kSchemaVersion = 12;
+/* 13: sharded per-shader cache, N-bit flag sets (wider producer
+ * serialisation), combo->variant map replaces the fixed array. */
+constexpr uint64_t kSchemaVersion = 13;
+
+/** Exact IEEE-754 bit pattern of a double, for hashing. Decimal
+ * formatting (the old ostringstream path) silently collided configs
+ * differing past the default 6 significant digits. */
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
 
 uint64_t
-campaignKey(const std::vector<corpus::CorpusShader> &shaders)
+deviceModelKey(const gpu::DeviceModel &device)
+{
+    uint64_t key = fnv1a(device.name);
+    key = hashCombine(key, fnv1a(device.vendor));
+    key = hashCombine(key, static_cast<uint64_t>(device.id));
+    key = hashCombine(key, static_cast<uint64_t>(device.isa));
+    for (double v :
+         {device.clockGhz, device.baseOverheadCycles, device.costAddMul,
+          device.costDiv, device.costSqrt, device.costTranscendental,
+          device.costMov, device.costBranch, device.divergencePenalty,
+          device.texIssueCost, device.texLatency, device.wavesToHideTex,
+          device.regBudget, device.spillThreshold, device.spillCost,
+          device.maxWaves, device.icacheInstrs, device.icachePenalty,
+          device.slpEfficiency, device.noiseSigma,
+          device.timerQuantumNs}) {
+        key = hashCombine(key, doubleBits(v));
+    }
+    key = hashCombine(key, static_cast<uint64_t>(device.shaderUnits));
+    key = hashCombine(key,
+                      static_cast<uint64_t>(device.trianglesPerFrame));
+    key = hashCombine(key, device.jitFlags.mask());
+    key = hashCombine(key,
+                      static_cast<uint64_t>(device.jitUnrollTrips));
+    key = hashCombine(key,
+                      static_cast<uint64_t>(device.jitUnrollInstrs));
+    key = hashCombine(key,
+                      static_cast<uint64_t>(device.jitHoistArmInstrs));
+    key = hashCombine(key,
+                      static_cast<uint64_t>(device.schedulerWindow));
+    return key;
+}
+
+uint64_t
+deviceSetKey()
 {
     uint64_t key = kSchemaVersion;
-    for (const auto &s : shaders) {
-        key = hashCombine(key, fnv1a(s.name));
-        key = hashCombine(key, fnv1a(s.source));
-        for (const auto &[k, v] : s.defines) {
-            key = hashCombine(key, fnv1a(k));
-            key = hashCombine(key, fnv1a(v));
-        }
-    }
-    for (gpu::DeviceId id : gpu::allDevices()) {
-        const gpu::DeviceModel &d = gpu::deviceModel(id);
-        std::ostringstream os;
-        os << d.name << d.clockGhz << d.shaderUnits << d.costAddMul
-           << d.costDiv << d.costSqrt << d.costTranscendental
-           << d.costMov << d.costBranch << d.divergencePenalty
-           << d.texIssueCost << d.texLatency << d.wavesToHideTex
-           << d.regBudget << d.spillThreshold << d.spillCost
-           << d.maxWaves << d.icacheInstrs << d.icachePenalty
-           << d.slpEfficiency << d.noiseSigma << d.trianglesPerFrame
-           << static_cast<int>(d.isa) << d.jitFlags.adce
-           << d.jitFlags.coalesce << d.jitFlags.gvn
-           << d.jitFlags.reassociate << d.jitFlags.unroll
-           << d.jitFlags.hoist << d.jitFlags.fpReassociate
-           << d.jitFlags.divToMul << d.jitUnrollTrips
-           << d.jitUnrollInstrs << d.jitHoistArmInstrs
-           << d.baseOverheadCycles << d.schedulerWindow;
-        key = hashCombine(key, fnv1a(os.str()));
+    key = hashCombine(key, passes::PassRegistry::instance().signature());
+    for (gpu::DeviceId id : gpu::allDevices())
+        key = hashCombine(key, deviceModelKey(gpu::deviceModel(id)));
+    return key;
+}
+
+uint64_t
+shardKey(const corpus::CorpusShader &shader, uint64_t setKey)
+{
+    uint64_t key = setKey;
+    key = hashCombine(key, fnv1a(shader.name));
+    key = hashCombine(key, fnv1a(shader.source));
+    for (const auto &[k, v] : shader.defines) {
+        key = hashCombine(key, fnv1a(k));
+        key = hashCombine(key, fnv1a(v));
     }
     return key;
 }
 
-} // namespace
+double
+DeviceMeasurement::speedupOf(int variant_index) const
+{
+    if (variant_index < 0 ||
+        static_cast<size_t>(variant_index) >= variantMeanNs.size()) {
+        throw std::out_of_range(
+            "variant index " + std::to_string(variant_index) +
+            " out of range (have " +
+            std::to_string(variantMeanNs.size()) + " variants)");
+    }
+    if (originalMeanNs <= 0.0)
+        return 0.0;
+    const double v = variantMeanNs[static_cast<size_t>(variant_index)];
+    return (originalMeanNs - v) / originalMeanNs * 100.0;
+}
 
 double
 ShaderResult::bestSpeedup(gpu::DeviceId dev) const
@@ -83,111 +138,167 @@ ShaderResult::bestFlags(gpu::DeviceId dev) const
         }
     }
     // Prefer the smallest flag set among producers (minimal set).
-    const auto &producers =
+    return minimalProducer(
         exploration.variants[static_cast<size_t>(best_variant)]
-            .producers;
-    FlagSet minimal = producers.front();
-    int min_bits = 9;
-    for (const FlagSet &f : producers) {
-        int n = __builtin_popcount(f.bits);
-        if (n < min_bits) {
-            min_bits = n;
-            minimal = f;
-        }
-    }
-    return minimal;
+            .producers);
 }
 
 double
 ShaderResult::isolatedFlagSpeedup(gpu::DeviceId dev, int bit) const
 {
     const auto &m = byDevice.at(dev);
-    const int with = exploration.variantOfFlags[1 << bit];
-    const int base = exploration.passthroughVariant;
-    const double t_with =
-        m.variantMeanNs[static_cast<size_t>(with)];
-    const double t_base =
-        m.variantMeanNs[static_cast<size_t>(base)];
+    const size_t with = static_cast<size_t>(
+        exploration.variantOf(FlagSet(1ull << bit)));
+    const size_t base =
+        static_cast<size_t>(exploration.passthroughVariant);
+    const double t_with = m.variantMeanNs.at(with);
+    const double t_base = m.variantMeanNs.at(base);
     return (t_base - t_with) / t_base * 100.0;
 }
 
 ExperimentEngine::ExperimentEngine(
-    const std::vector<corpus::CorpusShader> &shaders)
+    const std::vector<corpus::CorpusShader> &shaders, unsigned threads)
 {
-    run(shaders);
+    results_.resize(shaders.size());
+    std::vector<size_t> all(shaders.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    runShaders(shaders, all, threads);
 }
 
 const ExperimentEngine &
 ExperimentEngine::instance()
 {
     static const ExperimentEngine engine = [] {
+        namespace fs = std::filesystem;
         ExperimentEngine e;
         const auto &shaders = corpus::corpus();
-        const uint64_t key = campaignKey(shaders);
-        const std::string path = "experiment_cache.bin";
+        e.results_.resize(shaders.size());
+
         const bool no_cache = std::getenv("GSOPT_NO_CACHE") != nullptr;
-        if (!no_cache && e.loadCache(path, key))
+        const uint64_t set_key = deviceSetKey();
+        const std::string dir = "experiment_cache";
+
+        auto shard_path = [&](size_t i, uint64_t key) {
+            std::string name = shaders[i].name;
+            std::replace(name.begin(), name.end(), '/', '_');
+            char hex[17];
+            std::snprintf(hex, sizeof(hex), "%016llx",
+                          static_cast<unsigned long long>(key));
+            return dir + "/" + name + "-" + hex + ".bin";
+        };
+
+        // Retire every shard no current shader claims (old keys from
+        // prior schemas / device sets / registries / source
+        // revisions, and shaders dropped from the corpus) so the
+        // cache never accretes.
+        auto sweep_orphans = [&] {
+            std::set<std::string> live;
+            for (size_t i = 0; i < shaders.size(); ++i)
+                live.insert(
+                    shard_path(i, shardKey(shaders[i], set_key)));
+            std::error_code iter_ec;
+            for (const auto &entry :
+                 fs::directory_iterator(dir, iter_ec)) {
+                const std::string path = entry.path().string();
+                if (path.size() > 4 &&
+                    path.compare(path.size() - 4, 4, ".bin") == 0 &&
+                    !live.count(dir + "/" +
+                                entry.path().filename().string()))
+                    fs::remove(entry.path(), iter_ec);
+            }
+        };
+
+        std::vector<size_t> missing;
+        for (size_t i = 0; i < shaders.size(); ++i) {
+            const uint64_t key = shardKey(shaders[i], set_key);
+            if (no_cache ||
+                !loadShard(shard_path(i, key), key, e.results_[i]))
+                missing.push_back(i);
+        }
+        if (missing.empty()) {
+            sweep_orphans();
             return e;
-        e.run(shaders);
-        if (!no_cache)
-            e.saveCache(path, key);
+        }
+
+        e.runShaders(shaders, missing, 0);
+        if (!no_cache) {
+            std::error_code ec;
+            fs::create_directories(dir, ec);
+            if (!ec) {
+                for (size_t i : missing) {
+                    const uint64_t key = shardKey(shaders[i], set_key);
+                    saveShard(shard_path(i, key), key, e.results_[i]);
+                }
+                sweep_orphans();
+            }
+        }
         return e;
     }();
     return engine;
 }
 
 void
-ExperimentEngine::run(const std::vector<corpus::CorpusShader> &shaders)
+ExperimentEngine::runShaders(
+    const std::vector<corpus::CorpusShader> &shaders,
+    const std::vector<size_t> &indices, unsigned threads)
 {
-    results_.resize(shaders.size());
+    const std::vector<gpu::DeviceId> devices = gpu::allDevices();
+    const size_t n_dev = devices.size();
 
-    // Shaders are independent: explore + measure in parallel.
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const size_t idx = next.fetch_add(1);
-            if (idx >= shaders.size())
-                return;
-            const corpus::CorpusShader &shader = shaders[idx];
-            ShaderResult r;
-            r.exploration = exploreShader(shader);
+    // One exploration per shader, triggered by the first (shader x
+    // device) item scheduled for it; later items for the same shader
+    // block on the same once_flag instead of re-exploring.
+    std::unique_ptr<std::once_flag[]> explored(
+        new std::once_flag[indices.size()]);
+
+    // Per-item result slots: workers never append to shared state, so
+    // the campaign output is identical for any thread count and any
+    // item completion order.
+    std::vector<DeviceMeasurement> slots(indices.size() * n_dev);
+
+    parallelFor(
+        indices.size() * n_dev, threads, [&](size_t item) {
+            const size_t si = item / n_dev;
+            const size_t di = item % n_dev;
+            const corpus::CorpusShader &shader = shaders[indices[si]];
+            ShaderResult &r = results_[indices[si]];
+
+            std::call_once(explored[si], [&] {
+                r.exploration = exploreShader(shader);
+            });
 
             // Drivers receive what an application would ship: the
             // original preprocessed text (real engines preprocess
             // übershaders before glShaderSource).
             const std::string &original =
                 r.exploration.preprocessedOriginal;
+            const gpu::DeviceModel &device =
+                gpu::deviceModel(devices[di]);
 
-            for (gpu::DeviceId id : gpu::allDevices()) {
-                const gpu::DeviceModel &device = gpu::deviceModel(id);
-                DeviceMeasurement m;
-                m.originalMeanNs =
+            DeviceMeasurement &m = slots[item];
+            m.originalMeanNs =
+                runtime::measureShader(original, device,
+                                       shader.name + "/original")
+                    .meanNs;
+            m.variantMeanNs.reserve(r.exploration.variants.size());
+            for (size_t v = 0; v < r.exploration.variants.size();
+                 ++v) {
+                const auto &variant = r.exploration.variants[v];
+                m.variantMeanNs.push_back(
                     runtime::measureShader(
-                        original, device, shader.name + "/original")
-                        .meanNs;
-                m.variantMeanNs.reserve(r.exploration.variants.size());
-                for (size_t v = 0; v < r.exploration.variants.size();
-                     ++v) {
-                    const auto &variant = r.exploration.variants[v];
-                    m.variantMeanNs.push_back(
-                        runtime::measureShader(
-                            variant.source, device,
-                            shader.name + "/v" + std::to_string(v))
-                            .meanNs);
-                }
-                r.byDevice.emplace(id, std::move(m));
+                        variant.source, device,
+                        shader.name + "/v" + std::to_string(v))
+                        .meanNs);
             }
-            results_[idx] = std::move(r);
-        }
-    };
+        });
 
-    const unsigned n_threads =
-        std::max(1u, std::thread::hardware_concurrency());
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t < n_threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    for (size_t si = 0; si < indices.size(); ++si) {
+        ShaderResult &r = results_[indices[si]];
+        for (size_t di = 0; di < n_dev; ++di)
+            r.byDevice.emplace(devices[di],
+                               std::move(slots[si * n_dev + di]));
+    }
 }
 
 const ShaderResult &
@@ -197,7 +308,13 @@ ExperimentEngine::result(const std::string &shaderName) const
         if (r.exploration.shaderName == shaderName)
             return r;
     }
-    throw std::out_of_range("no result for shader " + shaderName);
+    std::string known;
+    for (const auto &r : results_) {
+        known += known.empty() ? " " : ", ";
+        known += r.exploration.shaderName;
+    }
+    throw std::out_of_range("no result for shader '" + shaderName +
+                            "'; known shaders:" + known);
 }
 
 double
@@ -229,9 +346,7 @@ ExperimentEngine::bestStaticFlags(gpu::DeviceId dev) const
         const double m = meanSpeedup(dev, flags);
         const bool better =
             m > best_mean + 1e-12 ||
-            (m > best_mean - 1e-12 &&
-             __builtin_popcount(flags.bits) <
-                 __builtin_popcount(best.bits));
+            (m > best_mean - 1e-12 && flags.count() < best.count());
         if (better) {
             best_mean = m;
             best = flags;
@@ -283,7 +398,7 @@ ExperimentEngine::perShaderBestSpeedups(gpu::DeviceId dev) const
 namespace {
 
 void
-writeString(std::ofstream &os, const std::string &s)
+writeString(std::ostream &os, const std::string &s)
 {
     const uint64_t n = s.size();
     os.write(reinterpret_cast<const char *>(&n), sizeof(n));
@@ -291,7 +406,7 @@ writeString(std::ofstream &os, const std::string &s)
 }
 
 bool
-readString(std::ifstream &is, std::string &s)
+readString(std::istream &is, std::string &s)
 {
     uint64_t n = 0;
     if (!is.read(reinterpret_cast<char *>(&n), sizeof(n)))
@@ -305,14 +420,14 @@ readString(std::ifstream &is, std::string &s)
 
 template <typename T>
 void
-writePod(std::ofstream &os, const T &v)
+writePod(std::ostream &os, const T &v)
 {
     os.write(reinterpret_cast<const char *>(&v), sizeof(T));
 }
 
 template <typename T>
 bool
-readPod(std::ifstream &is, T &v)
+readPod(std::istream &is, T &v)
 {
     return static_cast<bool>(
         is.read(reinterpret_cast<char *>(&v), sizeof(T)));
@@ -321,106 +436,145 @@ readPod(std::ifstream &is, T &v)
 } // namespace
 
 void
-ExperimentEngine::saveCache(const std::string &path, uint64_t key) const
+ExperimentEngine::saveShard(const std::string &path, uint64_t key,
+                            const ShaderResult &r)
 {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        return;
-    writePod(os, key);
-    writePod(os, static_cast<uint64_t>(results_.size()));
-    for (const auto &r : results_) {
-        writeString(os, r.exploration.shaderName);
-        writeString(os, r.exploration.preprocessedOriginal);
-        writeString(os, r.exploration.originalSource);
-        writePod(os,
-                 static_cast<uint64_t>(r.exploration.variants.size()));
-        for (const auto &v : r.exploration.variants) {
-            writeString(os, v.source);
-            writePod(os, v.sourceHash);
-            writePod(os, static_cast<uint64_t>(v.producers.size()));
-            for (const FlagSet &f : v.producers)
-                writePod(os, f.bits);
-        }
-        os.write(reinterpret_cast<const char *>(
-                     r.exploration.variantOfFlags),
-                 sizeof(r.exploration.variantOfFlags));
-        writePod(os, r.exploration.passthroughVariant);
-        writePod(os, static_cast<uint64_t>(r.byDevice.size()));
-        for (const auto &[dev, m] : r.byDevice) {
-            writePod(os, static_cast<int>(dev));
-            writePod(os, m.originalMeanNs);
-            writePod(os,
-                     static_cast<uint64_t>(m.variantMeanNs.size()));
-            for (double t : m.variantMeanNs)
-                writePod(os, t);
-        }
+    // Serialise the body first so a content hash can front it: the
+    // structural caps in loadShard cannot catch a flipped byte inside
+    // stored shader text, and a silently wrong variant is worse than
+    // a re-run shard.
+    std::ostringstream os(std::ios::binary);
+    writeString(os, r.exploration.shaderName);
+    writeString(os, r.exploration.preprocessedOriginal);
+    writeString(os, r.exploration.originalSource);
+    writePod(os,
+             static_cast<uint64_t>(r.exploration.exploredFlagCount));
+    writePod(os, static_cast<uint64_t>(r.exploration.variants.size()));
+    for (const auto &v : r.exploration.variants) {
+        writeString(os, v.source);
+        writePod(os, v.sourceHash);
+        writePod(os, static_cast<uint64_t>(v.producers.size()));
+        for (const FlagSet &f : v.producers)
+            writePod(os, f.bits);
     }
+    writePod(os,
+             static_cast<uint64_t>(r.exploration.variantOfCombo.size()));
+    // Deterministic order keeps shard bytes reproducible.
+    std::vector<std::pair<uint64_t, int>> combos(
+        r.exploration.variantOfCombo.begin(),
+        r.exploration.variantOfCombo.end());
+    std::sort(combos.begin(), combos.end());
+    for (const auto &[combo, index] : combos) {
+        writePod(os, combo);
+        writePod(os, static_cast<int64_t>(index));
+    }
+    writePod(os, r.exploration.passthroughVariant);
+    writePod(os, static_cast<uint64_t>(r.byDevice.size()));
+    for (const auto &[dev, m] : r.byDevice) {
+        writePod(os, static_cast<int>(dev));
+        writePod(os, m.originalMeanNs);
+        writePod(os, static_cast<uint64_t>(m.variantMeanNs.size()));
+        for (double t : m.variantMeanNs)
+            writePod(os, t);
+    }
+
+    const std::string body = os.str();
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        return;
+    writePod(file, key);
+    writePod(file, fnv1a(body));
+    file.write(body.data(), static_cast<std::streamsize>(body.size()));
 }
 
 bool
-ExperimentEngine::loadCache(const std::string &path, uint64_t key)
+ExperimentEngine::loadShard(const std::string &path, uint64_t key,
+                            ShaderResult &out)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
         return false;
-    uint64_t file_key = 0;
-    if (!readPod(is, file_key) || file_key != key)
+    uint64_t file_key = 0, body_hash = 0;
+    if (!readPod(file, file_key) || file_key != key ||
+        !readPod(file, body_hash))
         return false;
-    uint64_t n_shaders = 0;
-    if (!readPod(is, n_shaders))
+    const std::streamoff body_start = file.tellg();
+    file.seekg(0, std::ios::end);
+    const std::streamoff body_size = file.tellg() - body_start;
+    if (body_size < 0 || body_size > (1ll << 31))
         return false;
-    std::vector<ShaderResult> loaded;
-    loaded.resize(n_shaders);
-    for (auto &r : loaded) {
-        if (!readString(is, r.exploration.shaderName) ||
-            !readString(is, r.exploration.preprocessedOriginal) ||
-            !readString(is, r.exploration.originalSource))
+    file.seekg(body_start);
+    std::string body(static_cast<size_t>(body_size), '\0');
+    if (!file.read(body.data(), body_size))
+        return false;
+    if (fnv1a(body) != body_hash)
+        return false;
+    std::istringstream is(body, std::ios::binary);
+    ShaderResult r;
+    if (!readString(is, r.exploration.shaderName) ||
+        !readString(is, r.exploration.preprocessedOriginal) ||
+        !readString(is, r.exploration.originalSource))
+        return false;
+    uint64_t flag_count = 0;
+    if (!readPod(is, flag_count) || flag_count > 63)
+        return false;
+    r.exploration.exploredFlagCount = flag_count;
+    uint64_t n_variants = 0;
+    if (!readPod(is, n_variants) || n_variants > 100000)
+        return false;
+    r.exploration.variants.resize(n_variants);
+    for (auto &v : r.exploration.variants) {
+        if (!readString(is, v.source) || !readPod(is, v.sourceHash))
             return false;
-        uint64_t n_variants = 0;
-        if (!readPod(is, n_variants) || n_variants > 100000)
+        uint64_t n_producers = 0;
+        if (!readPod(is, n_producers) || n_producers == 0 ||
+            n_producers > (1ull << 24))
             return false;
-        r.exploration.variants.resize(n_variants);
-        for (auto &v : r.exploration.variants) {
-            if (!readString(is, v.source) ||
-                !readPod(is, v.sourceHash))
+        v.producers.resize(n_producers);
+        for (auto &f : v.producers) {
+            if (!readPod(is, f.bits))
                 return false;
-            uint64_t n_producers = 0;
-            if (!readPod(is, n_producers) || n_producers > 256)
-                return false;
-            v.producers.resize(n_producers);
-            for (auto &f : v.producers) {
-                if (!readPod(is, f.bits))
-                    return false;
-            }
-        }
-        if (!is.read(reinterpret_cast<char *>(
-                         r.exploration.variantOfFlags),
-                     sizeof(r.exploration.variantOfFlags)))
-            return false;
-        if (!readPod(is, r.exploration.passthroughVariant))
-            return false;
-        uint64_t n_devices = 0;
-        if (!readPod(is, n_devices) || n_devices > 16)
-            return false;
-        for (uint64_t d = 0; d < n_devices; ++d) {
-            int dev_int = 0;
-            DeviceMeasurement m;
-            if (!readPod(is, dev_int) ||
-                !readPod(is, m.originalMeanNs))
-                return false;
-            uint64_t n_times = 0;
-            if (!readPod(is, n_times) || n_times > 100000)
-                return false;
-            m.variantMeanNs.resize(n_times);
-            for (double &t : m.variantMeanNs) {
-                if (!readPod(is, t))
-                    return false;
-            }
-            r.byDevice.emplace(static_cast<gpu::DeviceId>(dev_int),
-                               std::move(m));
         }
     }
-    results_ = std::move(loaded);
+    uint64_t n_combos = 0;
+    if (!readPod(is, n_combos) || n_combos > (1ull << 24))
+        return false;
+    r.exploration.variantOfCombo.reserve(n_combos);
+    for (uint64_t c = 0; c < n_combos; ++c) {
+        uint64_t combo = 0;
+        int64_t index = 0;
+        if (!readPod(is, combo) || !readPod(is, index))
+            return false;
+        if (index < 0 || static_cast<uint64_t>(index) >= n_variants)
+            return false;
+        r.exploration.variantOfCombo.emplace(
+            combo, static_cast<int>(index));
+    }
+    if (!readPod(is, r.exploration.passthroughVariant) ||
+        r.exploration.passthroughVariant < 0 ||
+        static_cast<uint64_t>(r.exploration.passthroughVariant) >=
+            n_variants)
+        return false;
+    uint64_t n_devices = 0;
+    if (!readPod(is, n_devices) || n_devices > 16)
+        return false;
+    for (uint64_t d = 0; d < n_devices; ++d) {
+        int dev_int = 0;
+        DeviceMeasurement m;
+        if (!readPod(is, dev_int) || !readPod(is, m.originalMeanNs))
+            return false;
+        uint64_t n_times = 0;
+        if (!readPod(is, n_times) || n_times != n_variants)
+            return false;
+        m.variantMeanNs.resize(n_times);
+        for (double &t : m.variantMeanNs) {
+            if (!readPod(is, t))
+                return false;
+        }
+        r.byDevice.emplace(static_cast<gpu::DeviceId>(dev_int),
+                           std::move(m));
+    }
+    out = std::move(r);
     return true;
 }
 

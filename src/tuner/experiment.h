@@ -1,14 +1,20 @@
 /**
  * @file
  * The experiment engine: runs the paper's full measurement campaign —
- * every corpus shader x 256 flag combinations (deduped) x 5 devices x
+ * every corpus shader x 2^N flag combinations (deduped) x 5 devices x
  * the 100-frame/5-repetition timing protocol — and exposes the derived
  * quantities every figure and table needs.
  *
+ * The campaign is scheduled as a work queue of (shader x device) items
+ * over a std::thread pool (GSOPT_THREADS workers, default
+ * hardware_concurrency); results are written to per-item slots, so the
+ * output is bit-identical for any thread count.
+ *
  * Because all the benches share this campaign, the engine caches its
- * results under build/experiment_cache/ keyed by a hash of the corpus,
- * the device models, and the engine schema. Delete the cache (or set
- * GSOPT_NO_CACHE=1) to force a re-run.
+ * results under ./experiment_cache/ as one shard file per shader,
+ * keyed by (shader hash, device-set hash, pass-registry signature,
+ * schema). Editing one corpus shader re-runs only that shard. Delete
+ * the directory (or set GSOPT_NO_CACHE=1) to force a full re-run.
  */
 #ifndef GSOPT_TUNER_EXPERIMENT_H
 #define GSOPT_TUNER_EXPERIMENT_H
@@ -30,14 +36,14 @@ struct DeviceMeasurement
 
     /** Percent speed-up of a variant against the original shader.
      * Degenerate baselines (zero/negative mean) report 0, matching
-     * runtime::speedupPercent. */
-    double speedupOf(int variant_index) const
+     * runtime::speedupPercent. Throws std::out_of_range for an
+     * invalid variant index. */
+    double speedupOf(int variant_index) const;
+
+    bool operator==(const DeviceMeasurement &o) const
     {
-        if (originalMeanNs <= 0.0)
-            return 0.0;
-        const double v =
-            variantMeanNs[static_cast<size_t>(variant_index)];
-        return (originalMeanNs - v) / originalMeanNs * 100.0;
+        return originalMeanNs == o.originalMeanNs &&
+               variantMeanNs == o.variantMeanNs;
     }
 };
 
@@ -50,10 +56,10 @@ struct ShaderResult
     double speedupFor(gpu::DeviceId dev, FlagSet flags) const
     {
         const auto &m = byDevice.at(dev);
-        return m.speedupOf(exploration.variantOfFlags[flags.bits]);
+        return m.speedupOf(exploration.variantOf(flags));
     }
 
-    /** Best speed-up over all 256 combinations (green line, Fig 7). */
+    /** Best speed-up over all combinations (green line, Fig 7). */
     double bestSpeedup(gpu::DeviceId dev) const;
     /** Combination achieving bestSpeedup. */
     FlagSet bestFlags(gpu::DeviceId dev) const;
@@ -62,19 +68,42 @@ struct ShaderResult
     double isolatedFlagSpeedup(gpu::DeviceId dev, int bit) const;
 };
 
+// ---- campaign cache keys -------------------------------------------------
+
+/**
+ * Exact-bit hash of one device model: every double is hashed through
+ * its IEEE-754 bit pattern (not decimal formatting), so a 1-ulp
+ * parameter change changes the key.
+ */
+uint64_t deviceModelKey(const gpu::DeviceModel &device);
+
+/** Combined key of all configured devices plus the pass-registry
+ * signature and the engine schema version. */
+uint64_t deviceSetKey();
+
+/** Shard cache key for one shader under @p setKey (from
+ * deviceSetKey()). */
+uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
+
 /** The full campaign. */
 class ExperimentEngine
 {
   public:
-    /** Run (or load from cache) the complete campaign. */
+    /** Run (or load from the shard cache) the complete campaign. */
     static const ExperimentEngine &instance();
 
-    /** Run fresh with explicit options (no caching). Used by tests with
-     * a reduced corpus. */
+    /**
+     * Run fresh with explicit options (no caching). Used by tests and
+     * benches with a reduced corpus. @p threads sizes the worker pool
+     * (0 = GSOPT_THREADS / hardware_concurrency).
+     */
     explicit ExperimentEngine(
-        const std::vector<corpus::CorpusShader> &shaders);
+        const std::vector<corpus::CorpusShader> &shaders,
+        unsigned threads = 0);
 
     const std::vector<ShaderResult> &results() const { return results_; }
+    /** Result by shader name. Throws std::out_of_range listing the
+     * known shader names on a miss. */
     const ShaderResult &result(const std::string &shaderName) const;
 
     // ---- derived analyses ------------------------------------------------
@@ -94,9 +123,20 @@ class ExperimentEngine
 
   private:
     ExperimentEngine() = default;
-    void run(const std::vector<corpus::CorpusShader> &shaders);
-    bool loadCache(const std::string &path, uint64_t key);
-    void saveCache(const std::string &path, uint64_t key) const;
+
+    /**
+     * Work-queue campaign over (shader x device) items for the listed
+     * shader indices; exploration runs once per shader (first item to
+     * need it), measurements fill per-item slots.
+     */
+    void runShaders(const std::vector<corpus::CorpusShader> &shaders,
+                    const std::vector<size_t> &indices,
+                    unsigned threads);
+
+    static bool loadShard(const std::string &path, uint64_t key,
+                          ShaderResult &out);
+    static void saveShard(const std::string &path, uint64_t key,
+                          const ShaderResult &r);
 
     std::vector<ShaderResult> results_;
 };

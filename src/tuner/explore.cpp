@@ -1,5 +1,6 @@
 #include "tuner/explore.h"
 
+#include <stdexcept>
 #include <unordered_map>
 
 #include "emit/emit.h"
@@ -43,14 +44,27 @@ Variant::mostlyHasFlag(int bit) const
     return with * 2 >= producers.size();
 }
 
+int
+Exploration::variantOf(FlagSet flags) const
+{
+    auto it = variantOfCombo.find(flags.bits);
+    if (it == variantOfCombo.end()) {
+        throw std::out_of_range(
+            "combination " + flags.str() + " was not explored for " +
+            shaderName);
+    }
+    return it->second;
+}
+
 bool
 Exploration::flagChangesOutput(int bit) const
 {
-    for (int combo = 0; combo < 256; ++combo) {
-        if ((combo >> bit) & 1)
+    const uint64_t mask = 1ull << bit;
+    for (const auto &[combo, variant] : variantOfCombo) {
+        if (combo & mask)
             continue;
-        if (variantOfFlags[combo] !=
-            variantOfFlags[combo | (1 << bit)])
+        auto with = variantOfCombo.find(combo | mask);
+        if (with != variantOfCombo.end() && with->second != variant)
             return true;
     }
     return false;
@@ -63,6 +77,8 @@ exploreShader(const corpus::CorpusShader &shader)
     Exploration ex;
     ex.shaderName = shader.name;
     ex.originalSource = shader.source;
+    ex.exploredFlagCount = flagCount();
+    checkExhaustiveFeasible("exploreShader");
 
     // Front end once: preprocess/lex/parse/sema run a single time per
     // shader; every flag combination reuses the result. (The
@@ -83,11 +99,11 @@ exploreShader(const corpus::CorpusShader &shader)
     counters.lowerRuns.fetch_add(1, std::memory_order_relaxed);
     counters.lowerNs.fetch_add(nowNs() - t0, std::memory_order_relaxed);
 
-    // Phase A — run all 256 pipelines over the prefix-sharing tree
+    // Phase A — run all 2^N pipelines over the prefix-sharing tree
     // (combos with a common pass prefix share that work). Each leaf is
     // fingerprinted; only fingerprint-unique modules reach the printer
-    // (most of the 256 combos are structurally identical — Fig 4c).
-    uint64_t combo_fp[256] = {};
+    // (most of the combos are structurally identical — Fig 4c).
+    std::vector<uint64_t> combo_fp(comboCount(), 0);
     std::unordered_map<uint64_t, std::string> text_of_fp;
     uint64_t fp_ns = 0, print_ns = 0;
     const uint64_t tree_t0 = nowNs();
@@ -138,9 +154,9 @@ exploreShader(const corpus::CorpusShader &shader)
         }
         ex.variants[static_cast<size_t>(index)].producers.push_back(
             flags);
-        ex.variantOfFlags[flags.bits] = index;
+        ex.variantOfCombo.emplace(flags.bits, index);
     }
-    ex.passthroughVariant = ex.variantOfFlags[FlagSet::none().bits];
+    ex.passthroughVariant = ex.variantOf(FlagSet::none());
     return ex;
 }
 

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -64,16 +65,26 @@ struct Exploration
     std::string preprocessedOriginal; ///< for the LoC metric
     std::string originalSource;       ///< what the app would ship
     std::vector<Variant> variants;    ///< unique outputs
-    int variantOfFlags[256] = {};     ///< combo -> variant index
-    int passthroughVariant = 0;       ///< index of flags-none output
+    /** Combination bits -> variant index. Strategy-agnostic: an
+     * exhaustive exploration maps every combination; a sparse
+     * explorer (ROADMAP follow-on) would map only the combinations it
+     * compiled. */
+    std::unordered_map<uint64_t, int> variantOfCombo;
+    size_t exploredFlagCount = 0; ///< N at exploration time
+    int passthroughVariant = 0;   ///< index of flags-none output
 
     size_t uniqueCount() const { return variants.size(); }
+
+    /** Variant index for a flag combination. Throws std::out_of_range
+     * (naming the shader and combination) if it was never explored. */
+    int variantOf(FlagSet flags) const;
 
     /** Does toggling @p bit ever change the output text? (Fig 8 red) */
     bool flagChangesOutput(int bit) const;
 };
 
-/** Run the 256-combination exploration for one corpus shader. */
+/** Run the exhaustive 2^N-combination exploration for one corpus
+ * shader (N from the pass registry; the paper's 256 by default). */
 Exploration exploreShader(const corpus::CorpusShader &shader);
 
 } // namespace gsopt::tuner

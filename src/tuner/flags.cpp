@@ -1,65 +1,54 @@
 #include "tuner/flags.h"
 
+#include <stdexcept>
+
+#include "passes/registry.h"
+
 namespace gsopt::tuner {
+
+size_t
+flagCount()
+{
+    return passes::PassRegistry::instance().count();
+}
+
+uint64_t
+comboCount()
+{
+    return passes::PassRegistry::instance().comboCount();
+}
 
 const char *
 flagName(int bit)
 {
-    switch (bit) {
-      case kAdce: return "ADCE";
-      case kCoalesce: return "Coalesce";
-      case kGvn: return "GVN";
-      case kReassociate: return "Reassociate";
-      case kUnroll: return "Unroll";
-      case kHoist: return "Hoist";
-      case kFpReassociate: return "FP Reassociate";
-      case kDivToMul: return "Div to Mul";
-    }
-    return "?";
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    if (bit < 0 || static_cast<size_t>(bit) >= reg.count())
+        return "?";
+    return reg.pass(bit).name.c_str();
 }
 
 passes::OptFlags
 FlagSet::toOptFlags() const
 {
-    passes::OptFlags f;
-    f.adce = has(kAdce);
-    f.coalesce = has(kCoalesce);
-    f.gvn = has(kGvn);
-    f.reassociate = has(kReassociate);
-    f.unroll = has(kUnroll);
-    f.hoist = has(kHoist);
-    f.fpReassociate = has(kFpReassociate);
-    f.divToMul = has(kDivToMul);
-    return f;
+    return passes::OptFlags::fromMask(bits);
 }
 
 FlagSet
 FlagSet::fromOptFlags(const passes::OptFlags &flags)
 {
-    FlagSet s;
-    if (flags.adce)
-        s = s.with(kAdce);
-    if (flags.coalesce)
-        s = s.with(kCoalesce);
-    if (flags.gvn)
-        s = s.with(kGvn);
-    if (flags.reassociate)
-        s = s.with(kReassociate);
-    if (flags.unroll)
-        s = s.with(kUnroll);
-    if (flags.hoist)
-        s = s.with(kHoist);
-    if (flags.fpReassociate)
-        s = s.with(kFpReassociate);
-    if (flags.divToMul)
-        s = s.with(kDivToMul);
-    return s;
+    return FlagSet(flags.mask());
 }
 
 FlagSet
 FlagSet::lunarGlassDefaults()
 {
     return fromOptFlags(passes::OptFlags::lunarGlassDefaults());
+}
+
+FlagSet
+FlagSet::all()
+{
+    return fromOptFlags(passes::OptFlags::all());
 }
 
 std::string
@@ -69,7 +58,8 @@ FlagSet::str() const
         return "{none}";
     std::string out = "{";
     bool first = true;
-    for (int b = 0; b < kFlagCount; ++b) {
+    const int n = static_cast<int>(flagCount());
+    for (int b = 0; b < n; ++b) {
         if (!has(b))
             continue;
         if (!first)
@@ -83,11 +73,38 @@ FlagSet::str() const
 std::vector<FlagSet>
 allFlagSets()
 {
+    checkExhaustiveFeasible("allFlagSets");
+    const uint64_t n = comboCount();
     std::vector<FlagSet> out;
-    out.reserve(256);
-    for (int b = 0; b < 256; ++b)
-        out.push_back(FlagSet(static_cast<uint8_t>(b)));
+    out.reserve(n);
+    for (uint64_t b = 0; b < n; ++b)
+        out.push_back(FlagSet(b));
     return out;
+}
+
+void
+checkExhaustiveFeasible(const char *who)
+{
+    const size_t n = flagCount();
+    if (n > 20) {
+        throw std::length_error(
+            std::string(who) + ": exhaustive enumeration over " +
+            std::to_string(n) +
+            " registered passes is infeasible; the exhaustive "
+            "pipeline supports at most 20 (a sparse explorer is a "
+            "ROADMAP follow-on)");
+    }
+}
+
+FlagSet
+minimalProducer(const std::vector<FlagSet> &producers)
+{
+    FlagSet minimal = producers.front();
+    for (const FlagSet &f : producers) {
+        if (f.count() < minimal.count())
+            minimal = f;
+    }
+    return minimal;
 }
 
 } // namespace gsopt::tuner

@@ -1,7 +1,10 @@
 /**
  * @file
- * FlagSet: the 8-bit encoding of the LunarGlass pass flags used for the
- * exhaustive 256-combination search (paper Section III-A).
+ * FlagSet: the N-bit encoding of the gated pass flags, sized from the
+ * pass registry. With the default built-in registration this is the
+ * paper's 8-bit encoding used for the exhaustive 256-combination
+ * search (paper Section III-A), bit-for-bit; registering more passes
+ * widens the space transparently.
  */
 #ifndef GSOPT_TUNER_FLAGS_H
 #define GSOPT_TUNER_FLAGS_H
@@ -14,7 +17,8 @@
 
 namespace gsopt::tuner {
 
-/** Bit positions, in the order used throughout the experiments. */
+/** Bit positions of the built-in passes, in the order used throughout
+ * the experiments (mirrors passes::BuiltinPassBit). */
 enum FlagBit {
     kAdce = 0,
     kCoalesce = 1,
@@ -24,31 +28,44 @@ enum FlagBit {
     kHoist = 5,
     kFpReassociate = 6,
     kDivToMul = 7,
-    kFlagCount = 8,
+    kFlagCount = 8, ///< the built-in eight; see flagCount() for all
 };
 
-/** Display names, indexed by FlagBit (paper Table I column order). */
+/** Number of registered gated passes (N bits of the flag space). */
+size_t flagCount();
+
+/** 2^flagCount(): size of the combination space (256 by default). */
+uint64_t comboCount();
+
+/** Display name of a flag bit (registry display name; paper Table I
+ * column spellings for the built-in eight). The pointer stays valid
+ * while the owning pass remains registered — built-in names live for
+ * the process, but don't cache a ScopedPass name past its scope. */
 const char *flagName(int bit);
 
-/** One of the 256 flag combinations. */
+/** One of the 2^N flag combinations. */
 struct FlagSet
 {
-    uint8_t bits = 0;
+    uint64_t bits = 0;
 
     constexpr FlagSet() = default;
-    constexpr explicit FlagSet(uint8_t b) : bits(b) {}
+    constexpr explicit FlagSet(uint64_t b) : bits(b) {}
 
     bool has(int bit) const { return (bits >> bit) & 1; }
     FlagSet with(int bit) const
     {
-        return FlagSet(static_cast<uint8_t>(bits | (1u << bit)));
+        return FlagSet(bits | (1ull << bit));
     }
     FlagSet without(int bit) const
     {
-        return FlagSet(static_cast<uint8_t>(bits & ~(1u << bit)));
+        return FlagSet(bits & ~(1ull << bit));
     }
 
+    /** Number of set flags. */
+    int count() const { return __builtin_popcountll(bits); }
+
     bool operator==(const FlagSet &o) const { return bits == o.bits; }
+    bool operator!=(const FlagSet &o) const { return bits != o.bits; }
 
     /** Convert to the pass pipeline's flag struct. */
     passes::OptFlags toOptFlags() const;
@@ -58,8 +75,8 @@ struct FlagSet
 
     /** The LunarGlass default set (defaults on, custom passes off). */
     static FlagSet lunarGlassDefaults();
-    /** Everything on. */
-    static FlagSet all() { return FlagSet(0xff); }
+    /** Every registered pass on. */
+    static FlagSet all();
     /** Everything off (passthrough baseline). */
     static FlagSet none() { return FlagSet(0); }
 
@@ -67,8 +84,25 @@ struct FlagSet
     std::string str() const;
 };
 
-/** All 256 combinations in numeric order. */
+/** All 2^N combinations in numeric order (256 by default). Throws
+ * std::length_error when the registered pass count makes exhaustive
+ * enumeration infeasible (see checkExhaustiveFeasible). */
 std::vector<FlagSet> allFlagSets();
+
+/**
+ * Guard for every 2^N surface (exhaustive exploration, combination
+ * enumeration, best-static scans): throws std::length_error naming
+ * @p who when more than 20 passes are registered, keeping per-shader
+ * allocations bounded (2^20 combos ≈ 8 MB of combo bookkeeping per
+ * worker) instead of dying on a multi-GB attempt.
+ */
+void checkExhaustiveFeasible(const char *who);
+
+/** The producing combination with the fewest flags (ties keep the
+ * earliest). The shared tie-break rule of ShaderResult::bestFlags,
+ * ExhaustiveSearch, and the examples. @p producers must be
+ * non-empty. */
+FlagSet minimalProducer(const std::vector<FlagSet> &producers);
 
 } // namespace gsopt::tuner
 

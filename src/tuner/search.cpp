@@ -1,0 +1,200 @@
+#include "tuner/search.h"
+
+#include <cmath>
+#include <limits>
+
+#include "runtime/framework.h"
+#include "support/rng.h"
+
+namespace gsopt::tuner {
+
+MeasurementOracle::MeasurementOracle(const Exploration &exploration,
+                                     const gpu::DeviceModel &device)
+    : exploration_(exploration), device_(device),
+      variantMeanNs_(exploration.variants.size(),
+                     std::numeric_limits<double>::quiet_NaN())
+{
+}
+
+double
+MeasurementOracle::originalMeanNs()
+{
+    if (originalMeanNs_ < 0.0) {
+        originalMeanNs_ =
+            runtime::measureShader(exploration_.preprocessedOriginal,
+                                   device_,
+                                   exploration_.shaderName +
+                                       "/original")
+                .meanNs;
+    }
+    return originalMeanNs_;
+}
+
+double
+MeasurementOracle::measure(FlagSet flags)
+{
+    const size_t v =
+        static_cast<size_t>(exploration_.variantOf(flags));
+    if (std::isnan(variantMeanNs_[v])) {
+        variantMeanNs_[v] =
+            runtime::measureShader(exploration_.variants[v].source,
+                                   device_,
+                                   exploration_.shaderName + "/v" +
+                                       std::to_string(v))
+                .meanNs;
+        ++measured_;
+    }
+    return variantMeanNs_[v];
+}
+
+double
+MeasurementOracle::speedupOf(FlagSet flags)
+{
+    const double base = originalMeanNs();
+    if (base <= 0.0)
+        return 0.0;
+    return (base - measure(flags)) / base * 100.0;
+}
+
+namespace {
+
+/** Shared bookkeeping: probe a combination, maintain the incumbent
+ * and the budget curve. Ties keep the earlier (or smaller) set. */
+struct Tracker
+{
+    MeasurementOracle &oracle;
+    SearchOutcome out;
+
+    explicit Tracker(MeasurementOracle &o) : oracle(o)
+    {
+        out.bestSpeedupPercent = -1e30;
+    }
+
+    double probe(FlagSet flags)
+    {
+        const size_t before = oracle.measurementsTaken();
+        const double speedup = oracle.speedupOf(flags);
+        const bool better =
+            speedup > out.bestSpeedupPercent + 1e-12 ||
+            (speedup > out.bestSpeedupPercent - 1e-12 &&
+             flags.count() < out.bestFlags.count());
+        if (better) {
+            out.bestSpeedupPercent = speedup;
+            out.bestFlags = flags;
+        }
+        if (oracle.measurementsTaken() > before)
+            out.bestByBudget.push_back(out.bestSpeedupPercent);
+        return speedup;
+    }
+
+    SearchOutcome finish()
+    {
+        out.measurementsUsed = oracle.measurementsTaken();
+        return std::move(out);
+    }
+};
+
+} // namespace
+
+SearchOutcome
+ExhaustiveSearch::run(MeasurementOracle &oracle) const
+{
+    Tracker t(oracle);
+    const uint64_t n = oracle.comboCount();
+    for (uint64_t combo = 0; combo < n; ++combo)
+        t.probe(FlagSet(combo));
+    SearchOutcome out = t.finish();
+
+    // Report the winner under ShaderResult::bestFlags' exact rule
+    // (first variant index on strict ties, then minimal producer) so
+    // the exhaustive strategy reproduces the campaign verdict even
+    // when quantised timers make distinct variants tie exactly.
+    const Exploration &ex = oracle.exploration();
+    int best_variant = 0;
+    double best = -1e30;
+    for (size_t v = 0; v < ex.variants.size(); ++v) {
+        const double s =
+            oracle.speedupOf(ex.variants[v].producers.front());
+        if (s > best) {
+            best = s;
+            best_variant = static_cast<int>(v);
+        }
+    }
+    out.bestSpeedupPercent = best;
+    out.bestFlags = minimalProducer(
+        ex.variants[static_cast<size_t>(best_variant)].producers);
+    return out;
+}
+
+SearchOutcome
+GreedyFlagSearch::run(MeasurementOracle &oracle) const
+{
+    Tracker t(oracle);
+    const int n = static_cast<int>(oracle.flagCount());
+    FlagSet incumbent = FlagSet::none();
+    double incumbent_speedup = t.probe(incumbent);
+
+    for (;;) {
+        int best_bit = -1;
+        double best_speedup = incumbent_speedup;
+        for (int bit = 0; bit < n; ++bit) {
+            if (incumbent.has(bit))
+                continue;
+            const double s = t.probe(incumbent.with(bit));
+            if (s > best_speedup + 1e-12) {
+                best_speedup = s;
+                best_bit = bit;
+            }
+        }
+        if (best_bit < 0)
+            break;
+        incumbent = incumbent.with(best_bit);
+        incumbent_speedup = best_speedup;
+    }
+    return t.finish();
+}
+
+std::string
+RandomSearch::name() const
+{
+    return "random(" + std::to_string(budget_) + ")";
+}
+
+SearchOutcome
+RandomSearch::run(MeasurementOracle &oracle) const
+{
+    Tracker t(oracle);
+    Rng rng(hashCombine(seed_, fnv1a(oracle.exploration().shaderName)));
+    t.probe(FlagSet::none());
+    // A degenerate baseline (zero/negative mean) makes every speedup
+    // query return 0 without spending a measurement; sampling could
+    // then never reach the budget, so stop at the baseline probe.
+    if (oracle.originalMeanNs() <= 0.0)
+        return t.finish();
+    while (oracle.measurementsTaken() < budget_) {
+        const size_t before = oracle.measurementsTaken();
+        t.probe(FlagSet(rng.below(oracle.comboCount())));
+        if (oracle.measurementsTaken() == before) {
+            // Combo mapped to an already-measured variant: free probe,
+            // but bound the spin for tiny variant spaces.
+            if (oracle.exploration().uniqueCount() <= budget_ &&
+                oracle.measurementsTaken() >=
+                    oracle.exploration().uniqueCount())
+                break;
+        }
+    }
+    return t.finish();
+}
+
+std::vector<std::unique_ptr<SearchStrategy>>
+defaultStrategies(size_t randomBudget, uint64_t randomSeed)
+{
+    std::vector<std::unique_ptr<SearchStrategy>> out;
+    out.push_back(std::make_unique<ExhaustiveSearch>());
+    out.push_back(std::make_unique<GreedyFlagSearch>());
+    out.push_back(
+        std::make_unique<RandomSearch>(randomBudget, randomSeed));
+    return out;
+}
+
+} // namespace gsopt::tuner

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Pluggable search strategies over the flag-combination space.
+ *
+ * The paper's campaign is exhaustive: every combination is compiled,
+ * deduped, and every unique variant measured. Its Section VIII notes
+ * that per-shader "iterative" search beats any static flag set (Fig
+ * 5) — which raises the follow-on question this module answers: how
+ * much of the iterative optimum survives when the measurement budget
+ * shrinks from "every variant" to a handful of on-device timings?
+ *
+ * A SearchStrategy spends *measurements* (on-device timing runs of a
+ * variant, the expensive resource in the paper's protocol: 5 runs x
+ * 100 frames each) against a MeasurementOracle and reports the best
+ * combination it found plus its budget trajectory. Repeated queries
+ * for combinations that map to an already-measured variant are free —
+ * exactly how a real tuner would dedup by compiled output.
+ */
+#ifndef GSOPT_TUNER_SEARCH_H
+#define GSOPT_TUNER_SEARCH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "tuner/explore.h"
+
+namespace gsopt::tuner {
+
+/**
+ * Measurement oracle for one explored shader on one device. Timings
+ * are cached per unique variant; measurementsTaken() counts only the
+ * distinct variants actually timed (the budget strategies spend).
+ */
+class MeasurementOracle
+{
+  public:
+    MeasurementOracle(const Exploration &exploration,
+                      const gpu::DeviceModel &device);
+
+    size_t flagCount() const
+    {
+        return exploration_.exploredFlagCount;
+    }
+    uint64_t comboCount() const
+    {
+        return 1ull << exploration_.exploredFlagCount;
+    }
+
+    /** Mean frame time of the shader compiled under @p flags. */
+    double measure(FlagSet flags);
+
+    /** Mean frame time of the unmodified original (cached; does not
+     * count against measurementsTaken). */
+    double originalMeanNs();
+
+    /** Percent speed-up of @p flags vs the original shader. */
+    double speedupOf(FlagSet flags);
+
+    /** Distinct variant measurements performed so far. */
+    size_t measurementsTaken() const { return measured_; }
+
+    const Exploration &exploration() const { return exploration_; }
+    const gpu::DeviceModel &device() const { return device_; }
+
+  private:
+    const Exploration &exploration_;
+    const gpu::DeviceModel &device_;
+    std::vector<double> variantMeanNs_; ///< NaN until measured
+    double originalMeanNs_ = -1.0;
+    size_t measured_ = 0;
+};
+
+/** Outcome of one strategy run on one (shader, device). */
+struct SearchOutcome
+{
+    FlagSet bestFlags;               ///< best combination found
+    double bestSpeedupPercent = 0.0; ///< vs the original shader
+    size_t measurementsUsed = 0;     ///< distinct variant timings
+    /** Best-so-far speed-up after the i-th measurement (the budget
+     * curve the strategy-comparison example plots). */
+    std::vector<double> bestByBudget;
+};
+
+/** Interface over the variant space: spend oracle measurements, return
+ * the best combination found. Implementations must be deterministic
+ * for a given (oracle, constructor arguments). */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+    virtual std::string name() const = 0;
+    virtual SearchOutcome run(MeasurementOracle &oracle) const = 0;
+};
+
+/**
+ * Today's campaign behaviour: every combination (enumerated over the
+ * exhaustively explored, prefix-sharing-tree-built variant space),
+ * every unique variant measured once. Finds the true optimum;
+ * tie-breaks to the minimal producing flag set, matching
+ * ShaderResult::bestFlags.
+ */
+class ExhaustiveSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "exhaustive"; }
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+};
+
+/**
+ * One-flag-at-a-time hill climb: starting from the empty set, each
+ * round measures every single-flag extension of the incumbent and
+ * keeps the best strictly-improving one; stops when no flag improves.
+ * At most N rounds of <= N probes each: ~O(N^2) measurements.
+ */
+class GreedyFlagSearch : public SearchStrategy
+{
+  public:
+    std::string name() const override { return "greedy"; }
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+};
+
+/** Uniform random sampling of @p budget combinations (deterministic
+ * per seed); the passthrough baseline is always probed first. */
+class RandomSearch : public SearchStrategy
+{
+  public:
+    RandomSearch(size_t budget, uint64_t seed)
+        : budget_(budget), seed_(seed)
+    {
+    }
+    std::string name() const override;
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+
+  private:
+    size_t budget_;
+    uint64_t seed_;
+};
+
+/** The built-in strategy roster the comparison example iterates. */
+std::vector<std::unique_ptr<SearchStrategy>> defaultStrategies(
+    size_t randomBudget = 16, uint64_t randomSeed = 0x5eed);
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_SEARCH_H

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Pass-registry tests: built-in registration stays bit-compatible with
+ * the paper's fixed table, the tree walk stays byte-identical to the
+ * linear pipeline for every registered combination, cache keys hash
+ * exact bit patterns, and — the headline decoupling property — a ninth
+ * registered pass flows through pipeline, exploration, and the
+ * experiment engine with no changes to any of them.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "corpus/corpus.h"
+#include "emit/emit.h"
+#include "emit/offline.h"
+#include "passes/registry.h"
+#include "tuner/experiment.h"
+#include "tuner/explore.h"
+
+namespace gsopt {
+namespace {
+
+using passes::PassRegistry;
+using tuner::FlagSet;
+
+TEST(Registry, BuiltinsMatchPaperBitOrder)
+{
+    PassRegistry &reg = PassRegistry::instance();
+    ASSERT_EQ(reg.count(), 8u);
+    EXPECT_EQ(reg.comboCount(), 256u);
+    const char *ids_by_bit[] = {"adce",   "coalesce",
+                                "gvn",    "reassociate",
+                                "unroll", "hoist",
+                                "fp_reassociate", "div_to_mul"};
+    for (int bit = 0; bit < 8; ++bit) {
+        EXPECT_EQ(reg.pass(bit).id, ids_by_bit[bit]) << bit;
+        EXPECT_EQ(reg.bitOf(ids_by_bit[bit]), bit);
+    }
+    EXPECT_EQ(reg.bitOf("no_such_pass"), -1);
+    // Display names match the historical FlagSet spellings.
+    EXPECT_STREQ(tuner::flagName(tuner::kFpReassociate),
+                 "FP Reassociate");
+    EXPECT_STREQ(tuner::flagName(tuner::kDivToMul), "Div to Mul");
+}
+
+TEST(Registry, PipelineOrderIsHistorical)
+{
+    // Application order (not bit order): Unroll, Hoist, Coalesce,
+    // Reassociate, FP Reassociate, Div to Mul, GVN, ADCE.
+    const char *expect[] = {"unroll",         "hoist",
+                            "coalesce",       "reassociate",
+                            "fp_reassociate", "div_to_mul",
+                            "gvn",            "adce"};
+    const auto &pipeline = PassRegistry::instance().pipeline();
+    ASSERT_EQ(pipeline.size(), 8u);
+    for (size_t i = 0; i < pipeline.size(); ++i)
+        EXPECT_EQ(pipeline[i]->id, expect[i]) << i;
+}
+
+TEST(Registry, SignatureChangesWithRegistration)
+{
+    const uint64_t before = PassRegistry::instance().signature();
+    {
+        passes::ScopedPass extra(
+            "registry_test/sig", "SigProbe",
+            [](ir::Module &m) { passes::canonicalize(m); });
+        EXPECT_NE(PassRegistry::instance().signature(), before);
+    }
+    EXPECT_EQ(PassRegistry::instance().signature(), before);
+}
+
+// ---- satellite: tree walk byte-identical to the linear pipeline ------
+
+TEST(PipelineEquivalence, TreeMatchesLinearOnCorpusShaders)
+{
+    for (const char *name :
+         {"simple/grayscale", "toon/bands3", "tonemap/aces"}) {
+        const corpus::CorpusShader &shader =
+            *corpus::findShader(name);
+        auto base = emit::compileToIr(shader.source, shader.defines);
+
+        std::map<uint64_t, std::string> tree_text;
+        passes::forEachFlagCombination(
+            *base, [&](const passes::OptFlags &flags,
+                       const ir::Module &module) {
+                tree_text[flags.mask()] = emit::emitGlsl(module);
+            });
+        ASSERT_EQ(tree_text.size(),
+                  PassRegistry::instance().comboCount())
+            << name;
+
+        for (const FlagSet &flags : tuner::allFlagSets()) {
+            auto linear = base->clone();
+            passes::optimize(*linear, flags.toOptFlags());
+            EXPECT_EQ(emit::emitGlsl(*linear),
+                      tree_text.at(flags.bits))
+                << name << " " << flags.str();
+        }
+    }
+}
+
+// ---- satellite: exact-bit cache keys ---------------------------------
+
+TEST(CampaignKey, OneUlpDeviceChangeChangesKey)
+{
+    const gpu::DeviceModel &base =
+        gpu::deviceModel(gpu::DeviceId::Arm);
+    EXPECT_EQ(tuner::deviceModelKey(base),
+              tuner::deviceModelKey(base));
+
+    gpu::DeviceModel tweaked = base;
+    tweaked.clockGhz = std::nextafter(tweaked.clockGhz, 2e9);
+    EXPECT_NE(tuner::deviceModelKey(base),
+              tuner::deviceModelKey(tweaked));
+
+    // The old ostringstream path (6 significant digits) collided
+    // exactly this class of change: past-the-6th-digit noise models.
+    gpu::DeviceModel noise = base;
+    noise.noiseSigma = base.noiseSigma * (1.0 + 1e-12);
+    EXPECT_NE(tuner::deviceModelKey(base),
+              tuner::deviceModelKey(noise));
+}
+
+TEST(CampaignKey, ShardKeyIsolatesShaders)
+{
+    const uint64_t set_key = tuner::deviceSetKey();
+    corpus::CorpusShader a = *corpus::findShader("simple/grayscale");
+    corpus::CorpusShader b = a;
+    EXPECT_EQ(tuner::shardKey(a, set_key),
+              tuner::shardKey(b, set_key));
+    b.source += "\n// edited\n";
+    EXPECT_NE(tuner::shardKey(a, set_key),
+              tuner::shardKey(b, set_key));
+    // Defines participate too (übershader specialisations).
+    corpus::CorpusShader c = a;
+    c.defines["REGISTRY_TEST"] = "1";
+    EXPECT_NE(tuner::shardKey(a, set_key),
+              tuner::shardKey(c, set_key));
+}
+
+// ---- satellite: bounds checking and error reporting ------------------
+
+TEST(Bounds, SpeedupOfRejectsBadVariantIndex)
+{
+    tuner::DeviceMeasurement m;
+    m.originalMeanNs = 100.0;
+    m.variantMeanNs = {80.0, 90.0};
+    EXPECT_DOUBLE_EQ(m.speedupOf(0), 20.0);
+    EXPECT_THROW(m.speedupOf(-1), std::out_of_range);
+    EXPECT_THROW(m.speedupOf(2), std::out_of_range);
+}
+
+TEST(Bounds, VariantOfRejectsUnexploredCombo)
+{
+    tuner::Exploration ex;
+    ex.shaderName = "test/sparse";
+    ex.variantOfCombo.emplace(0, 0);
+    EXPECT_EQ(ex.variantOf(FlagSet::none()), 0);
+    try {
+        ex.variantOf(FlagSet(3));
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("test/sparse"),
+                  std::string::npos);
+    }
+}
+
+TEST(Bounds, EngineResultMissListsKnownShaders)
+{
+    std::vector<corpus::CorpusShader> mini = {
+        *corpus::findShader("simple/grayscale")};
+    tuner::ExperimentEngine engine(mini, 1);
+    try {
+        engine.result("no/such_shader");
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no/such_shader"), std::string::npos);
+        EXPECT_NE(what.find("simple/grayscale"), std::string::npos);
+    }
+}
+
+// ---- the decoupling headline: a ninth pass, end to end ---------------
+
+TEST(Registry, NinthPassEndToEndWithoutTouchingOtherLayers)
+{
+    // A real transformation the registry has never seen: aggressive
+    // use-site sinking. Registered at the end of the pipeline with the
+    // stage contract (trailing canonicalisation) honoured.
+    passes::ScopedPass ninth(
+        "registry_test/sink", "Sink",
+        [](ir::Module &m) {
+            passes::scheduleForPressure(m, 1);
+            passes::canonicalize(m);
+        });
+    ASSERT_EQ(ninth.bit(), 8);
+    EXPECT_EQ(tuner::flagCount(), 9u);
+    EXPECT_EQ(tuner::comboCount(), 512u);
+    EXPECT_EQ(tuner::allFlagSets().size(), 512u);
+    EXPECT_TRUE(FlagSet::all().has(8));
+    EXPECT_FALSE(FlagSet::lunarGlassDefaults().has(8));
+    EXPECT_EQ(FlagSet::none().with(8).str(), "{Sink}");
+
+    // OptFlags plumbing carries the extra bit through masks.
+    passes::OptFlags with_ninth =
+        FlagSet::none().with(8).toOptFlags();
+    EXPECT_TRUE(with_ninth.test(8));
+    EXPECT_EQ(with_ninth.mask(), 1ull << 8);
+    EXPECT_EQ(FlagSet::fromOptFlags(with_ninth).bits, 1ull << 8);
+
+    // Exploration sizes itself from the registry: 512 combinations,
+    // every one mapped (exploreShader code untouched).
+    corpus::CorpusShader s;
+    s.name = "test/ninth";
+    s.family = "test";
+    s.source = "#version 450\n"
+               "in vec2 uv;\n"
+               "out vec4 c;\n"
+               "void main() {\n"
+               "  float a = uv.x * 3.0 + 1.0;\n"
+               "  float b = uv.y / 4.0;\n"
+               "  vec3 t = vec3(a, b, a * b);\n"
+               "  if (uv.x > 0.5) { t = t * 2.0; }\n"
+               "  c = vec4(t, a + b);\n"
+               "}\n";
+    tuner::Exploration ex = tuner::exploreShader(s);
+    EXPECT_EQ(ex.exploredFlagCount, 9u);
+    EXPECT_EQ(ex.variantOfCombo.size(), 512u);
+    size_t producer_total = 0;
+    for (const auto &v : ex.variants)
+        producer_total += v.producers.size();
+    EXPECT_EQ(producer_total, 512u);
+
+    // The tree walk still equals the linear pipeline with the ninth
+    // pass gated in (pipeline/explore code untouched).
+    auto base = emit::compileToIr(s.source);
+    for (uint64_t bits : {1ull << 8, (1ull << 9) - 1, 0x155ull}) {
+        auto linear = base->clone();
+        passes::optimize(*linear, FlagSet(bits).toOptFlags());
+        const int variant = ex.variantOf(FlagSet(bits));
+        EXPECT_EQ(emit::emitGlsl(*linear),
+                  ex.variants[static_cast<size_t>(variant)].source)
+            << bits;
+    }
+
+    // And the campaign engine runs the widened space end to end
+    // (engine code untouched).
+    tuner::ExperimentEngine engine({s}, 2);
+    const tuner::ShaderResult &r = engine.result("test/ninth");
+    EXPECT_EQ(r.byDevice.size(), gpu::allDevices().size());
+    for (const auto &[dev, m] : r.byDevice) {
+        EXPECT_GT(m.originalMeanNs, 0.0);
+        EXPECT_EQ(m.variantMeanNs.size(), r.exploration.uniqueCount());
+    }
+    const double best = r.bestSpeedup(gpu::DeviceId::Arm);
+    EXPECT_GE(best + 1e-9,
+              r.speedupFor(gpu::DeviceId::Arm, FlagSet::none().with(8)));
+}
+
+// ---- satellite: the parallel engine reproduces the serial engine -----
+
+TEST(Engine, ParallelBitIdenticalToSerial)
+{
+    std::vector<corpus::CorpusShader> mini;
+    for (const char *name :
+         {"simple/grayscale", "toon/bands3", "tonemap/aces"})
+        mini.push_back(*corpus::findShader(name));
+
+    tuner::ExperimentEngine serial(mini, 1);
+    tuner::ExperimentEngine parallel(mini, 4);
+
+    ASSERT_EQ(serial.results().size(), parallel.results().size());
+    for (size_t i = 0; i < serial.results().size(); ++i) {
+        const tuner::ShaderResult &a = serial.results()[i];
+        const tuner::ShaderResult &b = parallel.results()[i];
+        EXPECT_EQ(a.exploration.shaderName, b.exploration.shaderName);
+        ASSERT_EQ(a.exploration.variants.size(),
+                  b.exploration.variants.size());
+        for (size_t v = 0; v < a.exploration.variants.size(); ++v) {
+            EXPECT_EQ(a.exploration.variants[v].source,
+                      b.exploration.variants[v].source);
+            EXPECT_EQ(a.exploration.variants[v].producers.size(),
+                      b.exploration.variants[v].producers.size());
+        }
+        EXPECT_EQ(a.exploration.variantOfCombo,
+                  b.exploration.variantOfCombo);
+        EXPECT_EQ(a.exploration.passthroughVariant,
+                  b.exploration.passthroughVariant);
+        ASSERT_EQ(a.byDevice.size(), b.byDevice.size());
+        for (const auto &[dev, m] : a.byDevice) {
+            // Bit-identical: exact double equality, no tolerance.
+            EXPECT_TRUE(m == b.byDevice.at(dev))
+                << a.exploration.shaderName;
+        }
+    }
+}
+
+} // namespace
+} // namespace gsopt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Search-strategy tests: the exhaustive strategy reproduces the
+ * campaign's per-shader optimum exactly, the cheaper strategies
+ * respect their budgets and never beat the optimum, and every
+ * strategy is deterministic.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "tuner/experiment.h"
+#include "tuner/search.h"
+
+namespace gsopt::tuner {
+namespace {
+
+std::vector<corpus::CorpusShader>
+miniCorpus()
+{
+    std::vector<corpus::CorpusShader> out;
+    for (const char *name : {"blur/weighted9", "toon/bands3"})
+        out.push_back(*corpus::findShader(name));
+    return out;
+}
+
+TEST(Search, ExhaustiveReproducesEngineOptimum)
+{
+    const auto shaders = miniCorpus();
+    ExperimentEngine engine(shaders, 1);
+    for (const auto &shader : shaders) {
+        const ShaderResult &r = engine.result(shader.name);
+        for (gpu::DeviceId id : gpu::allDevices()) {
+            MeasurementOracle oracle(r.exploration,
+                                     gpu::deviceModel(id));
+            SearchOutcome out = ExhaustiveSearch{}.run(oracle);
+            // Same deterministic measurement protocol and labels:
+            // exact equality, not tolerance.
+            EXPECT_DOUBLE_EQ(out.bestSpeedupPercent,
+                             r.bestSpeedup(id))
+                << shader.name;
+            EXPECT_EQ(out.bestFlags, r.bestFlags(id)) << shader.name;
+            // One measurement per unique variant, never more.
+            EXPECT_EQ(out.measurementsUsed,
+                      r.exploration.uniqueCount())
+                << shader.name;
+        }
+    }
+}
+
+TEST(Search, GreedyRespectsQuadraticBudgetAndOptimumBound)
+{
+    for (const auto &shader : miniCorpus()) {
+        Exploration ex = exploreShader(shader);
+        const size_t n = ex.exploredFlagCount;
+        for (gpu::DeviceId id :
+             {gpu::DeviceId::Arm, gpu::DeviceId::Amd}) {
+            MeasurementOracle exhaustive_oracle(
+                ex, gpu::deviceModel(id));
+            SearchOutcome best =
+                ExhaustiveSearch{}.run(exhaustive_oracle);
+
+            MeasurementOracle oracle(ex, gpu::deviceModel(id));
+            SearchOutcome out = GreedyFlagSearch{}.run(oracle);
+            EXPECT_LE(out.bestSpeedupPercent,
+                      best.bestSpeedupPercent + 1e-9);
+            // Distinct measurements are capped both by the O(N^2)
+            // probe count and by the number of unique variants.
+            EXPECT_LE(out.measurementsUsed,
+                      std::min((n + 1) * (n + 1),
+                               ex.uniqueCount()));
+            // The incumbent never regresses along the budget curve.
+            for (size_t i = 1; i < out.bestByBudget.size(); ++i)
+                EXPECT_GE(out.bestByBudget[i],
+                          out.bestByBudget[i - 1]);
+        }
+    }
+}
+
+TEST(Search, GreedyClimbsWhereSingleFlagsHelpAndTrapsWhereTheyDont)
+{
+    // The motivating blur shader's optimum is {Unroll,FP Reassociate}
+    // jointly. Where a single flag already pays (AMD: "unrolling
+    // always improves performance", paper VI-D5), greedy climbs to a
+    // large win; where no single flag improves on its own (Intel's
+    // JIT unrolls by itself, Qualcomm's i-cache punishes lone
+    // unrolling), hill climbing stops at the start — the concrete
+    // budget/quality trade-off the strategy layer exists to expose.
+    Exploration ex =
+        exploreShader(*corpus::findShader("blur/weighted9"));
+    int trapped = 0;
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        MeasurementOracle a(ex, gpu::deviceModel(id));
+        MeasurementOracle b(ex, gpu::deviceModel(id));
+        SearchOutcome best = ExhaustiveSearch{}.run(a);
+        SearchOutcome greedy = GreedyFlagSearch{}.run(b);
+        EXPECT_LE(greedy.bestSpeedupPercent,
+                  best.bestSpeedupPercent + 1e-9)
+            << gpu::deviceVendor(id);
+        EXPECT_LE(greedy.measurementsUsed, best.measurementsUsed)
+            << gpu::deviceVendor(id);
+        trapped +=
+            greedy.bestSpeedupPercent <
+            best.bestSpeedupPercent - 5.0;
+    }
+    // Strongly positive climb where unroll alone already helps.
+    MeasurementOracle amd(ex, gpu::deviceModel(gpu::DeviceId::Amd));
+    EXPECT_GT(GreedyFlagSearch{}.run(amd).bestSpeedupPercent, 20.0);
+    // And at least one platform demonstrates the local-optimum trap.
+    EXPECT_GE(trapped, 1);
+}
+
+TEST(Search, RandomIsDeterministicAndBudgeted)
+{
+    Exploration ex = exploreShader(*corpus::findShader("toon/bands3"));
+    const gpu::DeviceModel &device =
+        gpu::deviceModel(gpu::DeviceId::Intel);
+
+    MeasurementOracle o1(ex, device), o2(ex, device);
+    SearchOutcome a = RandomSearch(6, 42).run(o1);
+    SearchOutcome b = RandomSearch(6, 42).run(o2);
+    EXPECT_EQ(a.bestFlags, b.bestFlags);
+    EXPECT_DOUBLE_EQ(a.bestSpeedupPercent, b.bestSpeedupPercent);
+    EXPECT_EQ(a.measurementsUsed, b.measurementsUsed);
+    EXPECT_LE(a.measurementsUsed, 6u);
+    EXPECT_GE(a.measurementsUsed, 1u);
+
+    MeasurementOracle o3(ex, device);
+    SearchOutcome big = RandomSearch(1000, 42).run(o3);
+    // Budget beyond the variant space: capped by unique variants.
+    EXPECT_LE(big.measurementsUsed, ex.uniqueCount());
+}
+
+TEST(Search, OracleCachesRepeatedVariants)
+{
+    Exploration ex =
+        exploreShader(*corpus::findShader("simple/grayscale"));
+    MeasurementOracle oracle(ex,
+                             gpu::deviceModel(gpu::DeviceId::Nvidia));
+    const double first = oracle.measure(FlagSet::none());
+    const size_t after_first = oracle.measurementsTaken();
+    // ADCE alone never changes the output text (paper VI-D1): same
+    // variant, so the repeat probe must be free and identical.
+    const double again =
+        oracle.measure(FlagSet::none().with(kAdce));
+    EXPECT_DOUBLE_EQ(first, again);
+    EXPECT_EQ(oracle.measurementsTaken(), after_first);
+}
+
+TEST(Search, DefaultRosterCoversTheThreeFamilies)
+{
+    auto roster = defaultStrategies(12, 7);
+    ASSERT_EQ(roster.size(), 3u);
+    EXPECT_EQ(roster[0]->name(), "exhaustive");
+    EXPECT_EQ(roster[1]->name(), "greedy");
+    EXPECT_EQ(roster[2]->name(), "random(12)");
+}
+
+} // namespace
+} // namespace gsopt::tuner
