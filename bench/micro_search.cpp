@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Search-strategy efficiency: measurements-to-within-1%-of-optimum per
+ * strategy per device — the budget-curve question behind the paper's
+ * Fig 5 ("iterative" beats every static set, but at what measurement
+ * cost?), asked of every strategy in the roster including the
+ * model-guided ones (predicted, transfer).
+ *
+ * For each (shader, device, strategy) run, the budget curve
+ * (SearchOutcome::bestByBudget) is scanned for the first paid
+ * measurement after which the best-found speed-up is within 1
+ * percentage point of the exhaustive optimum. Reported per strategy x
+ * device: mean and max measurements-to-1%, runs that never got there,
+ * and the mean shortfall from the optimum at the final budget.
+ *
+ * The acceptance bar printed at the end checks that the predicted
+ * strategy reaches within 1 pp of the exhaustive optimum on every
+ * device for every probe shader while paying at most 8 measurements.
+ *
+ * Pass --full to run the entire corpus instead of the probe set.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "corpus/corpus.h"
+#include "tuner/search.h"
+
+using namespace gsopt;
+
+namespace {
+
+struct Cell
+{
+    size_t runs = 0;
+    size_t misses = 0;        ///< runs that never reached 1 pp
+    size_t measurementsSum = 0; ///< to-1% where reached, else total
+    size_t measurementsMax = 0;
+    double shortfallSum = 0;  ///< optimum - best found, final budget
+};
+
+/** First 1-based paid-measurement count after which the curve is
+ * within 1 pp of @p optimum; 0 when the run starts there (a free or
+ * predicted hit), SIZE_MAX when it never arrives. */
+size_t
+measurementsToWithin1pp(const tuner::SearchOutcome &out,
+                        double optimum)
+{
+    if (out.bestByBudget.empty())
+        return out.bestSpeedupPercent >= optimum - 1.0 ? 0 : SIZE_MAX;
+    for (size_t i = 0; i < out.bestByBudget.size(); ++i) {
+        if (out.bestByBudget[i] >= optimum - 1.0)
+            return i + 1;
+    }
+    return SIZE_MAX;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool full =
+        argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+    bench::banner("micro_search",
+                  "Measurements-to-within-1%-of-optimum per search "
+                  "strategy per device");
+
+    std::vector<const corpus::CorpusShader *> probe;
+    if (full) {
+        for (const auto &s : corpus::corpus())
+            probe.push_back(&s);
+    } else {
+        for (const char *name :
+             {"blur/weighted9", "simple/grayscale", "tonemap/aces",
+              "toon/bands3", "deferred/lights4", "pbr/full",
+              "fxaa/high", "godrays/march32", "ssao/kernel16",
+              "uber/car_chase"}) {
+            probe.push_back(corpus::findShader(name));
+        }
+    }
+
+    auto prior = std::make_shared<const tuner::FamilyPrior>(
+        bench::engine().familyPrior());
+    const auto strategies =
+        tuner::defaultStrategies(/*randomBudget=*/16,
+                                 /*randomSeed=*/0x5eed, prior);
+
+    // strategy name -> device -> aggregate
+    std::map<std::string, std::map<gpu::DeviceId, Cell>> cells;
+    bool predicted_ok = true;
+    double predicted_worst_gap = 0;
+    size_t predicted_max_meas = 0;
+
+    for (const corpus::CorpusShader *shader : probe) {
+        tuner::Exploration ex = tuner::exploreShader(*shader);
+        for (gpu::DeviceId id : gpu::allDevices()) {
+            const gpu::DeviceModel &device = gpu::deviceModel(id);
+            tuner::MeasurementOracle exhaustive_oracle(ex, device);
+            const double optimum =
+                tuner::ExhaustiveSearch{}
+                    .run(exhaustive_oracle)
+                    .bestSpeedupPercent;
+
+            for (const auto &strategy : strategies) {
+                tuner::MeasurementOracle oracle(ex, device);
+                tuner::SearchOutcome out = strategy->run(oracle);
+                Cell &c = cells[strategy->name()][id];
+                ++c.runs;
+                const size_t to1 =
+                    measurementsToWithin1pp(out, optimum);
+                if (to1 == SIZE_MAX) {
+                    ++c.misses;
+                    c.measurementsSum += out.measurementsUsed;
+                } else {
+                    c.measurementsSum += to1;
+                }
+                c.measurementsMax = std::max(c.measurementsMax,
+                                             out.measurementsUsed);
+                c.shortfallSum +=
+                    optimum - out.bestSpeedupPercent;
+
+                if (strategy->name() == "predicted") {
+                    const double gap =
+                        optimum - out.bestSpeedupPercent;
+                    predicted_worst_gap =
+                        std::max(predicted_worst_gap, gap);
+                    predicted_max_meas = std::max(
+                        predicted_max_meas, out.measurementsUsed);
+                    if (gap > 1.0 || out.measurementsUsed > 8)
+                        predicted_ok = false;
+                }
+            }
+        }
+    }
+
+    TextTable t({"strategy", "device", "mean meas to 1%",
+                 "max meas", "missed 1%", "mean shortfall"});
+    for (const auto &[name, by_dev] : cells) {
+        for (const auto &[id, c] : by_dev) {
+            t.addRow({name, gpu::deviceVendor(id),
+                      TextTable::num(
+                          static_cast<double>(c.measurementsSum) /
+                              static_cast<double>(c.runs),
+                          1),
+                      std::to_string(c.measurementsMax),
+                      std::to_string(c.misses) + "/" +
+                          std::to_string(c.runs),
+                      TextTable::num(c.shortfallSum /
+                                         static_cast<double>(c.runs),
+                                     2) +
+                          " pp"});
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("Probe set: %zu shaders x %zu devices%s\n",
+                probe.size(), gpu::allDevices().size(),
+                full ? " (full corpus)" : "");
+    std::printf(
+        "Acceptance (predicted within 1 pp of exhaustive optimum on "
+        "every device,\n<= 8 measurements per shader): %s  "
+        "(worst gap %.2f pp, max measurements %zu)\n",
+        predicted_ok ? "PASS" : "FAIL", predicted_worst_gap,
+        predicted_max_meas);
+    return predicted_ok ? 0 : 1;
+}

@@ -5,113 +5,26 @@
  * analysis, and automated machine-learning based techniques are likely
  * to be attractive" (Section VIII).
  *
- * This example implements a transparent *profitability heuristic*: a
- * handful of cheap static features per shader (constant-trip loops,
- * texture count, branches, constant divisions, size) feed per-device
- * rules that pick a flag set without measuring anything. It is then
+ * A thin client of the library's profitability model: static features
+ * (tuner/features.h) feed per-device rules (tuner/predict.h) that pick
+ * a flag set without measuring anything. The prediction is then
  * evaluated against the measured campaign: how much of the gap between
  * the best static flags and the per-shader iterative optimum does the
- * predictor recover?
+ * predictor recover? (PredictedSearch layers a small measured
+ * refinement on top of the same model — see
+ * example_search_strategies and bench/micro_search for that
+ * comparison on the budget curve.)
  *
- * Build & run:  ./build/examples/flag_predictor
+ * Build & run:  ./build/example_flag_predictor
  */
-#include <algorithm>
 #include <cstdio>
 
-#include "analysis/loc.h"
-#include "emit/offline.h"
-#include "ir/walk.h"
 #include "support/table.h"
 #include "tuner/experiment.h"
+#include "tuner/features.h"
+#include "tuner/predict.h"
 
 using namespace gsopt;
-
-namespace {
-
-/** Cheap static features, computed from the unoptimised IR. */
-struct Features
-{
-    bool hasConstLoop = false;
-    long maxTripCount = 0;
-    size_t loopBodyInstrs = 0;
-    int textures = 0;
-    int branches = 0;
-    bool hasConstDiv = false;
-    size_t instrs = 0;
-};
-
-Features
-featuresOf(const std::string &preprocessed)
-{
-    Features f;
-    auto module = emit::compileToIr(preprocessed);
-    passes::canonicalize(*module);
-    f.instrs = module->instructionCount();
-    ir::forEachNode(module->body, [&](ir::Node &n) {
-        if (auto *l = ir::dyn_cast<ir::LoopNode>(&n)) {
-            if (l->canonical) {
-                f.hasConstLoop = true;
-                f.maxTripCount =
-                    std::max(f.maxTripCount, l->tripCount());
-                f.loopBodyInstrs = std::max(
-                    f.loopBodyInstrs, l->body.instructionCount());
-            }
-        } else if (n.kind() == ir::NodeKind::If) {
-            ++f.branches;
-        }
-    });
-    ir::forEachInstr(module->body, [&](const ir::Instr &i) {
-        switch (i.op) {
-          case ir::Opcode::Texture:
-          case ir::Opcode::TextureBias:
-          case ir::Opcode::TextureLod:
-            ++f.textures;
-            break;
-          case ir::Opcode::Div:
-            if (i.operands[1]->op == ir::Opcode::Const)
-                f.hasConstDiv = true;
-            break;
-          default:
-            break;
-        }
-    });
-    return f;
-}
-
-/** Per-device profitability rules. */
-tuner::FlagSet
-predict(gpu::DeviceId dev, const Features &f)
-{
-    using namespace tuner;
-    FlagSet flags;
-    // The unsafe FP passes pay on every platform except ARM's vec4
-    // machine, where scalar grouping fights the vectoriser.
-    if (dev != gpu::DeviceId::Arm)
-        flags = flags.with(kFpReassociate);
-    // Constant divisions fold everywhere once turned into multiplies.
-    if (f.hasConstDiv)
-        flags = flags.with(kDivToMul);
-    // Unrolling: on weak-JIT platforms (AMD, ARM) it pays directly; on
-    // strong-JIT desktops it still pays *as an enabler* — the offline
-    // unsafe passes can only see through a loop the offline tool has
-    // unrolled, even if the driver would unroll it later anyway. Only
-    // the i-cache-limited Adreno needs a size guard.
-    const size_t unrolled =
-        static_cast<size_t>(f.maxTripCount) * f.loopBodyInstrs;
-    if (f.hasConstLoop) {
-        if (dev != gpu::DeviceId::Qualcomm || unrolled < 150)
-            flags = flags.with(kUnroll);
-    }
-    // Hoisting pays only on ARM, and only for small branchy shaders
-    // (big flattened blocks blow the register file).
-    if (dev == gpu::DeviceId::Arm && f.branches > 0 && f.instrs < 120)
-        flags = flags.with(kHoist);
-    // Coalesce is near-free and helps the vec4 machine.
-    flags = flags.with(kCoalesce);
-    return flags;
-}
-
-} // namespace
 
 int
 main()
@@ -130,9 +43,9 @@ main()
 
         double predicted_sum = 0;
         for (const auto &r : eng.results()) {
-            Features f =
-                featuresOf(r.exploration.preprocessedOriginal);
-            tuner::FlagSet flags = predict(dev, f);
+            const tuner::ShaderFeatures &f =
+                tuner::featuresOf(r.exploration);
+            tuner::FlagSet flags = tuner::predictFlags(dev, f);
             predicted_sum += r.speedupFor(dev, flags);
         }
         const double predicted =

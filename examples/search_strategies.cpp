@@ -10,7 +10,11 @@
  * For each probe shader x device it runs every strategy from
  * tuner::defaultStrategies plus extra random budgets, then prints
  * best-found speed-up and measurements spent, and a summary of the
- * optimum recovered per measurement budget.
+ * optimum recovered per measurement budget. The roster includes the
+ * model-guided strategies: `predicted` (static-feature prediction +
+ * measured refinement) and `transfer` (seeded from the übershader
+ * family's campaign-best flags, which pulls in the cached campaign
+ * to build the prior).
  *
  * Build & run:  ./build/example_search_strategies [shader ...]
  */
@@ -20,6 +24,7 @@
 
 #include "corpus/corpus.h"
 #include "support/table.h"
+#include "tuner/experiment.h"
 #include "tuner/search.h"
 
 using namespace gsopt;
@@ -47,8 +52,13 @@ main(int argc, char **argv)
                  "godrays/march32", "tier/dual_heavy"};
     }
 
+    // The transfer strategy seeds from the campaign's per-family best
+    // flags; building the prior loads (or runs) the cached campaign.
+    auto prior = std::make_shared<const tuner::FamilyPrior>(
+        tuner::ExperimentEngine::instance().familyPrior());
     std::vector<std::unique_ptr<tuner::SearchStrategy>> strategies =
-        tuner::defaultStrategies(/*randomBudget=*/16);
+        tuner::defaultStrategies(/*randomBudget=*/16,
+                                 /*randomSeed=*/0x5eed, prior);
     strategies.push_back(
         std::make_unique<tuner::RandomSearch>(8, 0x5eed));
     strategies.push_back(

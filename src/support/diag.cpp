@@ -19,7 +19,11 @@ Diagnostic::str() const
                       : severity == Severity::Warning ? "warning"
                                                       : "note";
     std::ostringstream os;
-    os << loc.str() << ": " << sev << ": " << message;
+    // Diagnostics without a source position (e.g. the tuner's
+    // degenerate-baseline warning) render without the bogus "0:0:".
+    if (loc.valid())
+        os << loc.str() << ": ";
+    os << sev << ": " << message;
     return os.str();
 }
 

@@ -33,7 +33,8 @@ struct Diagnostic
     SourceLoc loc;
     std::string message;
 
-    /** Render as "line:col: error: message". */
+    /** Render as "line:col: error: message" (the location prefix is
+     * omitted when loc is invalid). */
     std::string str() const;
 };
 

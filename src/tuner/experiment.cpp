@@ -26,7 +26,9 @@ namespace {
  * corpus or device parameters. */
 /* 13: sharded per-shader cache, N-bit flag sets (wider producer
  * serialisation), combo->variant map replaces the fixed array. */
-constexpr uint64_t kSchemaVersion = 13;
+/* 14: Exploration carries the übershader family id (cross-shader
+ * transfer seeding). */
+constexpr uint64_t kSchemaVersion = 14;
 
 /** Exact IEEE-754 bit pattern of a double, for hashing. Decimal
  * formatting (the old ostringstream path) silently collided configs
@@ -393,6 +395,20 @@ ExperimentEngine::perShaderBestSpeedups(gpu::DeviceId dev) const
     return out;
 }
 
+FamilyPrior
+ExperimentEngine::familyPrior() const
+{
+    FamilyPrior prior;
+    for (const auto &r : results_) {
+        for (const auto &[dev, m] : r.byDevice) {
+            (void)m;
+            prior.add(r.exploration.family, dev,
+                      r.exploration.shaderName, r.bestFlags(dev));
+        }
+    }
+    return prior;
+}
+
 // ---------------------------------------------------------------- cache
 
 namespace {
@@ -445,6 +461,7 @@ ExperimentEngine::saveShard(const std::string &path, uint64_t key,
     // a re-run shard.
     std::ostringstream os(std::ios::binary);
     writeString(os, r.exploration.shaderName);
+    writeString(os, r.exploration.family);
     writeString(os, r.exploration.preprocessedOriginal);
     writeString(os, r.exploration.originalSource);
     writePod(os,
@@ -512,6 +529,7 @@ ExperimentEngine::loadShard(const std::string &path, uint64_t key,
     std::istringstream is(body, std::ios::binary);
     ShaderResult r;
     if (!readString(is, r.exploration.shaderName) ||
+        !readString(is, r.exploration.family) ||
         !readString(is, r.exploration.preprocessedOriginal) ||
         !readString(is, r.exploration.originalSource))
         return false;

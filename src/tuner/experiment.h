@@ -25,6 +25,7 @@
 
 #include "gpu/device.h"
 #include "tuner/explore.h"
+#include "tuner/predict.h"
 
 namespace gsopt::tuner {
 
@@ -120,6 +121,14 @@ class ExperimentEngine
                                           FlagSet flags) const;
     /** Per-shader best speed-ups (Fig 7 green series). */
     std::vector<double> perShaderBestSpeedups(gpu::DeviceId dev) const;
+
+    /**
+     * Build the cross-shader transfer table: every shader's
+     * campaign-best flags, grouped by übershader family and device.
+     * TransferSeededSearch seeds new searches from it (leave-one-out
+     * happens at query time, in FamilyPrior::seedFor).
+     */
+    FamilyPrior familyPrior() const;
 
   private:
     ExperimentEngine() = default;

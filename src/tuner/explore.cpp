@@ -76,6 +76,7 @@ exploreShader(const corpus::CorpusShader &shader)
     ExploreCounters &counters = exploreCounters();
     Exploration ex;
     ex.shaderName = shader.name;
+    ex.family = shader.family;
     ex.originalSource = shader.source;
     ex.exploredFlagCount = flagCount();
     checkExhaustiveFeasible("exploreShader");

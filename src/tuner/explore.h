@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "tuner/flags.h"
 
 namespace gsopt::tuner {
+
+struct ShaderFeatures; // tuner/features.h
 
 /**
  * Process-wide phase accounting for exploreShader. The compile-once
@@ -62,6 +65,7 @@ struct Variant
 struct Exploration
 {
     std::string shaderName;
+    std::string family;               ///< übershader family id
     std::string preprocessedOriginal; ///< for the LoC metric
     std::string originalSource;       ///< what the app would ship
     std::vector<Variant> variants;    ///< unique outputs
@@ -81,6 +85,11 @@ struct Exploration
 
     /** Does toggling @p bit ever change the output text? (Fig 8 red) */
     bool flagChangesOutput(int bit) const;
+
+    /** Static features, filled lazily by tuner::featuresOf (at most
+     * one computation per exploration; copies made afterwards share
+     * it). Opaque here so explore.h does not depend on features.h. */
+    mutable std::shared_ptr<const ShaderFeatures> featureCache;
 };
 
 /** Run the exhaustive 2^N-combination exploration for one corpus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static shader features for profitability analysis (the paper's
+ * Section VIII follow-on): a handful of cheap properties computed from
+ * the unoptimised IR — constant-trip loops, texture ops, branches,
+ * constant divisions, size — that the per-device prediction rules
+ * (tuner/predict.h) consume to pick a flag set without measuring
+ * anything.
+ *
+ * Features are a pure function of the preprocessed source; for an
+ * Exploration they are computed at most once and cached on the
+ * exploration (featuresOf), so a campaign over many devices pays one
+ * front-end run per shader, not one per (shader, device) query.
+ */
+#ifndef GSOPT_TUNER_FEATURES_H
+#define GSOPT_TUNER_FEATURES_H
+
+#include <cstddef>
+#include <string>
+
+#include "tuner/explore.h"
+
+namespace gsopt::tuner {
+
+/** Cheap static features, computed from the unoptimised IR (front end
+ * + lowering + the always-on canonicalisation only — no gated pass has
+ * run, so the features describe what the optimiser *could* act on). */
+struct ShaderFeatures
+{
+    bool hasConstLoop = false; ///< any canonical constant-trip loop
+    long maxTripCount = 0;     ///< largest canonical trip count
+    size_t loopBodyInstrs = 0; ///< largest canonical loop body
+    int textures = 0;          ///< texture/textureBias/textureLod ops
+    int branches = 0;          ///< structured if nodes
+    bool hasConstDiv = false;  ///< any divide by a constant
+    size_t instrs = 0;         ///< whole-body instruction count
+};
+
+/** Compute features of preprocessed GLSL text (übershader predefines
+ * must already be applied). Throws gsopt::CompileError on malformed
+ * input. */
+ShaderFeatures computeFeatures(const std::string &preprocessed);
+
+/** Features of an exploration's shader, computed on first use and
+ * cached on the exploration. Concurrent featuresOf calls on the same
+ * exploration are serialised; copies made after the fill share the
+ * cached value. Copying an Exploration *while* another thread's first
+ * featuresOf call is filling the cache is not synchronised (the
+ * default copy constructor reads featureCache without the features
+ * mutex) — snapshot explorations before handing them to concurrent
+ * searches. */
+const ShaderFeatures &featuresOf(const Exploration &exploration);
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_FEATURES_H

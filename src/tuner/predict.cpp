@@ -1,0 +1,114 @@
+#include "tuner/predict.h"
+
+namespace gsopt::tuner {
+
+namespace {
+
+/** Unrolled-size (trip count x body instructions) above which the
+ * i-cache-limited Adreno stops profiting from lone unrolling. The
+ * prediction withholds kUnroll past this bound and the candidate list
+ * offers the {Unroll, Reassociate} pair instead — the two sites must
+ * stay exact complements, so they share this constant. */
+constexpr size_t kAdrenoUnrollSizeLimit = 150;
+
+size_t
+unrolledSize(const ShaderFeatures &f)
+{
+    return static_cast<size_t>(f.maxTripCount) * f.loopBodyInstrs;
+}
+
+} // namespace
+
+FlagSet
+predictFlags(gpu::DeviceId device, const ShaderFeatures &f)
+{
+    FlagSet flags;
+    // The unsafe FP passes pay on every platform except ARM's vec4
+    // machine, where scalar grouping fights the vectoriser.
+    if (device != gpu::DeviceId::Arm)
+        flags = flags.with(kFpReassociate);
+    // Constant divisions fold everywhere once turned into multiplies.
+    if (f.hasConstDiv)
+        flags = flags.with(kDivToMul);
+    // Unrolling: on weak-JIT platforms (AMD, ARM) it pays directly; on
+    // strong-JIT desktops it still pays *as an enabler* — the offline
+    // unsafe passes can only see through a loop the offline tool has
+    // unrolled, even if the driver would unroll it later anyway. Only
+    // the i-cache-limited Adreno needs a size guard.
+    if (f.hasConstLoop) {
+        if (device != gpu::DeviceId::Qualcomm ||
+            unrolledSize(f) < kAdrenoUnrollSizeLimit)
+            flags = flags.with(kUnroll);
+    }
+    // Hoisting pays only on ARM, and only for small branchy shaders
+    // (big flattened blocks blow the register file).
+    if (device == gpu::DeviceId::Arm && f.branches > 0 &&
+        f.instrs < 120)
+        flags = flags.with(kHoist);
+    // Coalesce is near-free and helps the vec4 machine.
+    flags = flags.with(kCoalesce);
+    return flags;
+}
+
+std::vector<FlagSet>
+predictCandidates(gpu::DeviceId device, const ShaderFeatures &f)
+{
+    std::vector<FlagSet> out;
+    out.push_back(predictFlags(device, f));
+    // Known two-flag interaction the single prediction cannot express
+    // and single-flag refinement cannot reach: on the i-cache-limited
+    // Adreno, unrolling a big constant loop hurts on its own, but the
+    // {Unroll, Reassociate} pair pays — integer reassociation folds
+    // the replicated induction arithmetic back down. Offer the pair
+    // both on top of the prediction (when the predicted passes keep
+    // their value alongside it) and bare (when their code growth
+    // would squander the i-cache win).
+    if (device == gpu::DeviceId::Qualcomm && f.hasConstLoop &&
+        unrolledSize(f) >= kAdrenoUnrollSizeLimit) {
+        out.push_back(out.front().with(kUnroll).with(kReassociate));
+        out.push_back(
+            FlagSet::none().with(kUnroll).with(kReassociate));
+    }
+    return out;
+}
+
+void
+FamilyPrior::add(const std::string &family, gpu::DeviceId device,
+                 const std::string &shaderName, FlagSet bestFlags)
+{
+    table_[family][device].push_back({shaderName, bestFlags});
+}
+
+FlagSet
+FamilyPrior::seedFor(const std::string &family, gpu::DeviceId device,
+                     const std::string &excludeShader) const
+{
+    auto fam = table_.find(family);
+    if (fam == table_.end())
+        return FlagSet::none();
+    auto dev = fam->second.find(device);
+    if (dev == fam->second.end())
+        return FlagSet::none();
+
+    std::vector<size_t> votes(flagCount(), 0);
+    size_t members = 0;
+    for (const Entry &e : dev->second) {
+        if (e.shader == excludeShader)
+            continue;
+        ++members;
+        for (size_t bit = 0; bit < votes.size(); ++bit)
+            votes[bit] += e.flags.has(static_cast<int>(bit));
+    }
+    FlagSet seed;
+    if (members == 0)
+        return seed;
+    for (size_t bit = 0; bit < votes.size(); ++bit) {
+        // Strict majority: a flag only half the siblings want is as
+        // likely to hurt the specialisation being seeded as to help.
+        if (votes[bit] * 2 > members)
+            seed = seed.with(static_cast<int>(bit));
+    }
+    return seed;
+}
+
+} // namespace gsopt::tuner

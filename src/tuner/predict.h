@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measurement-free flag selection: the paper's closing "sophisticated
+ * profitability analysis" direction (Section VIII) as two concrete
+ * models the search strategies can start from.
+ *
+ *  - predictFlags: transparent per-device rules over static features
+ *    (tuner/features.h). No measurements; PredictedSearch refines the
+ *    prediction with a small measured neighbourhood.
+ *  - FamilyPrior: übershader family members share most code (paper
+ *    Section IV-A), so a completed campaign's per-shader best flags
+ *    transfer across a family. Built by ExperimentEngine::familyPrior;
+ *    TransferSeededSearch seeds from it (leave-one-out, so a shader
+ *    never seeds itself with its own campaign verdict).
+ */
+#ifndef GSOPT_TUNER_PREDICT_H
+#define GSOPT_TUNER_PREDICT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "tuner/features.h"
+#include "tuner/flags.h"
+
+namespace gsopt::tuner {
+
+/** Per-device profitability rules: pick a flag set for a shader from
+ * its static features alone. */
+FlagSet predictFlags(gpu::DeviceId device, const ShaderFeatures &f);
+
+/**
+ * Ranked flag-set candidates for a measured strategy to probe before
+ * refining. The first entry is always predictFlags' measurement-free
+ * pick; later entries cover known multi-flag interactions that a
+ * single prediction cannot express and single-flag refinement cannot
+ * reach (e.g. Adreno's unroll+reassociate pairing for big loops).
+ */
+std::vector<FlagSet> predictCandidates(gpu::DeviceId device,
+                                       const ShaderFeatures &f);
+
+/**
+ * Per-(family, device) table of best-known flag sets, built from a
+ * completed campaign. seedFor majority-votes each flag bit over the
+ * family's members' per-shader best flags, excluding the queried
+ * shader itself.
+ */
+class FamilyPrior
+{
+  public:
+    /** Record one member's campaign-best flags. */
+    void add(const std::string &family, gpu::DeviceId device,
+             const std::string &shaderName, FlagSet bestFlags);
+
+    /**
+     * Majority-vote flag set over the family's members on @p device,
+     * excluding @p excludeShader (leave-one-out: a member is seeded
+     * only by its siblings). Unknown families — or a family emptied by
+     * the exclusion — fall back to FlagSet::none(), degrading the
+     * transfer search to a plain greedy refinement from the empty set.
+     */
+    FlagSet seedFor(const std::string &family, gpu::DeviceId device,
+                    const std::string &excludeShader = {}) const;
+
+    /** Number of distinct families recorded. */
+    size_t familyCount() const { return table_.size(); }
+    bool empty() const { return table_.empty(); }
+
+  private:
+    struct Entry
+    {
+        std::string shader;
+        FlagSet flags;
+    };
+    std::map<std::string, std::map<gpu::DeviceId, std::vector<Entry>>>
+        table_;
+};
+
+} // namespace gsopt::tuner
+
+#endif // GSOPT_TUNER_PREDICT_H

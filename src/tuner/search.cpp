@@ -1,10 +1,13 @@
 #include "tuner/search.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "runtime/framework.h"
+#include "support/diag.h"
 #include "support/rng.h"
+#include "tuner/features.h"
 
 namespace gsopt::tuner {
 
@@ -19,7 +22,11 @@ MeasurementOracle::MeasurementOracle(const Exploration &exploration,
 double
 MeasurementOracle::originalMeanNs()
 {
-    if (originalMeanNs_ < 0.0) {
+    // An explicit flag, not a `< 0` sentinel: a legitimate zero or
+    // degenerate mean must still be measured exactly once, not
+    // re-measured on every query.
+    if (!measuredOriginal_) {
+        measuredOriginal_ = true;
         originalMeanNs_ =
             runtime::measureShader(exploration_.preprocessedOriginal,
                                    device_,
@@ -51,8 +58,20 @@ double
 MeasurementOracle::speedupOf(FlagSet flags)
 {
     const double base = originalMeanNs();
-    if (base <= 0.0)
+    if (base <= 0.0) {
+        if (!warnedBaseline_) {
+            warnedBaseline_ = true;
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.message = "non-positive baseline mean (" +
+                        std::to_string(base) + " ns) for '" +
+                        exploration_.shaderName + "' on " +
+                        device_.vendor +
+                        "; all speed-ups report 0";
+            std::fprintf(stderr, "%s\n", d.str().c_str());
+        }
         return 0.0;
+    }
     return (base - measure(flags)) / base * 100.0;
 }
 
@@ -64,10 +83,19 @@ struct Tracker
 {
     MeasurementOracle &oracle;
     SearchOutcome out;
+    size_t startMeasurements; ///< oracle spend before this strategy
 
-    explicit Tracker(MeasurementOracle &o) : oracle(o)
+    explicit Tracker(MeasurementOracle &o)
+        : oracle(o), startMeasurements(o.measurementsTaken())
     {
         out.bestSpeedupPercent = -1e30;
+    }
+
+    /** Distinct measurements this strategy has paid for (oracle delta,
+     * so a pre-warmed or shared oracle never inflates the count). */
+    size_t spent() const
+    {
+        return oracle.measurementsTaken() - startMeasurements;
     }
 
     double probe(FlagSet flags)
@@ -82,17 +110,63 @@ struct Tracker
             out.bestSpeedupPercent = speedup;
             out.bestFlags = flags;
         }
-        if (oracle.measurementsTaken() > before)
+        if (oracle.measurementsTaken() > before) {
             out.bestByBudget.push_back(out.bestSpeedupPercent);
+        } else if (better && !out.bestByBudget.empty()) {
+            // Free probe (variant-cache hit) that still improved the
+            // incumbent — possible via the minimal-flag-set tie-break
+            // or on a pre-warmed oracle. Record it at the current
+            // budget index instead of leaving it invisible until the
+            // next paid measurement.
+            out.bestByBudget.back() = out.bestSpeedupPercent;
+        }
         return speedup;
     }
 
     SearchOutcome finish()
     {
-        out.measurementsUsed = oracle.measurementsTaken();
+        out.measurementsUsed = spent();
         return std::move(out);
     }
 };
+
+/**
+ * Single-flag-flip hill climb from @p start: each round probes every
+ * one-bit neighbour of the incumbent (adding unset flags *and*
+ * dropping set ones — predictions can over-shoot as well as
+ * under-shoot) and moves to the best strictly-improving one. Probes
+ * stop once the tracker has paid @p budget distinct measurements.
+ */
+void
+refineByFlips(Tracker &t, FlagSet start, double startSpeedup,
+              size_t budget)
+{
+    const int n = static_cast<int>(t.oracle.flagCount());
+    FlagSet incumbent = start;
+    double incumbent_speedup = startSpeedup;
+    for (;;) {
+        int best_bit = -1;
+        double best_speedup = incumbent_speedup;
+        for (int bit = 0; bit < n; ++bit) {
+            if (t.spent() >= budget)
+                break;
+            const FlagSet cand = incumbent.has(bit)
+                                     ? incumbent.without(bit)
+                                     : incumbent.with(bit);
+            const double s = t.probe(cand);
+            if (s > best_speedup + 1e-12) {
+                best_speedup = s;
+                best_bit = bit;
+            }
+        }
+        if (best_bit < 0)
+            break;
+        incumbent = incumbent.has(best_bit)
+                        ? incumbent.without(best_bit)
+                        : incumbent.with(best_bit);
+        incumbent_speedup = best_speedup;
+    }
+}
 
 } // namespace
 
@@ -171,29 +245,81 @@ RandomSearch::run(MeasurementOracle &oracle) const
     // then never reach the budget, so stop at the baseline probe.
     if (oracle.originalMeanNs() <= 0.0)
         return t.finish();
-    while (oracle.measurementsTaken() < budget_) {
+    while (t.spent() < budget_) {
         const size_t before = oracle.measurementsTaken();
         t.probe(FlagSet(rng.below(oracle.comboCount())));
         if (oracle.measurementsTaken() == before) {
-            // Combo mapped to an already-measured variant: free probe,
-            // but bound the spin for tiny variant spaces.
-            if (oracle.exploration().uniqueCount() <= budget_ &&
-                oracle.measurementsTaken() >=
-                    oracle.exploration().uniqueCount())
+            // Duplicate draw: the combo mapped to an already-measured
+            // variant, so the probe was free and the budget unspent.
+            // Once every unique variant is measured no future draw
+            // can pay — stop instead of spinning forever.
+            if (oracle.measurementsTaken() >=
+                oracle.exploration().uniqueCount())
                 break;
         }
     }
     return t.finish();
 }
 
+SearchOutcome
+PredictedSearch::run(MeasurementOracle &oracle) const
+{
+    Tracker t(oracle);
+    const ShaderFeatures &f = featuresOf(oracle.exploration());
+    const std::vector<FlagSet> candidates =
+        predictCandidates(oracle.device().id, f);
+
+    FlagSet best = candidates.front();
+    double best_speedup = t.probe(best);
+    if (oracle.originalMeanNs() <= 0.0)
+        return t.finish();
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        if (t.spent() >= refineBudget_)
+            break;
+        const double s = t.probe(candidates[i]);
+        if (s > best_speedup + 1e-12) {
+            best_speedup = s;
+            best = candidates[i];
+        }
+    }
+    refineByFlips(t, best, best_speedup, refineBudget_);
+    return t.finish();
+}
+
+SearchOutcome
+TransferSeededSearch::run(MeasurementOracle &oracle) const
+{
+    Tracker t(oracle);
+    const Exploration &ex = oracle.exploration();
+    FlagSet seed;
+    if (prior_) {
+        // Leave-one-out: the shader being searched never seeds itself
+        // with its own campaign verdict.
+        seed = prior_->seedFor(ex.family, oracle.device().id,
+                               ex.shaderName);
+    }
+    const double s = t.probe(seed);
+    if (oracle.originalMeanNs() <= 0.0)
+        return t.finish();
+    refineByFlips(t, seed, s, refineBudget_);
+    return t.finish();
+}
+
 std::vector<std::unique_ptr<SearchStrategy>>
-defaultStrategies(size_t randomBudget, uint64_t randomSeed)
+defaultStrategies(size_t randomBudget, uint64_t randomSeed,
+                  std::shared_ptr<const FamilyPrior> prior,
+                  size_t refineBudget)
 {
     std::vector<std::unique_ptr<SearchStrategy>> out;
     out.push_back(std::make_unique<ExhaustiveSearch>());
     out.push_back(std::make_unique<GreedyFlagSearch>());
     out.push_back(
         std::make_unique<RandomSearch>(randomBudget, randomSeed));
+    out.push_back(std::make_unique<PredictedSearch>(refineBudget));
+    if (prior) {
+        out.push_back(std::make_unique<TransferSeededSearch>(
+            std::move(prior), refineBudget));
+    }
     return out;
 }
 

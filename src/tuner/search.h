@@ -25,6 +25,7 @@
 
 #include "gpu/device.h"
 #include "tuner/explore.h"
+#include "tuner/predict.h"
 
 namespace gsopt::tuner {
 
@@ -52,10 +53,14 @@ class MeasurementOracle
     double measure(FlagSet flags);
 
     /** Mean frame time of the unmodified original (cached; does not
-     * count against measurementsTaken). */
+     * count against measurementsTaken). Measured exactly once, even
+     * when the result is a degenerate zero/negative mean. */
     double originalMeanNs();
 
-    /** Percent speed-up of @p flags vs the original shader. */
+    /** Percent speed-up of @p flags vs the original shader. A
+     * non-positive baseline reports 0 (and emits a one-time warning
+     * diagnostic on stderr — every comparison downstream of it is
+     * meaningless). */
     double speedupOf(FlagSet flags);
 
     /** Distinct variant measurements performed so far. */
@@ -68,7 +73,9 @@ class MeasurementOracle
     const Exploration &exploration_;
     const gpu::DeviceModel &device_;
     std::vector<double> variantMeanNs_; ///< NaN until measured
-    double originalMeanNs_ = -1.0;
+    double originalMeanNs_ = 0.0;
+    bool measuredOriginal_ = false; ///< explicit, not a sentinel value
+    bool warnedBaseline_ = false;   ///< one diagnostic per oracle
     size_t measured_ = 0;
 };
 
@@ -78,8 +85,12 @@ struct SearchOutcome
     FlagSet bestFlags;               ///< best combination found
     double bestSpeedupPercent = 0.0; ///< vs the original shader
     size_t measurementsUsed = 0;     ///< distinct variant timings
-    /** Best-so-far speed-up after the i-th measurement (the budget
-     * curve the strategy-comparison example plots). */
+    /** Best-so-far speed-up after the (i+1)-th paid measurement (the
+     * budget curve the strategy-comparison example plots). A free
+     * probe — one resolved from the variant cache — that improves the
+     * incumbent updates the entry for the current budget, so the
+     * curve never under-reports what the strategy knew at a given
+     * spend. */
     std::vector<double> bestByBudget;
 };
 
@@ -122,7 +133,10 @@ class GreedyFlagSearch : public SearchStrategy
 };
 
 /** Uniform random sampling of @p budget combinations (deterministic
- * per seed); the passthrough baseline is always probed first. */
+ * and platform-stable — all draws come from support/rng, never std
+ * distributions); the passthrough baseline is always probed first.
+ * Duplicate draws that map to an already-measured variant are free
+ * and do not count against the budget. */
 class RandomSearch : public SearchStrategy
 {
   public:
@@ -138,9 +152,60 @@ class RandomSearch : public SearchStrategy
     uint64_t seed_;
 };
 
-/** The built-in strategy roster the comparison example iterates. */
+/**
+ * Cost-model-guided search: predict a flag set from static features
+ * (tuner/features.h + tuner/predict.h, zero measurements), then
+ * refine it with a measured neighbourhood of single-flag flips —
+ * hill-climbing in both directions (adding unset flags, dropping set
+ * ones) from the prediction, capped at @p refineBudget distinct
+ * measurements total.
+ */
+class PredictedSearch : public SearchStrategy
+{
+  public:
+    explicit PredictedSearch(size_t refineBudget = 8)
+        : refineBudget_(refineBudget)
+    {
+    }
+    std::string name() const override { return "predicted"; }
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+
+  private:
+    size_t refineBudget_;
+};
+
+/**
+ * Cross-shader transfer search: seed from the shader's übershader
+ * family's best-known flags (a FamilyPrior built from a completed
+ * campaign, leave-one-out), then greedy-refine with single-flag flips
+ * under the same budget cap as PredictedSearch. Without a prior (or
+ * for a family the prior has never seen) the seed degrades to the
+ * empty set.
+ */
+class TransferSeededSearch : public SearchStrategy
+{
+  public:
+    explicit TransferSeededSearch(
+        std::shared_ptr<const FamilyPrior> prior,
+        size_t refineBudget = 8)
+        : prior_(std::move(prior)), refineBudget_(refineBudget)
+    {
+    }
+    std::string name() const override { return "transfer"; }
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+
+  private:
+    std::shared_ptr<const FamilyPrior> prior_;
+    size_t refineBudget_;
+};
+
+/** The built-in strategy roster the comparison example iterates:
+ * exhaustive, greedy, random(@p randomBudget), predicted — plus
+ * transfer when a family prior is supplied. */
 std::vector<std::unique_ptr<SearchStrategy>> defaultStrategies(
-    size_t randomBudget = 16, uint64_t randomSeed = 0x5eed);
+    size_t randomBudget = 16, uint64_t randomSeed = 0x5eed,
+    std::shared_ptr<const FamilyPrior> prior = nullptr,
+    size_t refineBudget = 8);
 
 } // namespace gsopt::tuner
 

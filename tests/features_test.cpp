@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static-feature extraction tests: the library's computeFeatures
+ * reproduces the feature values the original flag_predictor example
+ * computed (golden values recorded from the pre-refactor example on
+ * three corpus shaders), and featuresOf caches one computation per
+ * exploration.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "glsl/frontend.h"
+#include "tuner/explore.h"
+#include "tuner/features.h"
+#include "tuner/predict.h"
+
+namespace gsopt::tuner {
+namespace {
+
+ShaderFeatures
+featuresOfShader(const char *name)
+{
+    const corpus::CorpusShader *s = corpus::findShader(name);
+    EXPECT_NE(s, nullptr) << name;
+    glsl::CompiledShader cs =
+        glsl::compileShader(s->source, s->defines);
+    return computeFeatures(cs.preprocessedText);
+}
+
+TEST(Features, GoldenValuesMatchTheOriginalExample)
+{
+    // Recorded from examples/flag_predictor.cpp's featuresOf before
+    // the extraction into the library (PR 3): the library model must
+    // see exactly what the example's predictor saw.
+    const ShaderFeatures blur = featuresOfShader("blur/weighted9");
+    EXPECT_TRUE(blur.hasConstLoop);
+    EXPECT_EQ(blur.maxTripCount, 9);
+    EXPECT_EQ(blur.loopBodyInstrs, 18u);
+    EXPECT_EQ(blur.textures, 1);
+    EXPECT_EQ(blur.branches, 0);
+    EXPECT_FALSE(blur.hasConstDiv);
+    EXPECT_EQ(blur.instrs, 27u);
+
+    const ShaderFeatures pbr = featuresOfShader("pbr/full");
+    EXPECT_FALSE(pbr.hasConstLoop);
+    EXPECT_EQ(pbr.maxTripCount, 0);
+    EXPECT_EQ(pbr.loopBodyInstrs, 0u);
+    EXPECT_EQ(pbr.textures, 5);
+    EXPECT_EQ(pbr.branches, 0);
+    EXPECT_TRUE(pbr.hasConstDiv);
+    EXPECT_EQ(pbr.instrs, 152u);
+
+    const ShaderFeatures ssao = featuresOfShader("ssao/kernel16");
+    EXPECT_TRUE(ssao.hasConstLoop);
+    EXPECT_EQ(ssao.maxTripCount, 16);
+    EXPECT_EQ(ssao.loopBodyInstrs, 44u);
+    EXPECT_EQ(ssao.textures, 3);
+    EXPECT_EQ(ssao.branches, 0);
+    EXPECT_TRUE(ssao.hasConstDiv);
+    EXPECT_EQ(ssao.instrs, 68u);
+}
+
+TEST(Features, FeaturesOfCachesOnTheExploration)
+{
+    Exploration ex =
+        exploreShader(*corpus::findShader("blur/weighted9"));
+    EXPECT_EQ(ex.featureCache, nullptr);
+    const ShaderFeatures &first = featuresOf(ex);
+    ASSERT_NE(ex.featureCache, nullptr);
+    const ShaderFeatures &again = featuresOf(ex);
+    // Same object, not a recomputation.
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(first.maxTripCount, 9);
+
+    // Copies made after the fill share the cached value.
+    Exploration copy = ex;
+    EXPECT_EQ(&featuresOf(copy), &first);
+}
+
+TEST(Features, PredictionIsDeterministicPerDevice)
+{
+    Exploration ex =
+        exploreShader(*corpus::findShader("ssao/kernel16"));
+    const ShaderFeatures &f = featuresOf(ex);
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        const FlagSet a = predictFlags(id, f);
+        const FlagSet b = predictFlags(id, f);
+        EXPECT_EQ(a, b);
+        // The candidate list always leads with the prediction.
+        const auto candidates = predictCandidates(id, f);
+        ASSERT_GE(candidates.size(), 1u);
+        EXPECT_EQ(candidates.front(), a);
+    }
+    // ARM's vec4 machine never takes the unsafe FP pass; everyone
+    // else does (the rules' headline platform split).
+    EXPECT_FALSE(
+        predictFlags(gpu::DeviceId::Arm, f).has(kFpReassociate));
+    EXPECT_TRUE(
+        predictFlags(gpu::DeviceId::Amd, f).has(kFpReassociate));
+}
+
+} // namespace
+} // namespace gsopt::tuner

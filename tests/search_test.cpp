@@ -7,7 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "corpus/corpus.h"
+#include "support/rng.h"
 #include "tuner/experiment.h"
 #include "tuner/search.h"
 
@@ -146,13 +149,184 @@ TEST(Search, OracleCachesRepeatedVariants)
     EXPECT_EQ(oracle.measurementsTaken(), after_first);
 }
 
-TEST(Search, DefaultRosterCoversTheThreeFamilies)
+TEST(Search, DefaultRosterCoversTheStrategyFamilies)
 {
     auto roster = defaultStrategies(12, 7);
-    ASSERT_EQ(roster.size(), 3u);
+    ASSERT_EQ(roster.size(), 4u);
     EXPECT_EQ(roster[0]->name(), "exhaustive");
     EXPECT_EQ(roster[1]->name(), "greedy");
     EXPECT_EQ(roster[2]->name(), "random(12)");
+    EXPECT_EQ(roster[3]->name(), "predicted");
+
+    // Transfer joins the roster when a family prior is supplied.
+    auto with_prior =
+        defaultStrategies(12, 7, std::make_shared<FamilyPrior>());
+    ASSERT_EQ(with_prior.size(), 5u);
+    EXPECT_EQ(with_prior[4]->name(), "transfer");
+}
+
+TEST(Search, FreeProbeImprovementVisibleInBudgetCurve)
+{
+    // Pre-warm every variant except the passthrough: the strategy's
+    // only *paid* measurement is its opening probe of the empty set;
+    // everything after resolves from the variant cache for free. The
+    // improvements those free probes find must still land in the
+    // budget curve (update of the current entry), not stay invisible
+    // until a next paid measurement that never comes.
+    Exploration ex =
+        exploreShader(*corpus::findShader("blur/weighted9"));
+    MeasurementOracle oracle(ex, gpu::deviceModel(gpu::DeviceId::Amd));
+    for (size_t v = 0; v < ex.variants.size(); ++v) {
+        if (static_cast<int>(v) != ex.passthroughVariant)
+            oracle.measure(ex.variants[v].producers.front());
+    }
+    const size_t prewarmed = oracle.measurementsTaken();
+
+    SearchOutcome out = GreedyFlagSearch{}.run(oracle);
+    // Accounting is the oracle *delta*, never the pre-warmed total.
+    EXPECT_EQ(out.measurementsUsed, 1u);
+    EXPECT_EQ(oracle.measurementsTaken(), prewarmed + 1);
+    // On AMD, greedy climbs well past the passthrough's ~0%; the
+    // climb happened entirely on free probes after the single paid
+    // one, so the one-entry curve must carry the final incumbent.
+    EXPECT_GT(out.bestSpeedupPercent, 20.0);
+    ASSERT_EQ(out.bestByBudget.size(), 1u);
+    EXPECT_DOUBLE_EQ(out.bestByBudget.back(), out.bestSpeedupPercent);
+}
+
+TEST(Search, PredictedReachesOptimumWhereGreedyTraps)
+{
+    // blur/weighted9's optimum is {Unroll, FP Reassociate} *jointly*:
+    // on Intel (JIT unrolls by itself) and Qualcomm (i-cache punishes
+    // lone unrolling) no single flag improves, so greedy stops at the
+    // start. The predicted strategy starts from the cost model's
+    // flag set and must do at least as well everywhere — and reach
+    // within 1 pp of the exhaustive optimum on at most 8
+    // measurements on every device.
+    Exploration ex =
+        exploreShader(*corpus::findShader("blur/weighted9"));
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        MeasurementOracle a(ex, gpu::deviceModel(id));
+        MeasurementOracle b(ex, gpu::deviceModel(id));
+        MeasurementOracle c(ex, gpu::deviceModel(id));
+        const SearchOutcome best = ExhaustiveSearch{}.run(a);
+        const SearchOutcome greedy = GreedyFlagSearch{}.run(b);
+        const SearchOutcome predicted = PredictedSearch{}.run(c);
+
+        EXPECT_GE(predicted.bestSpeedupPercent,
+                  greedy.bestSpeedupPercent - 1e-9)
+            << gpu::deviceVendor(id);
+        EXPECT_GE(predicted.bestSpeedupPercent,
+                  best.bestSpeedupPercent - 1.0)
+            << gpu::deviceVendor(id);
+        EXPECT_LE(predicted.measurementsUsed, 8u)
+            << gpu::deviceVendor(id);
+    }
+    // The trap platforms are where the model genuinely pays: greedy
+    // is stuck at the passthrough, predicted is not.
+    for (gpu::DeviceId id :
+         {gpu::DeviceId::Intel, gpu::DeviceId::Qualcomm}) {
+        MeasurementOracle b(ex, gpu::deviceModel(id));
+        MeasurementOracle c(ex, gpu::deviceModel(id));
+        const SearchOutcome greedy = GreedyFlagSearch{}.run(b);
+        const SearchOutcome predicted = PredictedSearch{}.run(c);
+        EXPECT_GT(predicted.bestSpeedupPercent,
+                  greedy.bestSpeedupPercent + 5.0)
+            << gpu::deviceVendor(id);
+    }
+}
+
+TEST(Search, TransferSeedsFromFamilySiblings)
+{
+    // Build a campaign over three blur-family siblings, then search a
+    // member with the transfer strategy: its seed majority-votes the
+    // *other* members' campaign-best flags (leave-one-out), which
+    // lands near the optimum in a handful of measurements.
+    std::vector<corpus::CorpusShader> shaders;
+    for (const char *name :
+         {"blur/weighted9", "blur/gauss5", "blur/gauss9"})
+        shaders.push_back(*corpus::findShader(name));
+    ExperimentEngine engine(shaders, 1);
+    auto prior =
+        std::make_shared<const FamilyPrior>(engine.familyPrior());
+    EXPECT_EQ(prior->familyCount(), 1u);
+
+    const ShaderResult &r = engine.result("blur/weighted9");
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        MeasurementOracle a(r.exploration, gpu::deviceModel(id));
+        MeasurementOracle b(r.exploration, gpu::deviceModel(id));
+        const SearchOutcome best = ExhaustiveSearch{}.run(a);
+        const SearchOutcome transfer =
+            TransferSeededSearch{prior}.run(b);
+        EXPECT_GE(transfer.bestSpeedupPercent,
+                  best.bestSpeedupPercent - 1.0)
+            << gpu::deviceVendor(id);
+        EXPECT_LE(transfer.measurementsUsed, 8u)
+            << gpu::deviceVendor(id);
+    }
+
+    // Unknown families fall back to the empty seed, and the
+    // leave-one-out exclusion really removes the queried shader: a
+    // single-member family has nothing left to vote with.
+    EXPECT_EQ(prior->seedFor("nosuchfamily", gpu::DeviceId::Amd),
+              FlagSet::none());
+    ExperimentEngine solo(
+        {*corpus::findShader("toon/bands3")}, 1);
+    const FamilyPrior solo_prior = solo.familyPrior();
+    EXPECT_NE(solo_prior.seedFor("toon", gpu::DeviceId::Amd),
+              FlagSet::none());
+    EXPECT_EQ(solo_prior.seedFor("toon", gpu::DeviceId::Amd,
+                                 "toon/bands3"),
+              FlagSet::none());
+}
+
+TEST(Search, RandomDrawSequenceIsPlatformStable)
+{
+    // RandomSearch draws exclusively from support/rng (xoshiro256**
+    // via Rng::below), never std distributions, so the sequence is
+    // identical on every platform and standard library. These are
+    // the draws RandomSearch(seed=42) makes for toon/bands3's
+    // 256-combination space; a platform or library that changed them
+    // would silently re-shuffle every published budget curve.
+    Rng rng(hashCombine(42, fnv1a("toon/bands3")));
+    const uint64_t expected[6] = {161, 56, 133, 91, 26, 123};
+    for (uint64_t e : expected)
+        EXPECT_EQ(rng.below(256), e);
+}
+
+TEST(Search, RandomDuplicateDrawsDoNotDistortAccounting)
+{
+    Exploration ex = exploreShader(*corpus::findShader("toon/bands3"));
+    const gpu::DeviceModel &device =
+        gpu::deviceModel(gpu::DeviceId::Intel);
+
+    for (uint64_t seed : {1ull, 7ull, 42ull, 0x5eedull}) {
+        MeasurementOracle o1(ex, device), o2(ex, device);
+        const SearchOutcome a = RandomSearch(6, seed).run(o1);
+        const SearchOutcome b = RandomSearch(6, seed).run(o2);
+        EXPECT_EQ(a.bestFlags, b.bestFlags) << seed;
+        EXPECT_DOUBLE_EQ(a.bestSpeedupPercent, b.bestSpeedupPercent)
+            << seed;
+        EXPECT_EQ(a.measurementsUsed, b.measurementsUsed) << seed;
+        // Duplicate draws map to already-measured variants and are
+        // free: the paid count can never exceed the budget or the
+        // number of unique variants, and exactly matches the curve.
+        EXPECT_LE(a.measurementsUsed,
+                  std::min<size_t>(6, ex.uniqueCount()))
+            << seed;
+        EXPECT_EQ(a.measurementsUsed, a.bestByBudget.size()) << seed;
+        EXPECT_EQ(a.measurementsUsed, o1.measurementsTaken()) << seed;
+    }
+
+    // A pre-warmed oracle must not inflate the count: the strategy
+    // reports its own spend (the oracle delta), and terminates even
+    // though the budget can never be reached.
+    MeasurementOracle warmed(ex, device);
+    for (size_t v = 0; v < ex.variants.size(); ++v)
+        warmed.measure(ex.variants[v].producers.front());
+    const SearchOutcome c = RandomSearch(6, 42).run(warmed);
+    EXPECT_EQ(c.measurementsUsed, 0u);
+    EXPECT_EQ(warmed.measurementsTaken(), ex.uniqueCount());
 }
 
 } // namespace
