@@ -231,15 +231,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(c.frontEndRuns.load()));
     std::printf("  lowering    : %9.1f ms  (%llu runs)\n", ms(c.lowerNs),
                 static_cast<unsigned long long>(c.lowerRuns.load()));
-    std::printf("  pass runs   : %9.1f ms  (%llu clone+optimize)\n",
+    std::printf("  pass runs   : %9.1f ms  (%llu combos; %llu passes "
+                "executed, %llu memo-shared)\n",
                 ms(c.pipelineNs),
-                static_cast<unsigned long long>(c.pipelineRuns.load()));
-    std::printf("  fingerprint : %9.1f ms  (%llu dedup hits)\n",
+                static_cast<unsigned long long>(c.pipelineRuns.load()),
+                static_cast<unsigned long long>(c.passRuns.load()),
+                static_cast<unsigned long long>(c.passMemoHits.load()));
+    std::printf("  fingerprint : %9.1f ms  (%llu computed, %llu dedup "
+                "hits)\n",
                 ms(c.fingerprintNs),
+                static_cast<unsigned long long>(
+                    c.fingerprintRuns.load()),
                 static_cast<unsigned long long>(
                     c.fingerprintHits.load()));
     std::printf("  print       : %9.1f ms  (%llu runs)\n", ms(c.printNs),
                 static_cast<unsigned long long>(c.printRuns.load()));
+    std::printf("  arena       : %9.1f MB of IR across all tree "
+                "modules\n",
+                static_cast<double>(c.arenaBytes.load()) / 1e6);
     std::printf("Driver cache: %llu hits / %llu misses, %9.1f ms "
                 "compiling\n\n",
                 static_cast<unsigned long long>(cache.hits),

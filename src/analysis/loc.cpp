@@ -51,22 +51,21 @@ executableLines(const std::string &preprocessedSource)
         size_t lc = line.find("//");
         if (lc != std::string_view::npos)
             line = trim(line.substr(0, lc));
-        // Strip (possibly unterminated) block comments.
+        // Strip (possibly unterminated) block comments. The merged
+        // text must outlive `line` (a view into it) for the rest of
+        // the iteration, so it lives in loop-persistent storage.
+        // NOTE: single block comment per line is enough for this
+        // metric; nested same-line pairs are uncommon.
         size_t bc = line.find("/*");
         if (bc != std::string_view::npos) {
+            static thread_local std::string storage;
+            storage.assign(line.substr(0, bc));
             size_t close = line.find("*/", bc + 2);
-            std::string merged(line.substr(0, bc));
-            if (close == std::string_view::npos) {
+            if (close == std::string_view::npos)
                 in_block_comment = true;
-                line = trim(merged);
-            } else {
-                merged += line.substr(close + 2);
-                // NOTE: single block comment per line is enough for
-                // this metric; nested same-line pairs are uncommon.
-                static thread_local std::string storage;
-                storage = merged;
-                line = trim(storage);
-            }
+            else
+                storage.append(line.substr(close + 2));
+            line = trim(storage);
         }
         if (line.empty())
             continue;

@@ -1,6 +1,6 @@
 #include "glsl/printer.h"
 
-#include <sstream>
+
 
 #include "support/strings.h"
 
@@ -61,7 +61,7 @@ binOpSpelling(BinaryOp op)
 }
 
 void
-printExprInto(const Expr &e, std::ostringstream &os, int parent_prec)
+printExprInto(const Expr &e, StringBuilder &os, int parent_prec)
 {
     const int prec = precedence(e);
     const bool parens = prec < parent_prec;
@@ -138,10 +138,10 @@ printExprInto(const Expr &e, std::ostringstream &os, int parent_prec)
 }
 
 void
-printStmtInto(const Stmt &s, std::ostringstream &os, int indent);
+printStmtInto(const Stmt &s, StringBuilder &os, int indent);
 
 void
-printBody(const std::vector<StmtPtr> &body, std::ostringstream &os,
+printBody(const std::vector<StmtPtr> &body, StringBuilder &os,
           int indent)
 {
     // Flatten a body that is a single brace-block so that `if (c) { .. }`
@@ -154,7 +154,8 @@ printBody(const std::vector<StmtPtr> &body, std::ostringstream &os,
     os << "{\n";
     for (const auto &b : body)
         printStmtInto(*b, os, indent + 1);
-    os << std::string(static_cast<size_t>(indent) * 4, ' ') << "}";
+    os.append(static_cast<size_t>(indent) * 4, ' ');
+    os << "}";
 }
 
 const char *
@@ -182,9 +183,11 @@ declSpelling(const Type &ty, const std::string &name)
 }
 
 void
-printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
+printStmtInto(const Stmt &s, StringBuilder &os, int indent)
 {
-    const std::string pad(static_cast<size_t>(indent) * 4, ' ');
+    const auto pad = [&os, indent] {
+        os.append(static_cast<size_t>(indent) * 4, ' ');
+    };
     switch (s.kind) {
       case StmtKind::Block:
         if (s.transparent) {
@@ -192,12 +195,12 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
                 printStmtInto(*b, os, indent);
             break;
         }
-        os << pad;
+        pad();
         printBody(s.body, os, indent);
         os << "\n";
         break;
       case StmtKind::Decl:
-        os << pad;
+        pad();
         if (s.isConst)
             os << "const ";
         os << declSpelling(s.declType, s.name);
@@ -208,19 +211,20 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
         os << ";\n";
         break;
       case StmtKind::Assign:
-        os << pad;
+        pad();
         printExprInto(*s.lhs, os, 0);
         os << " " << assignSpelling(s.assignOp) << " ";
         printExprInto(*s.rhs, os, 0);
         os << ";\n";
         break;
       case StmtKind::ExprStmt:
-        os << pad;
+        pad();
         printExprInto(*s.rhs, os, 0);
         os << ";\n";
         break;
       case StmtKind::If:
-        os << pad << "if (";
+        pad();
+        os << "if (";
         printExprInto(*s.cond, os, 0);
         os << ") ";
         printBody(s.body, os, indent);
@@ -231,12 +235,13 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
         os << "\n";
         break;
       case StmtKind::For: {
-        os << pad << "for (";
+        pad();
+        os << "for (";
         if (s.init) {
             // Render the init inline without its newline/indent.
-            std::ostringstream tmp;
+            StringBuilder tmp;
             printStmtInto(*s.init, tmp, 0);
-            std::string text = tmp.str();
+            std::string text = tmp.take();
             while (!text.empty() &&
                    (text.back() == '\n' || text.back() == ';'))
                 text.pop_back();
@@ -247,9 +252,9 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
             printExprInto(*s.cond, os, 0);
         os << "; ";
         if (s.step) {
-            std::ostringstream tmp;
+            StringBuilder tmp;
             printStmtInto(*s.step, tmp, 0);
-            std::string text = tmp.str();
+            std::string text = tmp.take();
             while (!text.empty() &&
                    (text.back() == '\n' || text.back() == ';'))
                 text.pop_back();
@@ -261,14 +266,16 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
         break;
       }
       case StmtKind::While:
-        os << pad << "while (";
+        pad();
+        os << "while (";
         printExprInto(*s.cond, os, 0);
         os << ") ";
         printBody(s.body, os, indent);
         os << "\n";
         break;
       case StmtKind::Return:
-        os << pad << "return";
+        pad();
+        os << "return";
         if (s.rhs) {
             os << " ";
             printExprInto(*s.rhs, os, 0);
@@ -276,7 +283,8 @@ printStmtInto(const Stmt &s, std::ostringstream &os, int indent)
         os << ";\n";
         break;
       case StmtKind::Discard:
-        os << pad << "discard;\n";
+        pad();
+        os << "discard;\n";
         break;
     }
 }
@@ -299,23 +307,23 @@ qualSpelling(Qualifier q)
 std::string
 printExpr(const Expr &e)
 {
-    std::ostringstream os;
+    StringBuilder os;
     printExprInto(e, os, 0);
-    return os.str();
+    return os.take();
 }
 
 std::string
 printStmt(const Stmt &s, int indent)
 {
-    std::ostringstream os;
+    StringBuilder os;
     printStmtInto(s, os, indent);
-    return os.str();
+    return os.take();
 }
 
 std::string
 printShader(const Shader &shader)
 {
-    std::ostringstream os;
+    StringBuilder os;
     if (shader.version)
         os << "#version " << shader.version << "\n";
     for (const auto &g : shader.globals) {
@@ -337,7 +345,7 @@ printShader(const Shader &shader)
         printBody(f.body->body, os, 0);
         os << "\n";
     }
-    return os.str();
+    return os.take();
 }
 
 } // namespace gsopt::glsl

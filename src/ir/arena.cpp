@@ -1,0 +1,88 @@
+#include "ir/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gsopt::ir {
+
+void
+inlineVecOverflow(size_t capacity, size_t wanted)
+{
+    std::fprintf(stderr,
+                 "gsopt fatal: InlineVec capacity %zu exceeded "
+                 "(wanted %zu) — an IR list outgrew the vec4 bound\n",
+                 capacity, wanted);
+    std::abort();
+}
+
+void *
+Arena::allocateSlow(size_t size, size_t align)
+{
+    // New chunk: big enough for the request (plus worst-case alignment
+    // slack), and at least the growth hint. Doubling keeps the chunk
+    // count logarithmic for organically grown modules.
+    size_t payload = nextChunkSize_;
+    if (payload < size + align)
+        payload = size + align;
+    nextChunkSize_ = payload * 2;
+
+    auto *mem = static_cast<char *>(
+        std::malloc(sizeof(ChunkHeader) + payload));
+    if (!mem) {
+        std::fprintf(stderr, "gsopt fatal: arena out of memory "
+                             "(%zu-byte chunk)\n",
+                     payload);
+        std::abort();
+    }
+    auto *header = reinterpret_cast<ChunkHeader *>(mem);
+    header->next = chunks_;
+    header->size = payload;
+    chunks_ = header;
+    ++chunkCount_;
+    reserved_ += payload;
+
+    priorUsed_ = used_;
+    chunkBase_ = mem + sizeof(ChunkHeader);
+    cursor_ = chunkBase_;
+    limit_ = chunkBase_ + payload;
+
+    char *p = alignUp(cursor_, align);
+    cursor_ = p + size;
+    used_ = static_cast<size_t>(cursor_ - chunkBase_) + priorUsed_;
+    return p;
+}
+
+void
+Arena::releaseChunks()
+{
+    // O(chunks): the whole point. No per-object destruction happens.
+    for (ChunkHeader *c = chunks_; c;) {
+        ChunkHeader *next = c->next;
+        std::free(c);
+        c = next;
+    }
+    chunks_ = nullptr;
+    chunkBase_ = cursor_ = limit_ = nullptr;
+    priorUsed_ = used_ = reserved_ = chunkCount_ = 0;
+    nextChunkSize_ = kMinChunk;
+}
+
+void
+Arena::moveFrom(Arena &o)
+{
+    chunks_ = o.chunks_;
+    chunkBase_ = o.chunkBase_;
+    cursor_ = o.cursor_;
+    limit_ = o.limit_;
+    priorUsed_ = o.priorUsed_;
+    used_ = o.used_;
+    reserved_ = o.reserved_;
+    chunkCount_ = o.chunkCount_;
+    nextChunkSize_ = o.nextChunkSize_;
+    o.chunks_ = nullptr;
+    o.chunkBase_ = o.cursor_ = o.limit_ = nullptr;
+    o.priorUsed_ = o.used_ = o.reserved_ = o.chunkCount_ = 0;
+    o.nextChunkSize_ = kMinChunk;
+}
+
+} // namespace gsopt::ir

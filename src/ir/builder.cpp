@@ -59,16 +59,14 @@ Instr *
 IrBuilder::emit(Opcode op, Type type, std::vector<Instr *> operands,
                 Var *var, std::vector<int> indices)
 {
-    auto instr = std::make_unique<Instr>();
+    Instr *instr = module_.newInstr();
     instr->op = op;
     instr->type = type;
-    instr->id = module_.nextId();
-    instr->operands = std::move(operands);
+    instr->operands = operands;
     instr->var = var;
-    instr->indices = std::move(indices);
-    Instr *raw = instr.get();
-    currentBlock()->instrs.push_back(std::move(instr));
-    return raw;
+    instr->indices = indices;
+    currentBlock()->instrs.push_back(instr);
+    return instr;
 }
 
 Instr *

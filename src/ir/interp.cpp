@@ -47,7 +47,7 @@ class MapInterpreter
         result.executedInstructions = executed_;
         for (const auto &v : module_.vars) {
             if (v->kind == VarKind::Output)
-                result.outputs[v->name] = memory_[v.get()];
+                result.outputs[v->name] = memory_[v];
         }
         return result;
     }
@@ -583,7 +583,7 @@ bool
 varAtItsSlot(const Module &module, const Var *v)
 {
     return v && static_cast<size_t>(v->id) < module.vars.size() &&
-           module.vars[static_cast<size_t>(v->id)].get() == v;
+           module.vars[static_cast<size_t>(v->id)] == v;
 }
 
 bool

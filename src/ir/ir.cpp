@@ -133,82 +133,102 @@ Region::instructionCount() const
     return n;
 }
 
+Module::~Module()
+{
+    // Vars carry a name string and const-init vector, so they are the
+    // one arena object class that needs explicit destruction. There are
+    // a few dozen per shader; instructions (the thousands) are freed
+    // wholesale with the arena chunks.
+    for (Var *v : vars)
+        v->~Var();
+}
+
 Var *
 Module::newVar(std::string name, Type type, VarKind kind)
 {
-    auto var = std::make_unique<Var>();
+    Var *var = arena_.createWithCallerManagedDtor<Var>();
     var->id = nextVarId_++;
     var->name = std::move(name);
     var->type = type;
     var->kind = kind;
-    vars.push_back(std::move(var));
-    return vars.back().get();
+    vars.push_back(var);
+    return var;
 }
 
 namespace {
 
-/** Region deep-copy preserving instruction ids (unlike
- * walk.h's cloneRegionInto, which allocates fresh ones). */
-void
-cloneRegionExact(const Region &src, Region &dst,
-                 const std::unordered_map<const Var *, Var *> &varMap,
-                 std::unordered_map<const Instr *, Instr *> &valueMap)
+/**
+ * Slot-indexed region deep-copy preserving instruction ids (unlike
+ * walk.h's cloneRegionInto, which allocates fresh ones). Every source
+ * instruction is struct-copied into @p arena, then its operand/var
+ * pointers are remapped through the dense id-indexed tables. References
+ * to values or vars outside the source module (slot empty or id out of
+ * range) are kept as-is, matching the old hash-map behaviour.
+ */
+struct ExactCloner
 {
-    auto mappedVar = [&varMap](Var *v) -> Var * {
-        if (!v)
-            return nullptr;
-        auto it = varMap.find(v);
-        return it == varMap.end() ? v : it->second;
-    };
-    auto mappedValue = [&valueMap](Instr *v) -> Instr * {
-        if (!v)
-            return nullptr;
-        auto it = valueMap.find(v);
-        return it == valueMap.end() ? v : it->second;
-    };
+    Arena &arena;
+    std::vector<Var *> &varBySlot;
+    std::vector<Instr *> &instrBySlot;
 
-    for (const auto &node : src.nodes) {
-        if (const auto *b = dyn_cast<Block>(node.get())) {
-            auto nb = std::make_unique<Block>();
-            nb->instrs.reserve(b->instrs.size());
-            for (const auto &i : b->instrs) {
-                auto ni = std::make_unique<Instr>();
-                ni->op = i->op;
-                ni->type = i->type;
-                ni->id = i->id;
-                ni->var = mappedVar(i->var);
-                ni->indices = i->indices;
-                ni->constData = i->constData;
-                ni->operands.reserve(i->operands.size());
-                for (Instr *op : i->operands)
-                    ni->operands.push_back(mappedValue(op));
-                valueMap[i.get()] = ni.get();
-                nb->instrs.push_back(std::move(ni));
+    Var *mappedVar(Var *v) const
+    {
+        if (!v)
+            return nullptr;
+        const auto slot = static_cast<size_t>(v->id);
+        if (v->id < 0 || slot >= varBySlot.size() || !varBySlot[slot])
+            return v;
+        return varBySlot[slot];
+    }
+
+    Instr *mappedValue(Instr *i) const
+    {
+        if (!i)
+            return nullptr;
+        const auto slot = static_cast<size_t>(i->id);
+        if (i->id < 0 || slot >= instrBySlot.size() ||
+            !instrBySlot[slot])
+            return i;
+        return instrBySlot[slot];
+    }
+
+    void cloneRegion(const Region &src, Region &dst)
+    {
+        dst.nodes.reserve(src.nodes.size());
+        for (const auto &node : src.nodes) {
+            if (const auto *b = dyn_cast<Block>(node.get())) {
+                auto nb = std::make_unique<Block>();
+                nb->instrs.reserve(b->instrs.size());
+                for (const Instr *i : b->instrs) {
+                    Instr *ni = arena.create<Instr>(*i);
+                    ni->var = mappedVar(ni->var);
+                    for (Instr *&op : ni->operands)
+                        op = mappedValue(op);
+                    instrBySlot[static_cast<size_t>(i->id)] = ni;
+                    nb->instrs.push_back(ni);
+                }
+                dst.nodes.push_back(std::move(nb));
+            } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
+                auto nf = std::make_unique<IfNode>();
+                nf->cond = mappedValue(f->cond);
+                cloneRegion(f->thenRegion, nf->thenRegion);
+                cloneRegion(f->elseRegion, nf->elseRegion);
+                dst.nodes.push_back(std::move(nf));
+            } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
+                auto nl = std::make_unique<LoopNode>();
+                nl->canonical = l->canonical;
+                nl->counter = mappedVar(l->counter);
+                nl->init = l->init;
+                nl->limit = l->limit;
+                nl->step = l->step;
+                cloneRegion(l->condRegion, nl->condRegion);
+                nl->condValue = mappedValue(l->condValue);
+                cloneRegion(l->body, nl->body);
+                dst.nodes.push_back(std::move(nl));
             }
-            dst.nodes.push_back(std::move(nb));
-        } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
-            auto nf = std::make_unique<IfNode>();
-            nf->cond = mappedValue(f->cond);
-            cloneRegionExact(f->thenRegion, nf->thenRegion, varMap,
-                             valueMap);
-            cloneRegionExact(f->elseRegion, nf->elseRegion, varMap,
-                             valueMap);
-            dst.nodes.push_back(std::move(nf));
-        } else if (const auto *l = dyn_cast<LoopNode>(node.get())) {
-            auto nl = std::make_unique<LoopNode>();
-            nl->canonical = l->canonical;
-            nl->counter = mappedVar(l->counter);
-            nl->init = l->init;
-            nl->limit = l->limit;
-            nl->step = l->step;
-            cloneRegionExact(l->condRegion, nl->condRegion, varMap,
-                             valueMap);
-            nl->condValue = mappedValue(l->condValue);
-            cloneRegionExact(l->body, nl->body, varMap, valueMap);
-            dst.nodes.push_back(std::move(nl));
         }
     }
-}
+};
 
 } // namespace
 
@@ -216,17 +236,25 @@ std::unique_ptr<Module>
 Module::clone() const
 {
     auto out = std::make_unique<Module>();
-    std::unordered_map<const Var *, Var *> varMap;
-    varMap.reserve(vars.size());
+    // One right-sized chunk fits the whole clone: instructions and
+    // vars land contiguously, and no growth happens mid-copy. The
+    // slack absorbs alignment-padding differences (the clone packs
+    // vars first, the source allocated in build order).
+    out->arena_.reserveHint(arena_.bytesUsed() + 64);
+
+    std::vector<Var *> varBySlot(static_cast<size_t>(nextVarId_),
+                                 nullptr);
     out->vars.reserve(vars.size());
-    for (const auto &v : vars) {
-        auto nv = std::make_unique<Var>(*v);
-        varMap[v.get()] = nv.get();
-        out->vars.push_back(std::move(nv));
+    for (const Var *v : vars) {
+        Var *nv = out->arena_.createWithCallerManagedDtor<Var>(*v);
+        varBySlot[static_cast<size_t>(v->id)] = nv;
+        out->vars.push_back(nv);
     }
-    std::unordered_map<const Instr *, Instr *> valueMap;
-    valueMap.reserve(static_cast<size_t>(nextId_));
-    cloneRegionExact(body, out->body, varMap, valueMap);
+
+    std::vector<Instr *> instrBySlot(static_cast<size_t>(nextId_),
+                                     nullptr);
+    ExactCloner cloner{out->arena_, varBySlot, instrBySlot};
+    cloner.cloneRegion(body, out->body);
     out->nextId_ = nextId_;
     out->nextVarId_ = nextVarId_;
     return out;
@@ -282,7 +310,7 @@ struct Fingerprinter
         for (const auto &node : region.nodes) {
             if (const auto *b = dyn_cast<Block>(node.get())) {
                 mix(0x424c);
-                for (const auto &i : b->instrs)
+                for (const Instr *i : b->instrs)
                     walkInstr(*i);
             } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
                 mix(0x4946);
@@ -331,9 +359,9 @@ fingerprint(const Module &module)
     fp.position.reserve(module.instructionCount());
     fp.varPosition.reserve(module.vars.size());
     fp.mix(module.vars.size());
-    for (const auto &v : module.vars) {
+    for (const Var *v : module.vars) {
         const uint64_t pos = fp.varPosition.size() + 1;
-        fp.varPosition[v.get()] = pos;
+        fp.varPosition[v] = pos;
         fp.mix(fnv1a(v->name));
         fp.mixType(v->type);
         fp.mix(static_cast<uint64_t>(v->kind));
@@ -348,9 +376,9 @@ fingerprint(const Module &module)
 Var *
 Module::findVar(const std::string &name) const
 {
-    for (const auto &v : vars) {
+    for (Var *v : vars) {
         if (v->name == name)
-            return v.get();
+            return v;
     }
     return nullptr;
 }

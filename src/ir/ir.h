@@ -20,6 +20,16 @@
  * dataflow exactly where the paper's shaders live (few branches, large
  * basic blocks).
  *
+ * Storage: Instrs and Vars are bump-allocated from a per-Module Arena
+ * (see ir/arena.h) and referenced by raw pointer everywhere; Blocks hold
+ * plain `Instr *` lists, not owning pointers. Dropping an instruction
+ * from a block never frees it — its memory (and address) stays valid
+ * until the module dies, which is what makes replacement maps in passes
+ * safe without graveyard bookkeeping. Instr is trivially copyable, so
+ * Module::clone() is a near-linear copy: instructions are copied by
+ * value into the clone's arena and operand/var pointers are remapped
+ * through dense slot tables indexed by Instr::id / Var::id.
+ *
  * There are no matrix values in the IR: lowering scalarises all matrix
  * maths (reproducing LunarGlass compilation artefact III-C.a), and
  * scalar-times-vector is represented by splat Construct + vector ops
@@ -33,6 +43,7 @@
 #include <vector>
 
 #include "glsl/type.h"
+#include "ir/arena.h"
 
 namespace gsopt::ir {
 
@@ -55,8 +66,11 @@ enum class VarKind {
 };
 
 /**
- * A named storage location. Vars are owned by the Module; instructions
- * reference them by pointer.
+ * A named storage location. Vars live in their Module's arena (the
+ * module destroys them explicitly — unlike Instrs they hold a name
+ * string and const-init data, so they are not trivially destructible);
+ * instructions reference them by pointer. Var ids are dense:
+ * module.vars[v->id] == v.
  */
 struct Var
 {
@@ -130,9 +144,18 @@ bool hasSideEffects(Opcode op);
 /** True if the op produces no value at all. */
 bool isVoidOp(Opcode op);
 
+/** Widest operand/index/constant-lane list an instruction can carry:
+ * the type system tops out at vec4, so Construct takes at most 4
+ * parts, Swizzle at most 4 indices, Const at most 4 lanes. */
+constexpr unsigned kMaxInstrWidth = 4;
+
 /**
- * One SSA instruction. Owned by its Block; referenced as a raw pointer
- * by users (which must appear structurally later).
+ * One SSA instruction. Lives in its Module's arena; Blocks and users
+ * reference it by raw pointer (users must appear structurally later).
+ * Trivially copyable and trivially destructible: the operand, index,
+ * and constant-lane lists are inline fixed-capacity vectors, so copying
+ * an Instr copies everything but the pointees, and destroying a module
+ * never visits instructions.
  */
 class Instr
 {
@@ -140,10 +163,10 @@ class Instr
     Opcode op = Opcode::Const;
     Type type;                  ///< result type (void for stores etc.)
     int id = 0;                 ///< unique within the module (for dumps)
-    std::vector<Instr *> operands;
+    InlineVec<Instr *, kMaxInstrWidth> operands;
     Var *var = nullptr;         ///< for Load*/Store*/Texture sampler ref
-    std::vector<int> indices;   ///< for Extract/Insert/Swizzle
-    std::vector<double> constData; ///< for Const: one entry per lane
+    InlineVec<int, kMaxInstrWidth> indices; ///< Extract/Insert/Swizzle
+    InlineVec<double, kMaxInstrWidth> constData; ///< Const: per lane
 
     bool isConst() const { return op == Opcode::Const; }
 
@@ -159,6 +182,13 @@ class Instr
     /** True if all lanes of a Const are equal (splat constant). */
     bool isSplatConst() const;
 };
+
+static_assert(std::is_trivially_destructible_v<Instr>,
+              "Instr must stay trivially destructible: module teardown "
+              "frees arena chunks without visiting instructions");
+static_assert(std::is_trivially_copyable_v<Instr>,
+              "Instr must stay trivially copyable: clone() copies "
+              "instructions by value and only remaps pointers");
 
 /** Node discriminator. */
 enum class NodeKind { Block, If, Loop };
@@ -190,13 +220,14 @@ class Region
     size_t instructionCount() const;
 };
 
-/** Straight-line sequence of instructions. */
+/** Straight-line sequence of instructions (non-owning: instruction
+ * storage belongs to the module's arena). */
 class Block : public Node
 {
   public:
     Block() : Node(NodeKind::Block) {}
 
-    std::vector<std::unique_ptr<Instr>> instrs;
+    std::vector<Instr *> instrs;
 
     static bool classof(const Node *n)
     {
@@ -280,11 +311,20 @@ dyn_cast(const Node *n)
 
 /**
  * A whole shader in IR form: the variable table plus the body of main.
+ * Owns an Arena that backs every Instr and Var; destruction releases
+ * the arena's chunks and the (few) structural nodes, never touching
+ * instructions individually.
  */
 class Module
 {
   public:
-    std::vector<std::unique_ptr<Var>> vars;
+    Module() = default;
+    ~Module();
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    std::vector<Var *> vars;
     Region body;
 
     /** Create a new variable owned by this module. */
@@ -293,18 +333,43 @@ class Module
     /** Find a variable by name (nullptr if absent). */
     Var *findVar(const std::string &name) const;
 
+    /** Bump-allocate a blank instruction with a fresh id. The caller
+     * fills the fields and links it into a block. */
+    Instr *newInstr()
+    {
+        Instr *i = arena_.create<Instr>();
+        i->id = nextId_++;
+        return i;
+    }
+
+    /** Bump-allocate a copy of @p proto under a fresh id (operand and
+     * var pointers are copied as-is; remapping is the caller's job). */
+    Instr *newInstr(const Instr &proto)
+    {
+        Instr *i = arena_.create<Instr>(proto);
+        i->id = nextId_++;
+        return i;
+    }
+
     /** Allocate a fresh instruction id. */
     int nextId() { return nextId_++; }
 
     /**
      * Exclusive upper bound on instruction ids allocated so far. Dense
-     * per-value side tables (the interpreter's register file) index by
-     * Instr::id and size themselves with this.
+     * per-value side tables (the interpreter's register file, clone's
+     * slot remap) index by Instr::id and size themselves with this.
      */
     int idBound() const { return nextId_; }
 
     /** Total instruction count of the body. */
     size_t instructionCount() const { return body.instructionCount(); }
+
+    /** The arena backing this module's Instrs and Vars. */
+    Arena &arena() { return arena_; }
+    const Arena &arena() const { return arena_; }
+
+    /** Bytes of IR storage bump-allocated so far. */
+    size_t arenaBytes() const { return arena_.bytesUsed(); }
 
     /**
      * Deep copy. The clone owns fresh Vars and Instrs mirroring this
@@ -312,11 +377,20 @@ class Module
      * operand and var reference remapped into the clone. Cloning a
      * lowered module and running a pass pipeline on the copy is
      * behaviourally identical to re-lowering from source (the
-     * compile-once exploration relies on this).
+     * compile-once exploration relies on this). The clone's storage is
+     * independent: it remains fully usable after the source module is
+     * destroyed.
+     *
+     * Cost: near-linear block copy. Instructions are trivially
+     * copyable, so each one is a struct copy into the clone's arena
+     * (pre-sized to the source's footprint) followed by slot-indexed
+     * pointer remaps through dense Instr::id / Var::id tables — no
+     * hashing, no per-instruction heap traffic.
      */
     std::unique_ptr<Module> clone() const;
 
   private:
+    Arena arena_;
     int nextId_ = 0;
     int nextVarId_ = 0;
 };
@@ -326,7 +400,8 @@ class Module
  * body in structural order, with values and vars numbered by position
  * (not by Instr::id / Var::id), so two modules that would render to
  * identical GLSL hash identically regardless of their id history. Used
- * to dedup variants *before* paying for the printer.
+ * to dedup variants *before* paying for the printer, and as the
+ * content-address of pass memoization in the exploration flag tree.
  */
 uint64_t fingerprint(const Module &module);
 

@@ -19,7 +19,7 @@ class Verifier
         for (const auto &v : module_.vars) {
             if (v->kind == VarKind::ConstArray && v->constInit.empty())
                 problem("const array @" + v->name + " has no data");
-            vars_.insert(v.get());
+            vars_.insert(v);
         }
         checkRegion(module_.body);
         return std::move(problems_);

@@ -93,19 +93,13 @@ cloneRegionInto(const Region &src, Region &dst, Module &module,
     for (const auto &node : src.nodes) {
         if (const auto *b = dyn_cast<Block>(node.get())) {
             auto nb = std::make_unique<Block>();
-            for (const auto &i : b->instrs) {
-                auto ni = std::make_unique<Instr>();
-                ni->op = i->op;
-                ni->type = i->type;
-                ni->id = module.nextId();
-                ni->var = i->var;
-                ni->indices = i->indices;
-                ni->constData = i->constData;
-                ni->operands.reserve(i->operands.size());
-                for (Instr *op : i->operands)
-                    ni->operands.push_back(mapped(op));
-                map[i.get()] = ni.get();
-                nb->instrs.push_back(std::move(ni));
+            nb->instrs.reserve(b->instrs.size());
+            for (const Instr *i : b->instrs) {
+                Instr *ni = module.newInstr(*i);
+                for (Instr *&op : ni->operands)
+                    op = mapped(op);
+                map[i] = ni;
+                nb->instrs.push_back(ni);
             }
             dst.nodes.push_back(std::move(nb));
         } else if (const auto *f = dyn_cast<IfNode>(node.get())) {
@@ -135,9 +129,11 @@ eraseInstrsIf(Region &region,
 {
     for (auto &node : region.nodes) {
         if (auto *b = dyn_cast<Block>(node.get())) {
+            // Unlinks only: the instructions stay alive (and their
+            // addresses stable) in the module's arena.
             auto &v = b->instrs;
             v.erase(std::remove_if(v.begin(), v.end(),
-                                   [&pred](const auto &i) {
+                                   [&pred](const Instr *i) {
                                        return pred(*i);
                                    }),
                     v.end());
@@ -185,8 +181,8 @@ simplifyRegionStructure(Region &region)
         auto *a = dyn_cast<Block>(nodes[i].get());
         auto *b = dyn_cast<Block>(nodes[i + 1].get());
         if (a && b) {
-            for (auto &instr : b->instrs)
-                a->instrs.push_back(std::move(instr));
+            a->instrs.insert(a->instrs.end(), b->instrs.begin(),
+                             b->instrs.end());
             nodes.erase(nodes.begin() + static_cast<long>(i) + 1);
             changed = true;
         } else {

@@ -54,7 +54,7 @@ sweep(const Region &region, Liveness &lv)
     for (const auto &node : region.nodes) {
         if (const auto *b = dyn_cast<ir::Block>(node.get())) {
             for (const auto &i : b->instrs) {
-                if (lv.live.count(i.get())) {
+                if (lv.live.count(i)) {
                     any_live = true;
                     continue;
                 }
@@ -65,7 +65,7 @@ sweep(const Region &region, Liveness &lv)
                      (i->var->kind == ir::VarKind::Output ||
                       lv.loaded.count(i->var)));
                 if (is_root) {
-                    lv.markLive(i.get());
+                    lv.markLive(i);
                     any_live = true;
                 }
             }

@@ -81,21 +81,20 @@ qualifyingArm(Region &region, bool &ok, size_t max_arm_instrs)
 bool
 hoistRegion(Region &region, Module &module,
             std::unordered_map<Instr *, Instr *> &repl,
-            std::vector<std::unique_ptr<Instr>> &graveyard,
             size_t max_arm_instrs)
 {
     bool changed = false;
     // Bottom-up: flatten nested ifs first so their parents qualify.
     for (auto &node : region.nodes) {
         if (auto *f = dyn_cast<IfNode>(node.get())) {
-            changed |= hoistRegion(f->thenRegion, module, repl, graveyard,
+            changed |= hoistRegion(f->thenRegion, module, repl,
                                    max_arm_instrs);
-            changed |= hoistRegion(f->elseRegion, module, repl, graveyard,
+            changed |= hoistRegion(f->elseRegion, module, repl,
                                    max_arm_instrs);
         } else if (auto *l = dyn_cast<ir::LoopNode>(node.get())) {
-            changed |= hoistRegion(l->condRegion, module, repl, graveyard,
+            changed |= hoistRegion(l->condRegion, module, repl,
                                    max_arm_instrs);
-            changed |= hoistRegion(l->body, module, repl, graveyard,
+            changed |= hoistRegion(l->body, module, repl,
                                    max_arm_instrs);
         }
     }
@@ -137,28 +136,24 @@ hoistRegion(Region &region, Module &module,
         auto move_arm = [&](Block *arm, std::map<Var *, Instr *> &vals) {
             if (!arm)
                 return;
-            for (auto &ip : arm->instrs) {
-                if (!ip)
-                    continue;
+            for (Instr *ip : arm->instrs) {
                 for (Instr *&op : ip->operands)
                     op = resolve(op);
                 if (ip->op == Opcode::StoreVar) {
+                    // The store dissolves into a select later. Its
+                    // storage stays alive (and its address stable) in
+                    // the module arena, so stale pointers to it in
+                    // `repl` remain safe to chase.
                     vals[ip->var] = ip->operands[0];
-                    // The store dissolves into a select later. Keep the
-                    // instruction alive until the pass ends so that no
-                    // new allocation can reuse its address while stale
-                    // pointers to it sit in `repl`.
-                    graveyard.push_back(std::move(ip));
                     continue;
                 }
                 if (ip->op == Opcode::LoadVar && vals.count(ip->var)) {
                     // The arm already assigned this var: the load must
                     // see the arm-local value, not the pre-if value.
-                    repl[ip.get()] = vals[ip->var];
-                    graveyard.push_back(std::move(ip));
+                    repl[ip] = vals[ip->var];
                     continue;
                 }
-                merged->instrs.push_back(std::move(ip));
+                merged->instrs.push_back(ip);
             }
             arm->instrs.clear();
         };
@@ -169,18 +164,15 @@ hoistRegion(Region &region, Module &module,
             auto it = pre_vals.find(v);
             if (it != pre_vals.end())
                 return it->second;
-            auto load = std::make_unique<Instr>();
+            Instr *load = module.newInstr();
             load->op = Opcode::LoadVar;
             load->type = v->type;
-            load->id = module.nextId();
             load->var = v;
-            Instr *raw = load.get();
             // Pre-if loads must precede the moved arm code; insert at
             // the front of the merged block.
-            merged->instrs.insert(merged->instrs.begin(),
-                                  std::move(load));
-            pre_vals[v] = raw;
-            return raw;
+            merged->instrs.insert(merged->instrs.begin(), load);
+            pre_vals[v] = load;
+            return load;
         };
 
         // Union of assigned vars in *var id* order: pointer-keyed maps
@@ -204,21 +196,18 @@ hoistRegion(Region &region, Module &module,
             Instr *ev =
                 tv_ev.second ? resolve(tv_ev.second) : pre_value(v);
 
-            auto sel = std::make_unique<Instr>();
+            Instr *sel = module.newInstr();
             sel->op = Opcode::Select;
             sel->type = v->type;
-            sel->id = module.nextId();
             sel->operands = {f->cond, tv, ev};
-            Instr *sel_raw = sel.get();
-            merged->instrs.push_back(std::move(sel));
+            merged->instrs.push_back(sel);
 
-            auto store = std::make_unique<Instr>();
+            Instr *store = module.newInstr();
             store->op = Opcode::StoreVar;
             store->type = ir::Type::voidTy();
-            store->id = module.nextId();
             store->var = v;
-            store->operands = {sel_raw};
-            merged->instrs.push_back(std::move(store));
+            store->operands = {sel};
+            merged->instrs.push_back(store);
         }
 
         result.push_back(std::move(merged));
@@ -236,9 +225,8 @@ bool
 hoist(Module &module, size_t maxArmInstrs)
 {
     std::unordered_map<Instr *, Instr *> repl;
-    std::vector<std::unique_ptr<Instr>> graveyard;
     bool changed =
-        hoistRegion(module.body, module, repl, graveyard, maxArmInstrs);
+        hoistRegion(module.body, module, repl, maxArmInstrs);
     if (!repl.empty()) {
         auto resolve = [&repl](Instr *v) {
             while (v) {

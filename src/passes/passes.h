@@ -161,21 +161,59 @@ struct OptFlags
 void optimize(ir::Module &module, const OptFlags &flags);
 
 /**
+ * Phase accounting for one forEachFlagCombination() walk. The caller
+ * folds these into its own counters (tuner::ExploreCounters for the
+ * exploration path).
+ */
+struct FlagTreeStats
+{
+    uint64_t passRuns = 0;     ///< pass applications actually executed
+    uint64_t passMemoHits = 0; ///< apply edges served from the memo
+    uint64_t fingerprintRuns = 0; ///< module fingerprints computed
+    uint64_t fingerprintNs = 0;   ///< time spent fingerprinting
+    uint64_t arenaBytes = 0; ///< IR arena bytes of all tree modules
+};
+
+/**
  * Run the flagged pipeline for every one of the 2^N flag combinations
  * of the registered passes (256 for the default built-in set) against
  * @p base, invoking @p sink with each combination's final module
- * (valid only for the duration of the call).
+ * (valid only for the duration of the call) and that module's
+ * structural fingerprint.
  *
  * Because the pipeline applies passes in a fixed order, the 2^N
  * combinations form a binary prefix tree over N include/exclude
  * decisions; this walks that tree, cloning at branch points, so work
  * shared by combinations with a common pass prefix runs once (2^N - 1
- * pass applications instead of N * 2^(N-1)). Every root-to-leaf path
- * performs exactly the mutation sequence optimize() would, so each
- * delivered module is bit-identical to optimize(base.clone(), flags).
+ * pass applications instead of N * 2^(N-1)). Each delivered module is
+ * content-identical — structure, ids, and therefore emitted text — to
+ * optimize(base.clone(), flags); only object identity is NOT
+ * guaranteed (memoization below can hand several combinations the
+ * same module instance).
+ *
+ * On top of the prefix sharing, apply edges are memoized by content:
+ * each (incoming-module structural fingerprint, incoming id
+ * labelling, pass id) triple runs the pass (and pays its clone) only
+ * once per walk, and every other edge with the same key reuses the
+ * stored result module — sound because a deterministic pass given
+ * content-identical input produces content-identical output. Flag
+ * orders that converge to identical intermediate IR — the common
+ * case: most passes fire on nothing (paper Fig 4c) — therefore
+ * collapse from 2^N - 1 pass runs to one run per *distinct*
+ * (module, pass) edge, which is what keeps a 10-pass exploration
+ * cheaper than an unmemoized 8-pass one. The fingerprint each module
+ * needs is computed exactly once, when the module is created, and
+ * handed to the sink for free.
  *
  * Sink invocation order follows the tree walk, not numeric flag order.
  */
+void forEachFlagCombination(
+    const ir::Module &base,
+    const std::function<void(const OptFlags &, const ir::Module &,
+                             uint64_t fingerprint)> &sink,
+    FlagTreeStats *stats = nullptr);
+
+/** Fingerprint-free convenience overload. */
 void forEachFlagCombination(
     const ir::Module &base,
     const std::function<void(const OptFlags &, const ir::Module &)>

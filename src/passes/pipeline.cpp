@@ -9,9 +9,16 @@
  * (and that newly registered passes flow through both paths with no
  * further changes).
  */
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
 #include "ir/verifier.h"
+#include "ir/walk.h"
 #include "passes/passes.h"
 #include "passes/registry.h"
+#include "support/rng.h"
+#include "support/time.h"
 
 namespace gsopt::passes {
 
@@ -83,27 +90,126 @@ OptFlags::all()
 
 namespace {
 
-void
-walkCombinations(
-    const ir::Module &module, size_t stage, const OptFlags &flags,
-    const std::vector<const PassDescriptor *> &pipeline,
-    const std::function<void(const OptFlags &, const ir::Module &)>
-        &sink)
+/**
+ * Hash of a module's instruction-id labelling: the id sequence in
+ * structural order plus the id allocation bound. ir::fingerprint is
+ * deliberately id-agnostic (it numbers values by position so printed
+ * text dedups correctly), but some passes make id-sensitive decisions
+ * — reassociate sorts rebuilt chains by Instr::id, fp_reassociate
+ * orders commutative operands by id — and a mutating pass draws fresh
+ * ids from nextId(). Memo sharing is only sound between modules that
+ * agree on *both* structure and ids, so the edge key carries this
+ * hash alongside the structural fingerprint. (In practice fp-equal
+ * tree modules are id-equal too — they arise from no-op pass edges on
+ * id-preserving clones — so this costs no hit rate.)
+ */
+uint64_t
+idSequenceHash(const ir::Module &m)
 {
-    if (stage == pipeline.size()) {
-        ir::verifyOrDie(module, "after optimize pipeline");
-        sink(flags, module);
-        return;
-    }
-    // Skip branch: the module is untouched — share it, no copy.
-    walkCombinations(module, stage + 1, flags, pipeline, sink);
-    // Apply branch: clone, run the stage, recurse.
-    auto on = module.clone();
-    pipeline[stage]->apply(*on);
-    OptFlags with = flags;
-    with.set(pipeline[stage]->bit);
-    walkCombinations(*on, stage + 1, with, pipeline, sink);
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = hashCombine(h, static_cast<uint64_t>(m.idBound()));
+    ir::forEachInstr(m.body, [&h](const ir::Instr &i) {
+        h = hashCombine(h, static_cast<uint64_t>(i.id));
+    });
+    return h;
 }
+
+/** Memo key: content-address of an apply edge in the flag tree. */
+struct PassEdgeKey
+{
+    uint64_t moduleFp;
+    uint64_t idHash;
+    int passBit;
+
+    bool operator==(const PassEdgeKey &o) const
+    {
+        return moduleFp == o.moduleFp && idHash == o.idHash &&
+               passBit == o.passBit;
+    }
+};
+
+struct PassEdgeKeyHash
+{
+    size_t operator()(const PassEdgeKey &k) const
+    {
+        return static_cast<size_t>(
+            hashCombine(k.moduleFp, k.idHash) ^
+            (0x9e3779b97f4a7c15ull *
+             static_cast<uint64_t>(k.passBit + 1)));
+    }
+};
+
+/**
+ * The memoizing prefix-tree walk. Modules are immutable once created
+ * (a pass mutates only the fresh clone it is handed), so the memo can
+ * safely hand the same result module to every edge that shares its
+ * key; subtree walks below those edges only read it and clone from it.
+ */
+struct CombinationWalker
+{
+    const std::vector<const PassDescriptor *> &pipeline;
+    const std::function<void(const OptFlags &, const ir::Module &,
+                             uint64_t)> &sink;
+    FlagTreeStats stats;
+
+    struct MemoEntry
+    {
+        const ir::Module *module;
+        uint64_t fp;
+        uint64_t idHash;
+    };
+    std::unordered_map<PassEdgeKey, MemoEntry, PassEdgeKeyHash> memo;
+    /** Owners of the memoized modules (alive for the whole walk). */
+    std::vector<std::unique_ptr<ir::Module>> owned;
+
+    uint64_t fingerprintTimed(const ir::Module &m)
+    {
+        const uint64_t t0 = nowNs();
+        const uint64_t fp = ir::fingerprint(m);
+        stats.fingerprintNs += nowNs() - t0;
+        ++stats.fingerprintRuns;
+        return fp;
+    }
+
+    void walk(const ir::Module &module, uint64_t moduleFp,
+              uint64_t moduleIdHash, size_t stage, const OptFlags &flags)
+    {
+        if (stage == pipeline.size()) {
+            sink(flags, module, moduleFp);
+            return;
+        }
+        // Skip branch: the module is untouched — share it (and its
+        // hashes), no copy.
+        walk(module, moduleFp, moduleIdHash, stage + 1, flags);
+
+        // Apply branch: memoized on (incoming fingerprint, incoming
+        // id labelling, pass).
+        const PassDescriptor *pass = pipeline[stage];
+        const PassEdgeKey key{moduleFp, moduleIdHash, pass->bit};
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            auto on = module.clone();
+            pass->apply(*on);
+            // Every module is verified right after its last mutation;
+            // sharing below never re-mutates, so this covers all the
+            // leaves that reuse it.
+            ir::verifyOrDie(*on, "after optimize pipeline");
+            ++stats.passRuns;
+            const uint64_t onFp = fingerprintTimed(*on);
+            stats.arenaBytes += on->arenaBytes();
+            it = memo.emplace(key, MemoEntry{on.get(), onFp,
+                                             idSequenceHash(*on)})
+                     .first;
+            owned.push_back(std::move(on));
+        } else {
+            ++stats.passMemoHits;
+        }
+        OptFlags with = flags;
+        with.set(pass->bit);
+        walk(*it->second.module, it->second.fp, it->second.idHash,
+             stage + 1, with);
+    }
+};
 
 } // namespace
 
@@ -122,13 +228,33 @@ optimize(ir::Module &module, const OptFlags &flags)
 void
 forEachFlagCombination(
     const ir::Module &base,
-    const std::function<void(const OptFlags &, const ir::Module &)>
-        &sink)
+    const std::function<void(const OptFlags &, const ir::Module &,
+                             uint64_t)> &sink,
+    FlagTreeStats *stats)
 {
     auto root = base.clone();
     canonicalize(*root);
-    walkCombinations(*root, 0, OptFlags{},
-                     PassRegistry::instance().pipeline(), sink);
+    ir::verifyOrDie(*root, "after optimize pipeline");
+    CombinationWalker walker{PassRegistry::instance().pipeline(), sink,
+                             {}, {}, {}};
+    const uint64_t rootFp = walker.fingerprintTimed(*root);
+    walker.stats.arenaBytes += root->arenaBytes();
+    walker.walk(*root, rootFp, idSequenceHash(*root), 0, OptFlags{});
+    if (stats)
+        *stats = walker.stats;
+}
+
+void
+forEachFlagCombination(
+    const ir::Module &base,
+    const std::function<void(const OptFlags &, const ir::Module &)>
+        &sink)
+{
+    forEachFlagCombination(
+        base,
+        [&sink](const OptFlags &flags, const ir::Module &module,
+                uint64_t) { sink(flags, module); },
+        nullptr);
 }
 
 } // namespace gsopt::passes

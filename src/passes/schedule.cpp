@@ -63,7 +63,7 @@ scheduleBlock(Block &block, size_t min_span,
     const size_t n = block.instrs.size();
     std::unordered_map<const Instr *, size_t> pos;
     for (size_t i = 0; i < n; ++i)
-        pos[block.instrs[i].get()] = i;
+        pos[block.instrs[i]] = i;
 
     // First (and only, for single-use values) user position per instr.
     std::unordered_map<const Instr *, size_t> user_pos;
@@ -78,7 +78,7 @@ scheduleBlock(Block &block, size_t min_span,
     std::unordered_map<const Instr *, bool> sink;
     bool any = false;
     for (size_t i = 0; i < n; ++i) {
-        const Instr *instr = block.instrs[i].get();
+        const Instr *instr = block.instrs[i];
         auto uit = uses.find(instr);
         auto pit = user_pos.find(instr);
         if (uit == uses.end() || uit->second != 1 ||
@@ -108,13 +108,13 @@ scheduleBlock(Block &block, size_t min_span,
     // Rebuild: non-sunk instructions keep their order; sunk ones are
     // emitted (with their sunk dependencies, recursively) right before
     // their user.
-    std::vector<std::unique_ptr<Instr>> result;
+    std::vector<Instr *> result;
     result.reserve(n);
     std::unordered_map<const Instr *, size_t> holding; // -> old index
     std::unordered_map<const Instr *, bool> emitted;
 
     std::function<void(size_t)> emit_sunk = [&](size_t old_index) {
-        Instr *instr = block.instrs[old_index].get();
+        Instr *instr = block.instrs[old_index];
         if (emitted[instr])
             return;
         emitted[instr] = true;
@@ -123,11 +123,11 @@ scheduleBlock(Block &block, size_t min_span,
             if (hit != holding.end())
                 emit_sunk(hit->second);
         }
-        result.push_back(std::move(block.instrs[old_index]));
+        result.push_back(instr);
     };
 
     for (size_t i = 0; i < n; ++i) {
-        Instr *instr = block.instrs[i].get();
+        Instr *instr = block.instrs[i];
         if (sink[instr]) {
             holding[instr] = i;
             continue;
@@ -138,20 +138,19 @@ scheduleBlock(Block &block, size_t min_span,
             if (hit != holding.end())
                 emit_sunk(hit->second);
         }
-        result.push_back(std::move(block.instrs[i]));
+        result.push_back(instr);
     }
     // Anything never demanded (shouldn't happen for single-use values
     // used in this block) is appended in original order to preserve
     // both the value and determinism.
     std::vector<size_t> leftovers;
     for (auto &[instr, old_index] : holding) {
-        (void)instr;
-        if (block.instrs[old_index])
+        if (!emitted[instr])
             leftovers.push_back(old_index);
     }
     std::sort(leftovers.begin(), leftovers.end());
     for (size_t old_index : leftovers)
-        result.push_back(std::move(block.instrs[old_index]));
+        emit_sunk(old_index);
     block.instrs = std::move(result);
     return true;
 }

@@ -40,18 +40,16 @@ Instr *
 LocalBuilder::emit(Opcode op, Type type, std::vector<Instr *> operands,
                    ir::Var *var, std::vector<int> indices)
 {
-    auto instr = std::make_unique<Instr>();
+    Instr *instr = module_.newInstr();
     instr->op = op;
     instr->type = type;
-    instr->id = module_.nextId();
-    instr->operands = std::move(operands);
+    instr->operands = operands;
     instr->var = var;
-    instr->indices = std::move(indices);
-    Instr *raw = instr.get();
+    instr->indices = indices;
     block_.instrs.insert(block_.instrs.begin() + static_cast<long>(pos_),
-                         std::move(instr));
+                         instr);
     ++pos_;
-    return raw;
+    return instr;
 }
 
 Instr *
@@ -100,15 +98,18 @@ splatConstValue(const Instr *instr)
 
 namespace {
 
+/** An Instr's inline constant-lane list. */
+using Lanes = ir::InlineVec<double, ir::kMaxInstrWidth>;
+
 /** Broadcast-aware lane fetch. */
 double
-lane(const std::vector<double> &v, size_t i)
+lane(const Lanes &v, size_t i)
 {
     return v.size() == 1 ? v[0] : v[i];
 }
 
 std::vector<double>
-componentwise2(const std::vector<double> &a, const std::vector<double> &b,
+componentwise2(const Lanes &a, const Lanes &b,
                double (*fn)(double, double))
 {
     const size_t n = std::max(a.size(), b.size());
@@ -127,7 +128,7 @@ foldConstInstr(const Instr &instr)
         if (!op || op->op != Opcode::Const)
             return std::nullopt;
     }
-    auto arg = [&](size_t i) -> const std::vector<double> & {
+    auto arg = [&](size_t i) -> const Lanes & {
         return instr.operands[i]->constData;
     };
     const bool is_int = instr.type.isInt();

@@ -451,14 +451,9 @@ readPod(std::istream &is, T &v)
 
 } // namespace
 
-void
-ExperimentEngine::saveShard(const std::string &path, uint64_t key,
-                            const ShaderResult &r)
+std::string
+serializeShardBody(const ShaderResult &r)
 {
-    // Serialise the body first so a content hash can front it: the
-    // structural caps in loadShard cannot catch a flipped byte inside
-    // stored shader text, and a silently wrong variant is worse than
-    // a re-run shard.
     std::ostringstream os(std::ios::binary);
     writeString(os, r.exploration.shaderName);
     writeString(os, r.exploration.family);
@@ -494,8 +489,18 @@ ExperimentEngine::saveShard(const std::string &path, uint64_t key,
         for (double t : m.variantMeanNs)
             writePod(os, t);
     }
+    return os.str();
+}
 
-    const std::string body = os.str();
+void
+ExperimentEngine::saveShard(const std::string &path, uint64_t key,
+                            const ShaderResult &r)
+{
+    // Serialise the body first so a content hash can front it: the
+    // structural caps in loadShard cannot catch a flipped byte inside
+    // stored shader text, and a silently wrong variant is worse than
+    // a re-run shard.
+    const std::string body = serializeShardBody(r);
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file)
         return;

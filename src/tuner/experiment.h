@@ -86,6 +86,15 @@ uint64_t deviceSetKey();
  * deviceSetKey()). */
 uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
 
+/**
+ * The canonical byte serialisation of one shader's campaign result —
+ * the body of a shard cache file (everything after the key and content
+ * hash). Deterministic for a deterministic campaign; the golden
+ * regression tests md5 these bytes against the values captured before
+ * the arena/memoization refactor.
+ */
+std::string serializeShardBody(const ShaderResult &r);
+
 /** The full campaign. */
 class ExperimentEngine
 {

@@ -19,8 +19,12 @@ ExploreCounters::reset()
     frontEndRuns = 0;
     lowerRuns = 0;
     pipelineRuns = 0;
+    passRuns = 0;
+    passMemoHits = 0;
     printRuns = 0;
+    fingerprintRuns = 0;
     fingerprintHits = 0;
+    arenaBytes = 0;
     frontEndNs = 0;
     lowerNs = 0;
     pipelineNs = 0;
@@ -38,6 +42,11 @@ exploreCounters()
 bool
 Variant::mostlyHasFlag(int bit) const
 {
+    // An unpopulated variant (no producers recorded yet) holds no
+    // evidence either way; without this guard the 0 >= 0 comparison
+    // answered "yes" for every bit.
+    if (producers.empty())
+        return false;
     size_t with = 0;
     for (const FlagSet &f : producers)
         with += f.has(bit);
@@ -100,25 +109,27 @@ exploreShader(const corpus::CorpusShader &shader)
     counters.lowerRuns.fetch_add(1, std::memory_order_relaxed);
     counters.lowerNs.fetch_add(nowNs() - t0, std::memory_order_relaxed);
 
-    // Phase A — run all 2^N pipelines over the prefix-sharing tree
-    // (combos with a common pass prefix share that work). Each leaf is
-    // fingerprinted; only fingerprint-unique modules reach the printer
-    // (most of the combos are structurally identical — Fig 4c).
+    // Phase A — run all 2^N pipelines over the memoized prefix-sharing
+    // tree (combos with a common pass prefix share that work, and apply
+    // edges whose incoming IR fingerprints identically share one pass
+    // run + one clone). Each tree module is fingerprinted exactly once,
+    // at creation, and the sink receives the fingerprint for free; only
+    // fingerprint-unique modules reach the printer (most of the combos
+    // are structurally identical — Fig 4c).
     std::vector<uint64_t> combo_fp(comboCount(), 0);
     std::unordered_map<uint64_t, std::string> text_of_fp;
-    uint64_t fp_ns = 0, print_ns = 0;
+    uint64_t print_ns = 0;
+    passes::FlagTreeStats tree;
     const uint64_t tree_t0 = nowNs();
     passes::forEachFlagCombination(
         *base,
-        [&](const passes::OptFlags &flags, const ir::Module &module) {
+        [&](const passes::OptFlags &flags, const ir::Module &module,
+            uint64_t fp) {
             counters.pipelineRuns.fetch_add(1,
                                             std::memory_order_relaxed);
-            uint64_t t = nowNs();
-            const uint64_t fp = ir::fingerprint(module);
-            fp_ns += nowNs() - t;
             combo_fp[FlagSet::fromOptFlags(flags).bits] = fp;
             if (!text_of_fp.count(fp)) {
-                t = nowNs();
+                const uint64_t t = nowNs();
                 text_of_fp.emplace(fp, emit::emitGlsl(module));
                 counters.printRuns.fetch_add(
                     1, std::memory_order_relaxed);
@@ -127,10 +138,21 @@ exploreShader(const corpus::CorpusShader &shader)
                 counters.fingerprintHits.fetch_add(
                     1, std::memory_order_relaxed);
             }
-        });
-    counters.pipelineNs.fetch_add(nowNs() - tree_t0 - fp_ns - print_ns,
+        },
+        &tree);
+    counters.pipelineNs.fetch_add(
+        nowNs() - tree_t0 - tree.fingerprintNs - print_ns,
+        std::memory_order_relaxed);
+    counters.passRuns.fetch_add(tree.passRuns,
+                                std::memory_order_relaxed);
+    counters.passMemoHits.fetch_add(tree.passMemoHits,
+                                    std::memory_order_relaxed);
+    counters.fingerprintRuns.fetch_add(tree.fingerprintRuns,
+                                       std::memory_order_relaxed);
+    counters.fingerprintNs.fetch_add(tree.fingerprintNs,
+                                     std::memory_order_relaxed);
+    counters.arenaBytes.fetch_add(tree.arenaBytes,
                                   std::memory_order_relaxed);
-    counters.fingerprintNs.fetch_add(fp_ns, std::memory_order_relaxed);
     counters.printNs.fetch_add(print_ns, std::memory_order_relaxed);
 
     // Phase B — assign variant indices in numeric combo order with the

@@ -34,9 +34,13 @@ struct ExploreCounters
 {
     std::atomic<uint64_t> frontEndRuns{0};  ///< compileShader calls
     std::atomic<uint64_t> lowerRuns{0};     ///< lowerShader calls
-    std::atomic<uint64_t> pipelineRuns{0};  ///< clone+optimize per combo
+    std::atomic<uint64_t> pipelineRuns{0};  ///< combos delivered
+    std::atomic<uint64_t> passRuns{0};      ///< passes actually executed
+    std::atomic<uint64_t> passMemoHits{0};  ///< apply edges memo-shared
     std::atomic<uint64_t> printRuns{0};     ///< emitGlsl calls
+    std::atomic<uint64_t> fingerprintRuns{0}; ///< fingerprints computed
     std::atomic<uint64_t> fingerprintHits{0}; ///< combos deduped pre-print
+    std::atomic<uint64_t> arenaBytes{0}; ///< IR arena bytes, all tree modules
 
     std::atomic<uint64_t> frontEndNs{0};
     std::atomic<uint64_t> lowerNs{0};
@@ -57,7 +61,8 @@ struct Variant
     uint64_t sourceHash = 0;
     std::vector<FlagSet> producers; ///< every combo mapping here
 
-    /** Does at least half of the producing combos set this flag? */
+    /** Does at least half of the producing combos set this flag?
+     * False when no producers are recorded (nothing to vote). */
     bool mostlyHasFlag(int bit) const;
 };
 

@@ -116,8 +116,8 @@ TEST(Walk, CloneRemapsOperands)
     // The cloned Neg must reference the cloned Const, not the original.
     const Block *cb = dyn_cast<Block>(clone.nodes[0].get());
     ASSERT_NE(cb, nullptr);
-    EXPECT_EQ(cb->instrs[1]->operands[0], cb->instrs[0].get());
-    EXPECT_NE(cb->instrs[0].get(), x);
+    EXPECT_EQ(cb->instrs[1]->operands[0], cb->instrs[0]);
+    EXPECT_NE(cb->instrs[0], x);
 }
 
 TEST(Walk, ReplaceAllUses)
@@ -138,10 +138,10 @@ TEST(Walk, SimplifyMergesAdjacentBlocks)
     Module m;
     auto b1 = std::make_unique<Block>();
     auto b2 = std::make_unique<Block>();
-    auto i1 = std::make_unique<Instr>();
+    Instr *i1 = m.newInstr();
     i1->op = Opcode::Discard;
     i1->type = Type::voidTy();
-    b2->instrs.push_back(std::move(i1));
+    b2->instrs.push_back(i1);
     m.body.nodes.push_back(std::move(b1)); // empty block
     m.body.nodes.push_back(std::move(b2));
     EXPECT_TRUE(simplifyRegionStructure(m.body));
@@ -212,8 +212,8 @@ TEST(Clone, OwnsItsReferences)
             EXPECT_TRUE(mine.count(op));
         if (i.var) {
             bool in_clone = false;
-            for (const auto &v : c->vars)
-                in_clone |= v.get() == i.var;
+            for (const Var *v : c->vars)
+                in_clone |= v == i.var;
             EXPECT_TRUE(in_clone);
         }
     });

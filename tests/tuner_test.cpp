@@ -209,5 +209,26 @@ TEST(Engine, MinimalBestFlagsPreferred)
     }
 }
 
+TEST(Variant, MostlyHasFlagWithoutProducersIsFalse)
+{
+    // A variant with no recorded producers has no evidence about any
+    // flag; the old `0 >= 0` comparison answered true for every bit.
+    Variant v;
+    for (int bit = 0; bit < static_cast<int>(flagCount()); ++bit)
+        EXPECT_FALSE(v.mostlyHasFlag(bit)) << bit;
+}
+
+TEST(Variant, MostlyHasFlagMajorityVote)
+{
+    Variant v;
+    v.producers = {FlagSet(0b001), FlagSet(0b011), FlagSet(0b100)};
+    EXPECT_TRUE(v.mostlyHasFlag(0));  // 2 of 3
+    EXPECT_FALSE(v.mostlyHasFlag(1)); // 1 of 3
+    EXPECT_FALSE(v.mostlyHasFlag(2)); // 1 of 3
+    // Exactly half counts as "mostly" (ties keep the seed behaviour).
+    v.producers = {FlagSet(0b10), FlagSet(0b00)};
+    EXPECT_TRUE(v.mostlyHasFlag(1));
+}
+
 } // namespace
 } // namespace gsopt::tuner
