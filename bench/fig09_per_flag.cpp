@@ -45,5 +45,17 @@ main()
         "on Qualcomm (-8%% case). FP-Reassociate has positive means\n"
         "everywhere except ARM. Hoist has pathological slow-down cases "
         "on every desktop\nplatform. ADCE is exactly zero.\n");
+    if (tuner::flagCount() > 8) {
+        std::printf(
+            "\nCatalog rows (beyond the paper's eight): LICM and Tex "
+            "Batch pay on the\nmobile parts (no JIT unroll budget to "
+            "hide behind, no JIT GVN to dedup\nfetches); Strength "
+            "Reduce's pow->multiply chains pay everywhere a\n"
+            "transcendental unit is slower than the MAD pipe.\n");
+    } else {
+        std::printf(
+            "\nSet GSOPT_EXTRA_PASSES=all to add the catalog passes "
+            "(licm,\nstrength_reduce, tex_batch) as extra rows.\n");
+    }
     return 0;
 }

@@ -16,6 +16,13 @@
  * family's campaign-best flags, which pulls in the cached campaign
  * to build the prior).
  *
+ * The tool is registry-sized: set GSOPT_EXTRA_PASSES=all (or a
+ * comma list of licm, strength_reduce, tex_batch) to run the same
+ * comparison over the widened 11-pass / 2048-combination space — the
+ * exhaustive row's measurement bill grows with the unique-variant
+ * count while the model-guided strategies keep their small budgets,
+ * which is the point of having them.
+ *
  * Build & run:  ./build/example_search_strategies [shader ...]
  */
 #include <cstdio>
@@ -51,6 +58,15 @@ main(int argc, char **argv)
         names = {"blur/weighted9", "ssao/kernel16", "pbr/full",
                  "godrays/march32", "tier/dual_heavy"};
     }
+
+    std::printf("Flag space: %zu registered passes, %llu combinations"
+                "%s\n\n",
+                tuner::flagCount(),
+                static_cast<unsigned long long>(tuner::comboCount()),
+                tuner::flagCount() > 8
+                    ? " (extra passes registered)"
+                    : " (set GSOPT_EXTRA_PASSES=all for the full "
+                      "catalog)");
 
     // The transfer strategy seeds from the campaign's per-family best
     // flags; building the prior loads (or runs) the cached campaign.

@@ -378,6 +378,49 @@ void main() {
 }
 )";
 
+/**
+ * The "careless re-fetch" composite übershader: production UI/post
+ * stacks routinely sample the same texel again on every branch path
+ * instead of threading the first fetch through. Block-local CSE cannot
+ * see across the arms, `hoist` refuses arms containing texture ops, so
+ * only a dominance-scoped fetch batcher (tex_batch) or full GVN
+ * recovers the duplicate issues; the FOG variant re-fetches inside a
+ * constant-trip loop, which licm and tex_batch can each lift.
+ */
+const char *kCompositeUber = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D scene;
+uniform sampler2D overlay;
+uniform float blend;
+uniform float threshold;
+void main() {
+    vec3 base = texture(scene, uv).rgb;
+    float lum = dot(base, vec3(0.299, 0.587, 0.114));
+    vec3 result = base;
+    if (lum > threshold) {
+        vec3 hot = texture(scene, uv).rgb * (1.0 + blend);
+        result = hot + texture(overlay, uv).rgb * 0.25;
+    } else {
+        vec3 cool = texture(scene, uv).rgb * 0.85;
+        result = cool + texture(overlay, uv).rgb * blend;
+    }
+#ifdef HDR
+    vec3 mapped = result / (result + vec3(1.0));
+    result = pow(mapped, vec3(2.0));
+#endif
+#ifdef FOG
+    float fog = 0.0;
+    for (int i = 0; i < 12; i++) {
+        float depth = texture(scene, uv).a;
+        fog += depth * 0.04 + float(i) * 0.001;
+    }
+    result = result * (1.0 - fog * 0.5) + vec3(fog * 0.08);
+#endif
+    fragColor = vec4(result, 1.0);
+}
+)";
+
 } // namespace
 
 void
@@ -430,6 +473,13 @@ addPostProcessFamilies(std::vector<CorpusShader> &out)
     out.push_back(make("post", "chromatic", kChromatic));
     out.push_back(make("post", "film_grain", kFilmGrain));
     out.push_back(make("post", "sharpen", kSharpen));
+
+    // composite übershader family (careless re-fetch pattern)
+    out.push_back(make("composite", "ldr", kCompositeUber));
+    out.push_back(make("composite", "hdr", kCompositeUber,
+                       {{"HDR", ""}}));
+    out.push_back(make("composite", "hdr_fog", kCompositeUber,
+                       {{"HDR", ""}, {"FOG", ""}}));
 }
 
 } // namespace gsopt::corpus

@@ -390,6 +390,13 @@ class MapInterpreter
             if (out.size() == 1 && want > 1)
                 out.assign(want, out[0]);
             out.resize(want, 0.0);
+            // Construct doubles as the conversion op: int(x) truncates
+            // toward zero (matching the constant folder, which keeps
+            // all int-typed lanes integral).
+            if (i.type.isInt()) {
+                for (double &d : out)
+                    d = std::trunc(d);
+            }
             set(std::move(out));
             break;
           }
@@ -1054,6 +1061,11 @@ class SlotInterpreter
             } else {
                 out = tmp;
                 out.resize(want, 0.0);
+            }
+            // int(x) truncates toward zero (see the reference engine).
+            if (i.type.isInt()) {
+                for (size_t k = 0; k < out.size(); ++k)
+                    out[k] = std::trunc(out[k]);
             }
             break;
           }

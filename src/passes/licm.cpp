@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Loop-invariant code motion. Generalizes what the paper's pipeline can
+ * only get indirectly (unroll + CSE collapsing per-iteration
+ * recomputations): whole invariant expression *trees* in the top-level
+ * straight-line blocks of a canonical constant-trip loop body move to a
+ * preheader block in front of the loop — including loops `unroll`
+ * declines (trip count or body size over budget), which is where the
+ * pass earns its keep, because there the recomputation really runs
+ * every iteration on every device.
+ *
+ * Safety argument: a canonical loop with tripCount() >= 1 executes its
+ * body top level at least once, so moving a *pure* instruction to the
+ * preheader never executes anything the original program would not
+ * have executed — this is motion, not speculation (which is why
+ * texture fetches qualify here but not in `hoist`, whose if-arms may
+ * never run). Loads qualify when nothing inside the loop stores their
+ * variable; instructions nested in ifs or inner loops never move
+ * (conditional execution).
+ */
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/walk.h"
+#include "passes/passes.h"
+
+namespace gsopt::passes {
+
+using ir::Block;
+using ir::dyn_cast;
+using ir::IfNode;
+using ir::Instr;
+using ir::LoopNode;
+using ir::Module;
+using ir::NodePtr;
+using ir::Opcode;
+using ir::Region;
+using ir::Var;
+
+namespace {
+
+/** Vars written anywhere inside the loop (body + cond region), plus
+ * the counter: loads of any of these vary per iteration. */
+std::unordered_set<const Var *>
+variantVars(const LoopNode &loop)
+{
+    std::unordered_set<const Var *> stored;
+    auto collect = [&stored](const Region &r) {
+        ir::forEachInstr(r, [&stored](const Instr &i) {
+            if (i.op == Opcode::StoreVar || i.op == Opcode::StoreElem)
+                stored.insert(i.var);
+        });
+    };
+    collect(loop.body);
+    collect(loop.condRegion);
+    if (loop.counter)
+        stored.insert(loop.counter);
+    return stored;
+}
+
+/**
+ * The instructions licm would move out of @p loop, in structural
+ * order. An instruction is invariant when it is pure, its loads (if
+ * any) reference variables the loop never stores, and every operand is
+ * either itself invariant or defined before the loop. Only the body's
+ * top-level blocks participate: the SSA visibility rule means their
+ * operands can only be top-level body values (tracked in @p status) or
+ * pre-loop values (absent from it).
+ */
+std::vector<const Instr *>
+invariantInstrs(const LoopNode &loop)
+{
+    const std::unordered_set<const Var *> stored = variantVars(loop);
+    std::unordered_map<const Instr *, bool> status;
+    std::vector<const Instr *> hoistable;
+    for (const auto &node : loop.body.nodes) {
+        const auto *b = dyn_cast<Block>(node.get());
+        if (!b)
+            continue;
+        for (const Instr *i : b->instrs) {
+            bool inv = !ir::hasSideEffects(i->op);
+            if ((i->op == Opcode::LoadVar ||
+                 i->op == Opcode::LoadElem) &&
+                stored.count(i->var))
+                inv = false;
+            if (inv) {
+                for (const Instr *op : i->operands) {
+                    auto it = status.find(op);
+                    if (it != status.end() && !it->second) {
+                        inv = false;
+                        break;
+                    }
+                }
+            }
+            status.emplace(i, inv);
+            if (inv)
+                hoistable.push_back(i);
+        }
+    }
+    // A loop whose only invariants are constants has nothing worth
+    // moving: the printer renders constants inline, so "hoisting" them
+    // is pure churn. (When real computation moves, its constant
+    // operands must move too for SSA order, so the all-or-nothing test
+    // is on the whole list.)
+    bool non_trivial = false;
+    for (const Instr *i : hoistable)
+        non_trivial |= i->op != Opcode::Const;
+    if (!non_trivial)
+        hoistable.clear();
+    return hoistable;
+}
+
+bool
+licmRegion(Region &region, Module &module)
+{
+    bool changed = false;
+    std::vector<NodePtr> result;
+    for (auto &node : region.nodes) {
+        if (auto *f = dyn_cast<IfNode>(node.get())) {
+            changed |= licmRegion(f->thenRegion, module);
+            changed |= licmRegion(f->elseRegion, module);
+            result.push_back(std::move(node));
+            continue;
+        }
+        auto *loop = dyn_cast<LoopNode>(node.get());
+        if (!loop) {
+            result.push_back(std::move(node));
+            continue;
+        }
+        // Inner loops first: their preheaders land in this loop's body
+        // as ordinary top-level blocks, so fully invariant trees bubble
+        // all the way out of a nest.
+        changed |= licmRegion(loop->body, module);
+        changed |= licmRegion(loop->condRegion, module);
+
+        // Motion (not speculation) needs a guaranteed first iteration.
+        if (!loop->canonical || loop->tripCount() < 1) {
+            result.push_back(std::move(node));
+            continue;
+        }
+        const std::vector<const Instr *> hoistable =
+            invariantInstrs(*loop);
+        if (hoistable.empty()) {
+            result.push_back(std::move(node));
+            continue;
+        }
+
+        std::unordered_set<const Instr *> moving(hoistable.begin(),
+                                                 hoistable.end());
+        auto preheader = std::make_unique<Block>();
+        for (const Instr *i : hoistable)
+            preheader->instrs.push_back(const_cast<Instr *>(i));
+        for (auto &inner : loop->body.nodes) {
+            if (auto *b = dyn_cast<Block>(inner.get())) {
+                std::vector<Instr *> kept;
+                kept.reserve(b->instrs.size());
+                for (Instr *i : b->instrs) {
+                    if (!moving.count(i))
+                        kept.push_back(i);
+                }
+                b->instrs = std::move(kept);
+            }
+        }
+        // Preheader values stay visible inside the loop body (values
+        // defined before a loop are in scope throughout it), so the
+        // remaining body uses need no rewriting.
+        result.push_back(std::move(preheader));
+        result.push_back(std::move(node));
+        changed = true;
+    }
+    region.nodes = std::move(result);
+    return changed;
+}
+
+} // namespace
+
+bool
+licm(Module &module)
+{
+    bool changed = licmRegion(module.body, module);
+    if (changed)
+        ir::simplifyRegionStructure(module.body);
+    return changed;
+}
+
+size_t
+licmHoistableCount(const ir::Module &module)
+{
+    size_t count = 0;
+    // Counts per-loop at the current nesting only: the mutating pass
+    // would migrate inner-loop invariants outward and re-qualify them,
+    // but as a profitability *feature* the first-level count is the
+    // signal that matters (nonzero == the pass has work).
+    std::function<void(const Region &)> walk =
+        [&](const Region &region) {
+            for (const auto &node : region.nodes) {
+                if (const auto *f = dyn_cast<IfNode>(node.get())) {
+                    walk(f->thenRegion);
+                    walk(f->elseRegion);
+                } else if (const auto *l =
+                               dyn_cast<LoopNode>(node.get())) {
+                    walk(l->body);
+                    walk(l->condRegion);
+                    if (l->canonical && l->tripCount() >= 1)
+                        count += invariantInstrs(*l).size();
+                }
+            }
+        };
+    walk(module.body);
+    return count;
+}
+
+} // namespace gsopt::passes

@@ -70,6 +70,53 @@ bool fpReassociate(ir::Module &module);
  * its reciprocal (unsafe). */
 bool divToMul(ir::Module &module);
 
+// -- registered extras beyond the paper's eight --------------------------
+// These ship in the extra-pass catalog (passes/registry.h): not part of
+// the default registration, so the paper's 256-combination space — and
+// every golden campaign byte — stays intact until a caller opts in.
+
+/**
+ * Loop-invariant code motion: move whole invariant expression trees
+ * out of canonical constant-trip loops (trip count >= 1, so this is
+ * motion, never speculation — texture fetches qualify) into a
+ * preheader block. Fires exactly where `unroll` declines: over-budget
+ * trip counts or body sizes.
+ */
+bool licm(ir::Module &module);
+
+/** Instructions licm would hoist, without mutating (analysis only;
+ * the profitability feature hook in tuner/features.cpp). */
+size_t licmHoistableCount(const ir::Module &module);
+
+/**
+ * Integer/index strength reduction: pow(x, small const int) becomes a
+ * multiply chain, integer multiplies by 2/4/8 become doubling add
+ * chains (the IR's shift-equivalent lane ops), and integer
+ * x*c1 + x*c2 / x*c + x index arithmetic refolds into one multiply.
+ */
+bool strengthReduce(ir::Module &module);
+
+/**
+ * Texture-fetch batching: dominance-scoped value numbering restricted
+ * to the fetch class (texture ops + read-only varying/uniform/
+ * const-array loads), collapsing same-sampler same-coordinate fetches
+ * across block boundaries onto one fetch with lane extracts. The
+ * targeted subset of GVN that pays on the mobile parts whose driver
+ * JITs run no GVN of their own.
+ */
+bool texBatch(ir::Module &module);
+
+/** tex_batch's fetch class: ops whose value is a pure function of
+ * read-only state and their operands (texture ops + read-only loads).
+ * Shared with the tuner's dupFetches feature so the profitability
+ * signal and the pass agree on what a fetch is. */
+bool isFetchOp(const ir::Instr &instr);
+
+/** tex_batch's fetch identity key (op, type, operands, var, indices).
+ * Two fetches with equal keys compute the same value on any path
+ * where both execute. */
+std::string fetchKey(const ir::Instr &instr);
+
 // -- driver-side scheduling ----------------------------------------------
 
 /**

@@ -15,6 +15,7 @@
 
 #include "passes/passes.h"
 #include "support/rng.h"
+#include "support/strings.h"
 
 namespace gsopt::passes {
 
@@ -35,6 +36,66 @@ registryDie(const char *what)
 }
 
 } // namespace
+
+const std::vector<PassDescriptor> &
+extraPassCatalog()
+{
+    // Stage contract: like the built-ins, each apply() carries the
+    // trailing canonicalisation so the prefix-sharing combination tree
+    // replays exactly what optimize() does.
+    static const std::vector<PassDescriptor> catalog = [] {
+        std::vector<PassDescriptor> c;
+        PassDescriptor d;
+        d.id = "licm";
+        d.name = "LICM";
+        d.apply = [](ir::Module &m) {
+            licm(m);
+            canonicalize(m);
+        };
+        c.push_back(d);
+        d.id = "strength_reduce";
+        d.name = "Strength Reduce";
+        d.apply = [](ir::Module &m) {
+            strengthReduce(m);
+            canonicalize(m);
+        };
+        c.push_back(d);
+        d.id = "tex_batch";
+        d.name = "Tex Batch";
+        d.apply = [](ir::Module &m) {
+            texBatch(m);
+            canonicalize(m);
+        };
+        c.push_back(d);
+        return c;
+    }();
+    return catalog;
+}
+
+int
+registerExtraPass(const std::string &id)
+{
+    for (const PassDescriptor &d : extraPassCatalog()) {
+        if (d.id == id)
+            return PassRegistry::instance().add(d.id, d.name, d.apply);
+    }
+    return -1;
+}
+
+ScopedExtraPasses::ScopedExtraPasses()
+{
+    PassRegistry &reg = PassRegistry::instance();
+    for (const PassDescriptor &d : extraPassCatalog()) {
+        if (reg.bitOf(d.id) < 0)
+            bits_.push_back(reg.add(d.id, d.name, d.apply));
+    }
+}
+
+ScopedExtraPasses::~ScopedExtraPasses()
+{
+    for (auto it = bits_.rbegin(); it != bits_.rend(); ++it)
+        PassRegistry::instance().remove(*it);
+}
 
 PassRegistry::PassRegistry()
 {
@@ -114,6 +175,58 @@ PassRegistry::PassRegistry()
         d.bit = static_cast<int>(passes_.size());
         d.position = b.position;
         passes_.push_back(std::move(d));
+    }
+    // GSOPT_EXTRA_PASSES: opt-in start-up registration of catalog
+    // passes ("licm,tex_batch" or "all"). Registered inline — not via
+    // add() — because this runs inside instance()'s static
+    // construction. Unknown names die loudly: a typo silently running
+    // the 256-combination space would invalidate whatever experiment
+    // asked for the wider one.
+    if (const char *env = std::getenv("GSOPT_EXTRA_PASSES")) {
+        // Tokenise: comma-separated, whitespace-trimmed, empty tokens
+        // (trailing commas) skipped, duplicates harmless.
+        std::vector<std::string> tokens;
+        for (const std::string &raw : split(env, ',')) {
+            std::string tok(trim(raw));
+            if (!tok.empty())
+                tokens.push_back(std::move(tok));
+        }
+        auto in_catalog = [](const std::string &id) {
+            for (const PassDescriptor &d : extraPassCatalog()) {
+                if (d.id == id)
+                    return true;
+            }
+            return false;
+        };
+        bool all = false;
+        for (const std::string &tok : tokens) {
+            if (tok == "all") {
+                all = true;
+            } else if (!in_catalog(tok)) {
+                std::fprintf(stderr,
+                             "PassRegistry: GSOPT_EXTRA_PASSES names "
+                             "'%s', not in the extra-pass catalog\n",
+                             tok.c_str());
+                std::abort();
+            }
+        }
+        auto wanted = [&](const std::string &id) {
+            if (all)
+                return true;
+            for (const std::string &tok : tokens) {
+                if (tok == id)
+                    return true;
+            }
+            return false;
+        };
+        for (const PassDescriptor &extra : extraPassCatalog()) {
+            if (!wanted(extra.id))
+                continue;
+            PassDescriptor d = extra;
+            d.bit = static_cast<int>(passes_.size());
+            d.position = static_cast<int>(passes_.size());
+            passes_.push_back(std::move(d));
+        }
     }
     rebuildPipeline();
 }

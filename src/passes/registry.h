@@ -108,6 +108,25 @@ class PassRegistry
 };
 
 /**
+ * The catalog of shippable passes beyond the built-in eight: licm,
+ * strength_reduce, tex_batch (ISSUE 5 / ROADMAP "New registered
+ * passes"). Catalogued, not registered — the default space stays the
+ * paper's 256 combinations and every golden campaign byte holds.
+ * Register them with ScopedExtraPasses (tests, benches), by id via
+ * registerExtraPass (applications), or process-wide with the
+ * GSOPT_EXTRA_PASSES environment variable ("licm,tex_batch" or "all"),
+ * which the registry reads once at start-up — the knob the CI
+ * examples-smoke job uses to run the shipped examples in a widened
+ * space without code changes.
+ */
+const std::vector<PassDescriptor> &extraPassCatalog();
+
+/** Register catalog pass @p id (appended to the pipeline, stage
+ * contract included). Returns its bit, or -1 if @p id is not in the
+ * catalog. Aborts on duplicate registration like PassRegistry::add. */
+int registerExtraPass(const std::string &id);
+
+/**
  * RAII registration for tests and experiments: registers a pass on
  * construction, retires it on destruction. Nest in LIFO order.
  */
@@ -130,6 +149,29 @@ class ScopedPass
 
   private:
     int bit_;
+};
+
+/**
+ * RAII registration of every catalog pass not already registered (the
+ * GSOPT_EXTRA_PASSES env knob may have claimed some at start-up);
+ * removes its own registrations in LIFO order on destruction. The
+ * one-liner that takes a test or bench from the paper's 8-pass space
+ * to the full 11-pass space.
+ */
+class ScopedExtraPasses
+{
+  public:
+    ScopedExtraPasses();
+    ~ScopedExtraPasses();
+    ScopedExtraPasses(const ScopedExtraPasses &) = delete;
+    ScopedExtraPasses &operator=(const ScopedExtraPasses &) = delete;
+
+    /** Bits this scope registered (catalog passes already present at
+     * construction are not re-registered and not listed). */
+    const std::vector<int> &bits() const { return bits_; }
+
+  private:
+    std::vector<int> bits_;
 };
 
 } // namespace gsopt::passes

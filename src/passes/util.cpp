@@ -355,7 +355,11 @@ foldConstInstr(const Instr &instr)
             out.assign(want, out[0]); // splat
         if (out.size() != want)
             return std::nullopt;
-        return out;
+        // int(x) truncates toward zero (GLSL 4.4.0 §4.1.10). Construct
+        // is also the IR's conversion op, so this is where fractional
+        // values must die: the interpreter truncates here too, and the
+        // int-arithmetic wrap_int below only ever sees integral lanes.
+        return wrap_int(std::move(out));
       }
       case Opcode::Extract:
         return std::vector<double>{

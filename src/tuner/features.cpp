@@ -1,11 +1,15 @@
 #include "tuner/features.h"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "emit/offline.h"
 #include "ir/walk.h"
 #include "passes/passes.h"
+#include "passes/util.h"
 
 namespace gsopt::tuner {
 
@@ -29,6 +33,7 @@ computeFeatures(const std::string &preprocessed)
             ++f.branches;
         }
     });
+    std::unordered_map<std::string, int> fetchShapes;
     ir::forEachInstr(module->body, [&](const ir::Instr &i) {
         switch (i.op) {
           case ir::Opcode::Texture:
@@ -40,10 +45,32 @@ computeFeatures(const std::string &preprocessed)
             if (i.operands[1]->op == ir::Opcode::Const)
                 f.hasConstDiv = true;
             break;
+          case ir::Opcode::Pow:
+            if (auto e = passes::splatConstValue(i.operands[1])) {
+                if (*e == std::nearbyint(*e) && *e >= 0.0 && *e <= 4.0)
+                    ++f.powConstChains;
+            }
+            break;
+          case ir::Opcode::Mul:
+            if (i.type.isInt() && i.type.isScalar()) {
+                for (const ir::Instr *op : i.operands) {
+                    auto c = passes::splatConstValue(op);
+                    if (c && (*c == 2.0 || *c == 4.0 || *c == 8.0)) {
+                        ++f.intMulPow2;
+                        break;
+                    }
+                }
+            }
+            break;
           default:
             break;
         }
+        // Same fetch class and identity key as tex_batch itself, so
+        // the profitability signal cannot drift from the pass.
+        if (passes::isFetchOp(i))
+            f.dupFetches += fetchShapes[passes::fetchKey(i)]++ > 0;
     });
+    f.loopInvariantInstrs = passes::licmHoistableCount(*module);
     return f;
 }
 

@@ -34,6 +34,20 @@ struct ShaderFeatures
     int branches = 0;          ///< structured if nodes
     bool hasConstDiv = false;  ///< any divide by a constant
     size_t instrs = 0;         ///< whole-body instruction count
+
+    // -- fodder for the catalog passes (passes/registry.h) -------------
+    /** Instructions licm would hoist out of constant-trip loops. */
+    size_t loopInvariantInstrs = 0;
+    /** pow(x, k) sites with a small constant integer exponent
+     * (strength_reduce's multiply-chain fodder). */
+    int powConstChains = 0;
+    /** Integer multiplies by power-of-two constants (2/4/8). */
+    int intMulPow2 = 0;
+    /** Fetch ops (texture / read-only load) whose
+     * (op, var, operands) shape repeats elsewhere in the body —
+     * tex_batch's batching fodder. Counted module-wide, so it bounds
+     * (rather than equals) what dominance-scoped batching removes. */
+    int dupFetches = 0;
 };
 
 /** Compute features of preprocessed GLSL text (übershader predefines

@@ -1,5 +1,7 @@
 #include "tuner/predict.h"
 
+#include "passes/registry.h"
+
 namespace gsopt::tuner {
 
 namespace {
@@ -47,6 +49,34 @@ predictFlags(gpu::DeviceId device, const ShaderFeatures &f)
         flags = flags.with(kHoist);
     // Coalesce is near-free and helps the vec4 machine.
     flags = flags.with(kCoalesce);
+
+    // -- catalog passes, when registered (bits beyond the paper's 8) --
+    // The rules read the device's JIT model rather than hard-coding
+    // vendors: what a driver already does offline work cannot improve.
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    const gpu::DeviceModel &dm = gpu::deviceModel(device);
+    // LICM pays where the loop actually survives to execution: the
+    // driver never unrolls it (no JIT unroll, or over its budget), so
+    // the invariant subtree really recomputes every trip.
+    const int licmBit = reg.bitOf("licm");
+    if (licmBit >= 0 && f.loopInvariantInstrs > 0 &&
+        (!dm.jitFlags.unroll ||
+         unrolledSize(f) > dm.jitUnrollInstrs))
+        flags = flags.with(licmBit);
+    // Strength reduction: a pow->multiply chain trades a
+    // transcendental-unit op for add/mul-class ops on every model;
+    // integer multiply chains only matter where no JIT reassociation
+    // cleans up index arithmetic anyway.
+    const int srBit = reg.bitOf("strength_reduce");
+    if (srBit >= 0 &&
+        (f.powConstChains > 0 ||
+         (f.intMulPow2 > 0 && !dm.jitFlags.reassociate)))
+        flags = flags.with(srBit);
+    // Fetch batching is the mobile win: the tile-based parts run no
+    // JIT GVN, so a cross-block duplicate fetch really issues twice.
+    const int tbBit = reg.bitOf("tex_batch");
+    if (tbBit >= 0 && f.dupFetches > 0 && !dm.jitFlags.gvn)
+        flags = flags.with(tbBit);
     return flags;
 }
 

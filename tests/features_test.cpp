@@ -10,6 +10,7 @@
 
 #include "corpus/corpus.h"
 #include "glsl/frontend.h"
+#include "passes/registry.h"
 #include "tuner/explore.h"
 #include "tuner/features.h"
 #include "tuner/predict.h"
@@ -97,6 +98,56 @@ TEST(Features, PredictionIsDeterministicPerDevice)
         predictFlags(gpu::DeviceId::Arm, f).has(kFpReassociate));
     EXPECT_TRUE(
         predictFlags(gpu::DeviceId::Amd, f).has(kFpReassociate));
+}
+
+TEST(Features, CatalogPassFodderFields)
+{
+    // The careless-re-fetch composite family carries every construct
+    // class the catalog passes rewrite.
+    const ShaderFeatures comp = featuresOfShader("composite/hdr_fog");
+    EXPECT_EQ(comp.loopInvariantInstrs, 5u); // loop-constant fetch tree
+    EXPECT_EQ(comp.powConstChains, 1);       // pow(mapped, vec3(2.0))
+    EXPECT_EQ(comp.dupFetches, 5);           // scene/overlay re-fetches
+    EXPECT_EQ(comp.intMulPow2, 0);
+
+    const ShaderFeatures blur = featuresOfShader("blur/weighted9");
+    EXPECT_EQ(blur.loopInvariantInstrs, 3u);
+    EXPECT_EQ(blur.dupFetches, 0);
+
+    const ShaderFeatures dither = featuresOfShader("intmath/dither4x4");
+    EXPECT_EQ(dither.intMulPow2, 1);
+}
+
+TEST(Predict, CatalogRulesAreRegistrationGatedAndPerDevice)
+{
+    const ShaderFeatures comp = featuresOfShader("composite/hdr_fog");
+
+    // Unregistered catalog passes must never appear in a prediction:
+    // the default 8-bit space stays exactly the paper's.
+    EXPECT_EQ(predictFlags(gpu::DeviceId::Arm, comp).bits >> 8, 0u);
+
+    passes::ScopedExtraPasses extras;
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    const int licm = reg.bitOf("licm");
+    const int sr = reg.bitOf("strength_reduce");
+    const int tb = reg.bitOf("tex_batch");
+
+    // Fetch batching only where no JIT GVN dedups fetches anyway
+    // (the tile-based mobile parts).
+    EXPECT_TRUE(predictFlags(gpu::DeviceId::Arm, comp).has(tb));
+    EXPECT_TRUE(predictFlags(gpu::DeviceId::Qualcomm, comp).has(tb));
+    EXPECT_FALSE(predictFlags(gpu::DeviceId::Nvidia, comp).has(tb));
+    EXPECT_FALSE(predictFlags(gpu::DeviceId::Intel, comp).has(tb));
+
+    // LICM only where the driver won't unroll the loop away itself.
+    EXPECT_TRUE(predictFlags(gpu::DeviceId::Arm, comp).has(licm));
+    EXPECT_TRUE(predictFlags(gpu::DeviceId::Amd, comp).has(licm));
+    EXPECT_FALSE(predictFlags(gpu::DeviceId::Nvidia, comp).has(licm));
+
+    // pow fodder pays on every transcendental unit.
+    for (gpu::DeviceId id : gpu::allDevices())
+        EXPECT_TRUE(predictFlags(id, comp).has(sr))
+            << gpu::deviceVendor(id);
 }
 
 } // namespace

@@ -3,27 +3,59 @@
  * Randomised property tests: a seeded generator produces random (but
  * well-typed) fragment shaders, and every one of them must
  *
- *   1. survive the full optimization pipeline under ALL 256 flag
- *      combinations with identical semantics (vs the reference
- *      interpreter), and
- *   2. round-trip through the GLSL back end into the driver path.
+ *   1. survive the full optimization pipeline under EVERY flag
+ *      combination of the FULL pass registry — the built-in eight plus
+ *      the whole extra-pass catalog (licm, strength_reduce, tex_batch),
+ *      2048 combinations by default — with identical semantics vs the
+ *      reference interpretation of the unoptimised shader,
+ *   2. interpret bit-identically on the slot-indexed engine and the
+ *      map-based `interpretReference` golden engine for every distinct
+ *      optimised module, and
+ *   3. round-trip through the GLSL back end into the driver path
+ *      (emit, re-parse, re-interpret) for every distinct variant.
  *
  * The generator favours the constructs the passes rewrite: additive and
  * multiplicative chains with shared subterms, constant divisions,
- * component writes, branchy assignments, and constant-trip loops.
+ * component writes, branchy assignments, constant-trip loops — and the
+ * catalog-pass fodder: nested constant-trip loops with invariant
+ * subtrees (including trip counts `unroll` declines), pow-by-small-int
+ * and integer multiply/index chains, and duplicate texture fetches
+ * across block boundaries.
+ *
+ * The walk uses the memoized combination tree and checks each module
+ * once per distinct structural fingerprint, so depth scales with the
+ * number of *distinct* variants, not 2^N. Seed count comes from the
+ * GSOPT_FUZZ_ITERS environment knob: the tier-1 default stays small;
+ * the nightly CI job runs the 200+ the acceptance bar asks for.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <unordered_set>
 
+#include "emit/emit.h"
 #include "emit/offline.h"
 #include "ir/interp.h"
 #include "lower/lower.h"
+#include "passes/registry.h"
 #include "support/rng.h"
 
 namespace gsopt {
 namespace {
+
+/** Seeds to fuzz: GSOPT_FUZZ_ITERS, defaulting to a quick tier-1 run. */
+int
+fuzzSeedCount()
+{
+    if (const char *env = std::getenv("GSOPT_FUZZ_ITERS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 12;
+}
 
 /** Emit a random float expression over the in-scope float scalars. */
 std::string
@@ -46,7 +78,7 @@ randomScalarExpr(Rng &rng, const std::vector<std::string> &scalars,
     }
     std::string a = randomScalarExpr(rng, scalars, depth - 1);
     std::string b = randomScalarExpr(rng, scalars, depth - 1);
-    switch (rng.below(8)) {
+    switch (rng.below(9)) {
       case 0:
         return "(" + a + " + " + b + ")";
       case 1:
@@ -66,6 +98,14 @@ randomScalarExpr(Rng &rng, const std::vector<std::string> &scalars,
         return "max(" + a + ", " + b + ")";
       case 6:
         return "(" + a + " + " + b + " - " + a + ")"; // cancellation
+      case 7: {
+        // pow by a small constant integer exponent (strength_reduce
+        // fodder); the base is kept positive so the reference and the
+        // multiply chain agree away from pow's undefined region.
+        const int k = 2 + static_cast<int>(rng.below(3));
+        return "pow(abs(" + a + ") + 0.5, " + std::to_string(k) +
+               ".0)";
+      }
       default:
         return "(" + a + " * 1.0 + 0.0)"; // identity fodder
     }
@@ -95,13 +135,56 @@ randomShader(uint64_t seed)
         scalars.push_back(name);
     }
 
-    // Maybe a constant-trip loop accumulating a chain.
+    // Maybe a duplicate texture fetch pair: one dominating fetch plus
+    // a re-fetch of the same coordinates later (and, below, possibly
+    // one more inside a branch or loop) — tex_batch fodder that
+    // block-local CSE cannot reach.
+    const bool dup_fetch = rng.below(2) == 0;
+    if (dup_fetch) {
+        os << "    vec4 t0 = texture(tex, uv);\n";
+        scalars.push_back("t0.x");
+        scalars.push_back("t0.w");
+    }
+
+    // Maybe an integer strength-reduction chain: int scaling by small
+    // and power-of-two factors plus an index-style refold.
     if (rng.below(2) == 0) {
-        const int trips = 2 + static_cast<int>(rng.below(6));
+        const int f1 = 2 + static_cast<int>(rng.below(4)); // 2..5
+        const int f2 = 1 + static_cast<int>(rng.below(4)); // 1..4
+        os << "    int q = int(" << scalars[rng.below(scalars.size())]
+           << " * 8.0 + 9.0);\n";
+        os << "    int qr = q * " << f1 << " + q * " << f2 << ";\n";
+        os << "    int qs = q * " << (rng.below(2) ? 4 : 2) << ";\n";
+        os << "    float qf = float(qr + qs) * 0.03;\n";
+        scalars.push_back("qf");
+    }
+
+    // Maybe a constant-trip loop accumulating a chain, with an
+    // invariant subtree (licm fodder). Half the time the trip count is
+    // over unroll's 64-trip budget — the loops unroll declines are
+    // exactly where licm must hold its own.
+    if (rng.below(3) != 0) {
+        const int trips =
+            rng.below(2) == 0
+                ? 2 + static_cast<int>(rng.below(6))
+                : 66 + static_cast<int>(rng.below(24));
         os << "    float acc = 0.0;\n";
         os << "    for (int i = 0; i < " << trips << "; i++) {\n";
-        os << "        acc += " << randomScalarExpr(rng, scalars, 2)
-           << " * float(i + 1);\n";
+        os << "        float inv = "
+           << randomScalarExpr(rng, scalars, 2) << ";\n";
+        if (dup_fetch && rng.below(2) == 0)
+            os << "        inv = inv + texture(tex, uv).y;\n";
+        os << "        acc += " << randomScalarExpr(rng, scalars, 1)
+           << " * float(i + 1) + inv;\n";
+        // Maybe nest a small inner loop with its own invariant.
+        if (rng.below(2) == 0) {
+            const int inner = 2 + static_cast<int>(rng.below(4));
+            os << "        for (int j = 0; j < " << inner
+               << "; j++) {\n";
+            os << "            acc += inv * 0.125 + float(j) * "
+               << "0.0625;\n";
+            os << "        }\n";
+        }
         os << "    }\n";
         scalars.push_back("acc");
     }
@@ -111,8 +194,10 @@ randomShader(uint64_t seed)
         os << "    float branchy = 0.25;\n";
         os << "    if (" << scalars[rng.below(scalars.size())]
            << " > 0.4) {\n";
-        os << "        branchy = " << randomScalarExpr(rng, scalars, 2)
-           << ";\n";
+        os << "        branchy = " << randomScalarExpr(rng, scalars, 2);
+        if (dup_fetch)
+            os << " + texture(tex, uv).z";
+        os << ";\n";
         os << "    } else {\n";
         os << "        branchy = " << randomScalarExpr(rng, scalars, 2)
            << ";\n";
@@ -137,8 +222,13 @@ class RandomShader : public ::testing::TestWithParam<int>
 {
 };
 
-TEST_P(RandomShader, All256CombosPreserveSemantics)
+TEST_P(RandomShader, FullRegistryTreePreservesSemantics)
 {
+    // The full registry: built-ins plus every catalog pass.
+    passes::ScopedExtraPasses extras;
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    ASSERT_GE(reg.count(), 11u);
+
     const uint64_t seed = 0xf00dULL + static_cast<uint64_t>(GetParam());
     const std::string src = randomShader(seed);
 
@@ -152,48 +242,94 @@ TEST_P(RandomShader, All256CombosPreserveSemantics)
         env.uniforms["gain"] = {1.25};
         envs.push_back(std::move(env));
     }
+    // Ground truth: the golden map-based engine on the unoptimised IR.
     std::vector<ir::InterpResult> want;
     for (const auto &env : envs)
-        want.push_back(ir::interpret(*reference, env));
+        want.push_back(ir::interpretReference(*reference, env));
 
-    for (int bits = 0; bits < 256; ++bits) {
-        passes::OptFlags flags;
-        flags.adce = bits & 1;
-        flags.coalesce = bits & 2;
-        flags.gvn = bits & 4;
-        flags.reassociate = bits & 8;
-        flags.unroll = bits & 16;
-        flags.hoist = bits & 32;
-        flags.fpReassociate = bits & 64;
-        flags.divToMul = bits & 128;
-
-        // Full text round trip: optimize, emit, re-parse (driver path).
-        std::string text = emit::optimizeShaderSource(src, flags);
-        auto reparsed = emit::compileToIr(text);
-
+    auto check_against_reference = [&](const ir::Module &module,
+                                       const char *what) {
         for (size_t e = 0; e < envs.size(); ++e) {
-            auto got = ir::interpret(*reparsed, envs[e]);
+            const auto got = ir::interpret(module, envs[e]);
             for (const auto &[name, lanes] : want[e].outputs) {
                 const auto &g = got.outputs.at(name);
                 ASSERT_EQ(g.size(), lanes.size());
                 for (size_t k = 0; k < lanes.size(); ++k) {
                     ASSERT_NEAR(g[k], lanes[k],
                                 1e-6 * (1.0 + std::fabs(lanes[k])))
-                        << "seed " << seed << " flags " << bits
-                        << "\n"
+                        << what << " seed " << seed << " env " << e
+                        << " output " << name << "[" << k << "]\n"
                         << src;
                 }
             }
         }
-    }
+    };
+
+    uint64_t combos = 0;
+    std::unordered_set<uint64_t> seen;
+    passes::forEachFlagCombination(
+        *reference,
+        [&](const passes::OptFlags &flags, const ir::Module &module,
+            uint64_t fingerprint) {
+            ++combos;
+            if (!seen.insert(fingerprint).second)
+                return; // distinct modules only: the walk memoizes
+            SCOPED_TRACE("flags mask " +
+                         std::to_string(flags.mask()));
+
+            // (1) semantics vs the unoptimised reference run.
+            check_against_reference(module, "optimized");
+
+            // (2) the slot-indexed engine must be bit-identical to
+            // interpretReference on the optimised module.
+            for (const auto &env : envs) {
+                const auto slot = ir::interpret(module, env);
+                const auto ref = ir::interpretReference(module, env);
+                ASSERT_EQ(slot.discarded, ref.discarded);
+                ASSERT_EQ(slot.outputs, ref.outputs)
+                    << "slot/reference divergence, seed " << seed;
+            }
+
+            // (3) driver path: emit, re-parse, re-interpret.
+            const std::string text = emit::emitGlsl(module);
+            auto reparsed = emit::compileToIr(text);
+            check_against_reference(*reparsed, "round-trip");
+        });
+    EXPECT_EQ(combos, reg.comboCount()) << "walk must cover 2^N";
+    EXPECT_GE(seen.size(), 1u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomShader, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomShader,
+                         ::testing::Range(0, fuzzSeedCount()));
 
 TEST(RandomShaderGen, IsDeterministic)
 {
     EXPECT_EQ(randomShader(7), randomShader(7));
     EXPECT_NE(randomShader(7), randomShader(8));
+}
+
+TEST(RandomShaderGen, EmitsTheCatalogPassFodder)
+{
+    // Across a window of seeds the generator must exercise every
+    // construct class the new passes rewrite; a generator regression
+    // that silently stops emitting one would hollow out the property.
+    bool pow_chain = false, int_chain = false, dup_fetch = false;
+    bool big_loop = false, nested_loop = false;
+    for (uint64_t s = 0; s < 32; ++s) {
+        const std::string src = randomShader(0xf00dULL + s);
+        pow_chain |= src.find("pow(abs(") != std::string::npos;
+        int_chain |= src.find("int q") != std::string::npos;
+        dup_fetch |= src.find("t0") != std::string::npos;
+        for (int trips = 66; trips < 90; ++trips)
+            big_loop |= src.find("i < " + std::to_string(trips)) !=
+                        std::string::npos;
+        nested_loop |= src.find("int j") != std::string::npos;
+    }
+    EXPECT_TRUE(pow_chain);
+    EXPECT_TRUE(int_chain);
+    EXPECT_TRUE(dup_fetch);
+    EXPECT_TRUE(big_loop);
+    EXPECT_TRUE(nested_loop);
 }
 
 } // namespace

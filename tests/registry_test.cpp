@@ -259,6 +259,68 @@ TEST(Registry, NinthPassEndToEndWithoutTouchingOtherLayers)
               r.speedupFor(gpu::DeviceId::Arm, FlagSet::none().with(8)));
 }
 
+// ---- the extra-pass catalog: licm / strength_reduce / tex_batch ------
+
+TEST(Catalog, ListsTheThreeShippedPasses)
+{
+    const auto &catalog = passes::extraPassCatalog();
+    ASSERT_EQ(catalog.size(), 3u);
+    EXPECT_EQ(catalog[0].id, "licm");
+    EXPECT_EQ(catalog[0].name, "LICM");
+    EXPECT_EQ(catalog[1].id, "strength_reduce");
+    EXPECT_EQ(catalog[1].name, "Strength Reduce");
+    EXPECT_EQ(catalog[2].id, "tex_batch");
+    EXPECT_EQ(catalog[2].name, "Tex Batch");
+    // Catalogued, not registered: the default space stays the paper's.
+    for (const auto &d : catalog)
+        EXPECT_EQ(PassRegistry::instance().bitOf(d.id), -1) << d.id;
+    EXPECT_EQ(passes::registerExtraPass("no/such_pass"), -1);
+}
+
+TEST(Catalog, ScopedRegistrationWidensAndRestoresTheSpace)
+{
+    PassRegistry &reg = PassRegistry::instance();
+    const uint64_t sig_before = reg.signature();
+    const size_t count_before = reg.count();
+    {
+        passes::ScopedExtraPasses extras;
+        ASSERT_EQ(extras.bits().size(), 3u);
+        EXPECT_EQ(reg.count(), count_before + 3);
+        EXPECT_EQ(tuner::comboCount(), 1ull << (count_before + 3));
+        EXPECT_EQ(reg.bitOf("licm"), static_cast<int>(count_before));
+        EXPECT_EQ(reg.bitOf("tex_batch"),
+                  static_cast<int>(count_before) + 2);
+        EXPECT_NE(reg.signature(), sig_before);
+        // Appended to the end of the pipeline, catalog order.
+        const auto &pipeline = reg.pipeline();
+        EXPECT_EQ(pipeline[pipeline.size() - 3]->id, "licm");
+        EXPECT_EQ(pipeline[pipeline.size() - 2]->id,
+                  "strength_reduce");
+        EXPECT_EQ(pipeline[pipeline.size() - 1]->id, "tex_batch");
+        // A second scope is a no-op (everything already registered).
+        passes::ScopedExtraPasses again;
+        EXPECT_TRUE(again.bits().empty());
+        EXPECT_EQ(reg.count(), count_before + 3);
+    }
+    EXPECT_EQ(reg.count(), count_before);
+    EXPECT_EQ(reg.signature(), sig_before);
+}
+
+TEST(Catalog, FlagSetPlumbingCarriesCatalogBits)
+{
+    passes::ScopedExtraPasses extras;
+    const int tb = PassRegistry::instance().bitOf("tex_batch");
+    ASSERT_GE(tb, 8);
+    const FlagSet set = FlagSet::none().with(tb);
+    EXPECT_EQ(set.str(), "{Tex Batch}");
+    passes::OptFlags flags = set.toOptFlags();
+    EXPECT_TRUE(flags.test(tb));
+    EXPECT_EQ(flags.mask(), 1ull << tb);
+    EXPECT_EQ(FlagSet::fromOptFlags(flags), set);
+    EXPECT_TRUE(FlagSet::all().has(tb));
+    EXPECT_FALSE(FlagSet::lunarGlassDefaults().has(tb));
+}
+
 // ---- satellite: the parallel engine reproduces the serial engine -----
 
 TEST(Engine, ParallelBitIdenticalToSerial)

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "corpus/corpus.h"
+#include "passes/registry.h"
 #include "support/rng.h"
 #include "tuner/experiment.h"
 #include "tuner/search.h"
@@ -278,6 +279,79 @@ TEST(Search, TransferSeedsFromFamilySiblings)
     EXPECT_EQ(solo_prior.seedFor("toon", gpu::DeviceId::Amd,
                                  "toon/bands3"),
               FlagSet::none());
+}
+
+TEST(Search, StrategiesStayInBoundsBeyondEightPasses)
+{
+    // The N>8 regression: with the full catalog registered (N=11,
+    // 2048 combinations), every budgeted strategy must stay within
+    // its measurement budget, never produce a flag set indexing past
+    // the FlagSet width, and never beat the exhaustive optimum.
+    passes::ScopedExtraPasses extras;
+    const size_t n = flagCount();
+    ASSERT_EQ(n, 11u);
+
+    Exploration ex =
+        exploreShader(*corpus::findShader("blur/weighted9"));
+    ASSERT_EQ(ex.exploredFlagCount, 11u);
+    ASSERT_EQ(ex.variantOfCombo.size(), 2048u);
+
+    // A family prior whose votes include catalog bits: seedFor must
+    // size its ballot from the live registry, not the historical 8.
+    auto prior = std::make_shared<FamilyPrior>();
+    for (const char *sib : {"blur/gauss5", "blur/gauss9"}) {
+        prior->add("blur", gpu::DeviceId::Arm, sib,
+                   FlagSet::none().with(4).with(10));
+        prior->add("blur", gpu::DeviceId::Qualcomm, sib,
+                   FlagSet::none().with(4).with(10));
+    }
+    const FlagSet seed = prior->seedFor("blur", gpu::DeviceId::Arm);
+    EXPECT_TRUE(seed.has(10));
+
+    const uint64_t width_mask = (1ull << n) - 1;
+    for (gpu::DeviceId id : gpu::allDevices()) {
+        MeasurementOracle exhaustive_oracle(ex, gpu::deviceModel(id));
+        const SearchOutcome best =
+            ExhaustiveSearch{}.run(exhaustive_oracle);
+        EXPECT_EQ(best.measurementsUsed, ex.uniqueCount());
+
+        MeasurementOracle g(ex, gpu::deviceModel(id));
+        MeasurementOracle p(ex, gpu::deviceModel(id));
+        MeasurementOracle t(ex, gpu::deviceModel(id));
+        const SearchOutcome greedy = GreedyFlagSearch{}.run(g);
+        const SearchOutcome predicted = PredictedSearch{}.run(p);
+        const SearchOutcome transfer =
+            TransferSeededSearch{prior}.run(t);
+
+        for (const SearchOutcome *out :
+             {&greedy, &predicted, &transfer}) {
+            // Never index past the FlagSet width.
+            EXPECT_EQ(out->bestFlags.bits & ~width_mask, 0u)
+                << gpu::deviceVendor(id);
+            // Never beat the optimum.
+            EXPECT_LE(out->bestSpeedupPercent,
+                      best.bestSpeedupPercent + 1e-9)
+                << gpu::deviceVendor(id);
+        }
+        // Budgets: greedy's O(N^2) probe cap, the refine caps for the
+        // model-guided strategies.
+        EXPECT_LE(greedy.measurementsUsed,
+                  std::min((n + 1) * (n + 1), ex.uniqueCount()));
+        EXPECT_LE(predicted.measurementsUsed, 8u)
+            << gpu::deviceVendor(id);
+        EXPECT_LE(transfer.measurementsUsed, 8u)
+            << gpu::deviceVendor(id);
+    }
+
+    // Random draws cover the widened combo space, stay budgeted, and
+    // remain deterministic at N=11.
+    MeasurementOracle r1(ex, gpu::deviceModel(gpu::DeviceId::Intel));
+    MeasurementOracle r2(ex, gpu::deviceModel(gpu::DeviceId::Intel));
+    const SearchOutcome a = RandomSearch(6, 42).run(r1);
+    const SearchOutcome b = RandomSearch(6, 42).run(r2);
+    EXPECT_EQ(a.bestFlags, b.bestFlags);
+    EXPECT_EQ(a.bestFlags.bits & ~width_mask, 0u);
+    EXPECT_LE(a.measurementsUsed, 6u);
 }
 
 TEST(Search, RandomDrawSequenceIsPlatformStable)
