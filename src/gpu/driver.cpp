@@ -9,6 +9,7 @@
 
 #include "emit/offline.h"
 #include "passes/passes.h"
+#include "support/fault.h"
 #include "support/rng.h"
 #include "support/time.h"
 
@@ -103,6 +104,9 @@ driverCompile(const std::string &glslSource, const DeviceModel &device)
     }
     // Miss: front end via the cross-device IR cache (parse each unique
     // text once, vendor passes on a clone), then the vendor pipeline.
+    // Flaky real drivers fail here, on actual compiles — never on a
+    // binary-cache hit — so the fault site guards only the fill path.
+    fault::point("driver.compile", device.name);
     const uint64_t t0 = nowNs();
     auto module = frontEndIr(glslSource);
     ShaderBinary bin = compileIr(*module, device);

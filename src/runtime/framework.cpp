@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/fault.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
 
@@ -74,8 +76,21 @@ TimingResult
 measureShader(const std::string &glslSource,
               const gpu::DeviceModel &device, const std::string &label)
 {
+    // The measurement protocol is a pure function of (source, device,
+    // label), so transient failures — a flaky driver compile, a timing
+    // query that errors out — are absorbed here with bounded retries
+    // and every caller (campaign engine, search oracles, examples)
+    // sees bit-identical results whether or not a retry happened.
+    const RetryPolicy policy = defaultRetryPolicy();
     TimingResult result;
-    result.binary = gpu::driverCompile(glslSource, device);
+    result.binary =
+        retryTransient(policy, label + "/compile", [&] {
+            return gpu::driverCompile(glslSource, device);
+        });
+    retryTransient(policy, label + "/measure", [&] {
+        fault::point("runtime.measure", label);
+        return 0;
+    });
 
     const double draw_ns =
         gpu::drawTimeNs(result.binary, device, kFragmentsPerDraw);

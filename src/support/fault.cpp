@@ -1,0 +1,243 @@
+#include "support/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace gsopt::fault {
+
+namespace detail {
+std::atomic<bool> gActive{false};
+} // namespace detail
+
+namespace {
+
+/** Runtime state of one armed site: immutable config + atomic draw
+ * counter, so concurrent probes each consume a unique draw index. */
+struct SiteState
+{
+    SiteConfig cfg;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> fired{0};
+};
+
+/** An installed plan. Immutable once installed; swapped wholesale by
+ * ScopedFaultPlan / the env bootstrap (install-before-spawn contract,
+ * so probes never race an installation). */
+struct Installation
+{
+    std::vector<std::unique_ptr<SiteState>> sites;
+};
+
+Installation *gCurrent = nullptr;
+std::mutex gInstallMutex;
+
+Installation *
+buildInstallation(const FaultPlan &plan)
+{
+    auto *inst = new Installation;
+    for (const SiteConfig &cfg : plan.sites) {
+        auto state = std::make_unique<SiteState>();
+        state->cfg = cfg;
+        inst->sites.push_back(std::move(state));
+    }
+    return inst;
+}
+
+void
+install(Installation *inst)
+{
+    std::lock_guard lock(gInstallMutex);
+    gCurrent = inst;
+    detail::gActive.store(inst != nullptr && !inst->sites.empty(),
+                          std::memory_order_relaxed);
+}
+
+SiteState *
+findSite(const char *site)
+{
+    Installation *inst = gCurrent;
+    if (!inst)
+        return nullptr;
+    for (const auto &s : inst->sites) {
+        if (s->cfg.site == site)
+            return s.get();
+    }
+    return nullptr;
+}
+
+/** One deterministic Bernoulli draw for this site's next call index. */
+bool
+draw(SiteState &s)
+{
+    const uint64_t index = s.calls.fetch_add(1, std::memory_order_relaxed);
+    if (s.cfg.rate <= 0.0)
+        return false;
+    Rng rng(hashCombine(s.cfg.seed, index));
+    if (rng.uniform() >= s.cfg.rate)
+        return false;
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+/** Env bootstrap: GSOPT_FAULTS installs a process-wide plan once at
+ * start-up. A malformed spec aborts loudly (same policy as a bad
+ * GSOPT_EXTRA_PASSES) — a silently dropped fault plan would let a CI
+ * fault job pass without injecting anything. */
+const bool gEnvInstalled = [] {
+    const char *env = std::getenv("GSOPT_FAULTS");
+    if (!env || !*env)
+        return false;
+    try {
+        install(buildInstallation(FaultPlan::parse(env)));
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "GSOPT_FAULTS: %s\n", e.what());
+        std::abort();
+    }
+    return true;
+}();
+
+} // namespace
+
+const std::vector<std::string> &
+knownSites()
+{
+    static const std::vector<std::string> sites = {
+        "driver.compile", "runtime.measure", "shard.write",
+        "shard.read",     "worker.item",
+    };
+    return sites;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &entry : split(spec, ',')) {
+        const std::string_view e = trim(entry);
+        if (e.empty())
+            continue;
+        const std::vector<std::string> fields = split(e, ':');
+        if (fields.size() < 3 || fields.size() > 4)
+            throw std::invalid_argument(
+                "fault entry '" + std::string(e) +
+                "' is not site:rate:seed[:mode]");
+        SiteConfig cfg;
+        cfg.site = std::string(trim(fields[0]));
+        bool known = false;
+        for (const std::string &s : knownSites())
+            known = known || s == cfg.site;
+        if (!known)
+            throw std::invalid_argument("unknown fault site '" +
+                                        cfg.site + "'");
+        char *end = nullptr;
+        cfg.rate = std::strtod(fields[1].c_str(), &end);
+        if (end == fields[1].c_str() || cfg.rate < 0.0 ||
+            cfg.rate > 1.0)
+            throw std::invalid_argument("fault rate '" + fields[1] +
+                                        "' not in [0,1]");
+        cfg.seed = std::strtoull(fields[2].c_str(), &end, 10);
+        if (end == fields[2].c_str())
+            throw std::invalid_argument("fault seed '" + fields[2] +
+                                        "' is not an integer");
+        // Tearing is the natural failure of a write site; everything
+        // else defaults to a thrown transient.
+        cfg.mode = cfg.site == "shard.write" ? Mode::Tear : Mode::Throw;
+        if (fields.size() == 4) {
+            const std::string_view m = trim(fields[3]);
+            if (m == "throw")
+                cfg.mode = Mode::Throw;
+            else if (m == "delay")
+                cfg.mode = Mode::Delay;
+            else if (m == "tear")
+                cfg.mode = Mode::Tear;
+            else
+                throw std::invalid_argument("unknown fault mode '" +
+                                            std::string(m) + "'");
+        }
+        plan.sites.push_back(std::move(cfg));
+    }
+    return plan;
+}
+
+namespace detail {
+
+void
+pointSlow(const char *site, const std::string &detailMsg)
+{
+    SiteState *s = findSite(site);
+    if (!s || !draw(*s))
+        return;
+    switch (s->cfg.mode) {
+    case Mode::Delay: {
+        // Deterministic sub-millisecond stall (scheduler jitter, a
+        // slow IO round trip) drawn from the same seed stream.
+        Rng rng(hashCombine(s->cfg.seed ^ 0x5157ull,
+                            s->calls.load(std::memory_order_relaxed)));
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50 + rng.below(450)));
+        return;
+    }
+    case Mode::Throw:
+    case Mode::Tear: // a tear mode at a plain point degrades to throw
+        throw TransientError(
+            "injected fault at " + std::string(site) +
+            (detailMsg.empty() ? std::string() : " (" + detailMsg + ")"));
+    }
+}
+
+size_t
+tearPointSlow(const char *site, size_t size)
+{
+    SiteState *s = findSite(site);
+    if (!s || s->cfg.mode != Mode::Tear || size == 0 || !draw(*s))
+        return size;
+    Rng rng(hashCombine(s->cfg.seed ^ 0x7ea2ull,
+                        s->calls.load(std::memory_order_relaxed)));
+    return static_cast<size_t>(rng.below(size)); // strictly < size
+}
+
+bool
+triggeredSlow(const char *site)
+{
+    SiteState *s = findSite(site);
+    return s && draw(*s);
+}
+
+} // namespace detail
+
+SiteStats
+siteStats(const std::string &site)
+{
+    SiteStats stats;
+    if (SiteState *s = findSite(site.c_str())) {
+        stats.evaluations = s->calls.load(std::memory_order_relaxed);
+        stats.injected = s->fired.load(std::memory_order_relaxed);
+    }
+    return stats;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const std::string &spec)
+    : ScopedFaultPlan(FaultPlan::parse(spec))
+{
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan) : prev_(gCurrent)
+{
+    install(buildInstallation(plan));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    Installation *mine = gCurrent;
+    install(static_cast<Installation *>(prev_));
+    delete mine;
+}
+
+} // namespace gsopt::fault

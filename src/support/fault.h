@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the campaign runtime.
+ *
+ * Production-shaped failures — a flaky driver compile, a timing query
+ * that errors out, a torn shard write, a worker that dies mid-item —
+ * are modelled as named *fault sites* compiled into the real code
+ * paths. A site does nothing until a FaultPlan arms it; an armed site
+ * draws from a seeded Rng on every evaluation and fires at the
+ * configured rate, so a given (plan, call sequence) always injects the
+ * same faults. Plans come from the GSOPT_FAULTS environment variable
+ * ("site:rate:seed[:mode],...") parsed once at start-up, or from a
+ * ScopedFaultPlan RAII in tests (same idiom as ScopedExtraPasses).
+ *
+ * The hot path stays hot: with no plan installed, every probe is one
+ * relaxed atomic load and a predicted-not-taken branch.
+ *
+ * Registered sites:
+ *   driver.compile   the vendor JIT fails a compilation (transient)
+ *   runtime.measure  the timing harness fails a measurement (transient)
+ *   shard.write      a shard checkpoint write tears mid-body
+ *   shard.read       a shard load fails (treated as a cache miss)
+ *   worker.item      a campaign (shader x device) work item dies
+ */
+#ifndef GSOPT_SUPPORT_FAULT_H
+#define GSOPT_SUPPORT_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gsopt::fault {
+
+/**
+ * A failure that is expected to succeed on retry (the fault-injection
+ * analogue of EAGAIN). support/retry retries exactly this type;
+ * anything else propagates as a real error.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** What an armed site does when it fires. */
+enum class Mode {
+    Throw, ///< throw TransientError
+    Delay, ///< sleep a deterministic sub-millisecond duration
+    Tear,  ///< truncate the write guarded by tearPoint()
+};
+
+/** Configuration of one armed site. */
+struct SiteConfig
+{
+    std::string site;      ///< one of the registered site names
+    double rate = 0.0;     ///< firing probability per evaluation [0,1]
+    uint64_t seed = 0;     ///< deterministic draw seed
+    Mode mode = Mode::Throw;
+};
+
+/** A set of armed sites. */
+struct FaultPlan
+{
+    std::vector<SiteConfig> sites;
+
+    /**
+     * Parse "site:rate:seed[:mode],..." (mode: throw|delay|tear,
+     * default throw except shard.write which defaults to tear). Throws
+     * std::invalid_argument on syntax errors or unregistered sites.
+     */
+    static FaultPlan parse(const std::string &spec);
+};
+
+namespace detail {
+extern std::atomic<bool> gActive;
+void pointSlow(const char *site, const std::string &detail);
+size_t tearPointSlow(const char *site, size_t size);
+bool triggeredSlow(const char *site);
+} // namespace detail
+
+/** Is any fault plan installed? One relaxed load. */
+inline bool
+active()
+{
+    return detail::gActive.load(std::memory_order_relaxed);
+}
+
+/**
+ * Evaluate fault site @p site. No-op without a plan arming it. May
+ * throw TransientError (Mode::Throw) or sleep briefly (Mode::Delay);
+ * Mode::Tear at a plain point behaves like Throw. @p detail is folded
+ * into the error message.
+ */
+inline void
+point(const char *site, const std::string &detail = std::string())
+{
+    if (active())
+        detail::pointSlow(site, detail);
+}
+
+/**
+ * Evaluate tear site @p site guarding a write of @p size bytes.
+ * Returns @p size normally; when a Mode::Tear fault fires, returns a
+ * strictly smaller prefix length — the caller must write only that
+ * many bytes and then abandon the write, simulating a crash mid-write.
+ * Never throws.
+ */
+inline size_t
+tearPoint(const char *site, size_t size)
+{
+    if (active())
+        return detail::tearPointSlow(site, size);
+    return size;
+}
+
+/**
+ * Evaluate @p site and report whether a fault fired, without throwing.
+ * For call sites whose failure contract is a boolean (loadShard).
+ */
+inline bool
+triggered(const char *site)
+{
+    if (active())
+        return detail::triggeredSlow(site);
+    return false;
+}
+
+/** Per-site evaluation/injection counters (for tests and reports). */
+struct SiteStats
+{
+    uint64_t evaluations = 0; ///< probe calls while armed
+    uint64_t injected = 0;    ///< faults actually fired
+};
+
+/** Counters for @p site under the currently installed plan (zeros when
+ * the site is not armed). Counters reset when a plan is installed. */
+SiteStats siteStats(const std::string &site);
+
+/** The registered site names (the valid vocabulary of plans). */
+const std::vector<std::string> &knownSites();
+
+/**
+ * RAII plan installation for tests: installs @p plan on construction
+ * (resetting all site counters), restores the previous plan on
+ * destruction. Nest in LIFO order; do not install while worker threads
+ * are actively probing (install-before-spawn, like pass registration).
+ */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const std::string &spec);
+    explicit ScopedFaultPlan(FaultPlan plan);
+    ~ScopedFaultPlan();
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+  private:
+    void *prev_; ///< opaque previous installation
+};
+
+} // namespace gsopt::fault
+
+#endif // GSOPT_SUPPORT_FAULT_H

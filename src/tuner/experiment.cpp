@@ -13,6 +13,9 @@
 
 #include "passes/registry.h"
 #include "runtime/framework.h"
+#include "support/diag.h"
+#include "support/fault.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
@@ -100,6 +103,43 @@ shardKey(const corpus::CorpusShader &shader, uint64_t setKey)
     return key;
 }
 
+const DeviceMeasurement &
+ShaderResult::measurement(gpu::DeviceId dev) const
+{
+    auto it = byDevice.find(dev);
+    if (it != byDevice.end())
+        return it->second;
+    const std::string name = exploration.shaderName.empty()
+                                 ? "<unexplored>"
+                                 : exploration.shaderName;
+    if (quarantined.count(dev))
+        throw std::out_of_range(
+            "measurement for '" + name + "' on device " +
+            std::to_string(static_cast<int>(dev)) +
+            " was quarantined by the fault-tolerant campaign "
+            "(see ExperimentEngine::health())");
+    throw std::out_of_range("no measurement for '" + name +
+                            "' on device " +
+                            std::to_string(static_cast<int>(dev)));
+}
+
+std::string
+CampaignHealth::summary() const
+{
+    std::string out = "campaign health: " +
+                      std::to_string(itemsCompleted) + " items ok, " +
+                      std::to_string(itemsQuarantined) +
+                      " quarantined, " + std::to_string(itemRetries) +
+                      " item retries\n";
+    for (const QuarantinedItem &q : quarantined) {
+        out += "  quarantined " + q.shader + " on device " +
+               std::to_string(static_cast<int>(q.device)) + " after " +
+               std::to_string(q.attempts) + " attempt(s): " + q.error +
+               "\n";
+    }
+    return out;
+}
+
 double
 DeviceMeasurement::speedupOf(int variant_index) const
 {
@@ -119,7 +159,7 @@ DeviceMeasurement::speedupOf(int variant_index) const
 double
 ShaderResult::bestSpeedup(gpu::DeviceId dev) const
 {
-    const auto &m = byDevice.at(dev);
+    const auto &m = measurement(dev);
     double best = -1e30;
     for (size_t v = 0; v < m.variantMeanNs.size(); ++v)
         best = std::max(best, m.speedupOf(static_cast<int>(v)));
@@ -129,7 +169,7 @@ ShaderResult::bestSpeedup(gpu::DeviceId dev) const
 FlagSet
 ShaderResult::bestFlags(gpu::DeviceId dev) const
 {
-    const auto &m = byDevice.at(dev);
+    const auto &m = measurement(dev);
     int best_variant = 0;
     double best = -1e30;
     for (size_t v = 0; v < m.variantMeanNs.size(); ++v) {
@@ -148,7 +188,7 @@ ShaderResult::bestFlags(gpu::DeviceId dev) const
 double
 ShaderResult::isolatedFlagSpeedup(gpu::DeviceId dev, int bit) const
 {
-    const auto &m = byDevice.at(dev);
+    const auto &m = measurement(dev);
     const size_t with = static_cast<size_t>(
         exploration.variantOf(FlagSet(1ull << bit)));
     const size_t base =
@@ -168,74 +208,92 @@ ExperimentEngine::ExperimentEngine(
     runShaders(shaders, all, threads);
 }
 
+ExperimentEngine::ExperimentEngine(
+    const std::vector<corpus::CorpusShader> &shaders, unsigned threads,
+    const std::string &cacheDir)
+{
+    namespace fs = std::filesystem;
+    results_.resize(shaders.size());
+
+    const uint64_t set_key = deviceSetKey();
+
+    auto shard_path = [&](size_t i, uint64_t key) {
+        std::string name = shaders[i].name;
+        std::replace(name.begin(), name.end(), '/', '_');
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(key));
+        return cacheDir + "/" + name + "-" + hex + ".bin";
+    };
+
+    // Retire every shard no current shader claims (old keys from
+    // prior schemas / device sets / registries / source revisions,
+    // and shaders dropped from the corpus) so the cache never
+    // accretes. In-flight `.tmp` checkpoints are never reaped while
+    // their key is live; a `.tmp` whose key died is an orphan too.
+    auto sweep_orphans = [&] {
+        std::set<std::string> live;
+        for (size_t i = 0; i < shaders.size(); ++i)
+            live.insert(shard_path(i, shardKey(shaders[i], set_key)));
+        auto ends_with = [](const std::string &s,
+                            const std::string &suffix) {
+            return s.size() >= suffix.size() &&
+                   s.compare(s.size() - suffix.size(), suffix.size(),
+                             suffix) == 0;
+        };
+        std::error_code iter_ec;
+        for (const auto &entry :
+             fs::directory_iterator(cacheDir, iter_ec)) {
+            const std::string name = entry.path().filename().string();
+            if (ends_with(name, ".bin")) {
+                if (!live.count(cacheDir + "/" + name))
+                    fs::remove(entry.path(), iter_ec);
+            } else if (ends_with(name, ".bin.tmp")) {
+                const std::string base =
+                    name.substr(0, name.size() - 4);
+                if (!live.count(cacheDir + "/" + base))
+                    fs::remove(entry.path(), iter_ec);
+            }
+        }
+    };
+
+    std::vector<size_t> missing;
+    for (size_t i = 0; i < shaders.size(); ++i) {
+        const uint64_t key = shardKey(shaders[i], set_key);
+        if (!loadShard(shard_path(i, key), key, results_[i]))
+            missing.push_back(i);
+    }
+    if (missing.empty()) {
+        sweep_orphans();
+        return;
+    }
+
+    std::error_code dir_ec;
+    fs::create_directories(cacheDir, dir_ec);
+
+    // Checkpoint each shard the moment its last device item completes
+    // (called from worker threads; each shader writes a distinct
+    // file), so a killed campaign resumes from the shards it finished
+    // instead of re-running everything.
+    auto checkpoint = [&](size_t i) {
+        if (dir_ec)
+            return;
+        const uint64_t key = shardKey(shaders[i], set_key);
+        saveShard(shard_path(i, key), key, results_[i]);
+    };
+
+    runShaders(shaders, missing, threads, checkpoint);
+    sweep_orphans();
+}
+
 const ExperimentEngine &
 ExperimentEngine::instance()
 {
     static const ExperimentEngine engine = [] {
-        namespace fs = std::filesystem;
-        ExperimentEngine e;
         const auto &shaders = corpus::corpus();
-        e.results_.resize(shaders.size());
-
-        const bool no_cache = std::getenv("GSOPT_NO_CACHE") != nullptr;
-        const uint64_t set_key = deviceSetKey();
-        const std::string dir = "experiment_cache";
-
-        auto shard_path = [&](size_t i, uint64_t key) {
-            std::string name = shaders[i].name;
-            std::replace(name.begin(), name.end(), '/', '_');
-            char hex[17];
-            std::snprintf(hex, sizeof(hex), "%016llx",
-                          static_cast<unsigned long long>(key));
-            return dir + "/" + name + "-" + hex + ".bin";
-        };
-
-        // Retire every shard no current shader claims (old keys from
-        // prior schemas / device sets / registries / source
-        // revisions, and shaders dropped from the corpus) so the
-        // cache never accretes.
-        auto sweep_orphans = [&] {
-            std::set<std::string> live;
-            for (size_t i = 0; i < shaders.size(); ++i)
-                live.insert(
-                    shard_path(i, shardKey(shaders[i], set_key)));
-            std::error_code iter_ec;
-            for (const auto &entry :
-                 fs::directory_iterator(dir, iter_ec)) {
-                const std::string path = entry.path().string();
-                if (path.size() > 4 &&
-                    path.compare(path.size() - 4, 4, ".bin") == 0 &&
-                    !live.count(dir + "/" +
-                                entry.path().filename().string()))
-                    fs::remove(entry.path(), iter_ec);
-            }
-        };
-
-        std::vector<size_t> missing;
-        for (size_t i = 0; i < shaders.size(); ++i) {
-            const uint64_t key = shardKey(shaders[i], set_key);
-            if (no_cache ||
-                !loadShard(shard_path(i, key), key, e.results_[i]))
-                missing.push_back(i);
-        }
-        if (missing.empty()) {
-            sweep_orphans();
-            return e;
-        }
-
-        e.runShaders(shaders, missing, 0);
-        if (!no_cache) {
-            std::error_code ec;
-            fs::create_directories(dir, ec);
-            if (!ec) {
-                for (size_t i : missing) {
-                    const uint64_t key = shardKey(shaders[i], set_key);
-                    saveShard(shard_path(i, key), key, e.results_[i]);
-                }
-                sweep_orphans();
-            }
-        }
-        return e;
+        if (std::getenv("GSOPT_NO_CACHE") != nullptr)
+            return ExperimentEngine(shaders, 0);
+        return ExperimentEngine(shaders, 0, "experiment_cache");
     }();
     return engine;
 }
@@ -243,10 +301,12 @@ ExperimentEngine::instance()
 void
 ExperimentEngine::runShaders(
     const std::vector<corpus::CorpusShader> &shaders,
-    const std::vector<size_t> &indices, unsigned threads)
+    const std::vector<size_t> &indices, unsigned threads,
+    const std::function<void(size_t)> &checkpoint)
 {
     const std::vector<gpu::DeviceId> devices = gpu::allDevices();
     const size_t n_dev = devices.size();
+    const size_t n_items = indices.size() * n_dev;
 
     // One exploration per shader, triggered by the first (shader x
     // device) item scheduled for it; later items for the same shader
@@ -257,50 +317,152 @@ ExperimentEngine::runShaders(
     // Per-item result slots: workers never append to shared state, so
     // the campaign output is identical for any thread count and any
     // item completion order.
-    std::vector<DeviceMeasurement> slots(indices.size() * n_dev);
+    std::vector<DeviceMeasurement> slots(n_items);
 
-    parallelFor(
-        indices.size() * n_dev, threads, [&](size_t item) {
-            const size_t si = item / n_dev;
-            const size_t di = item % n_dev;
-            const corpus::CorpusShader &shader = shaders[indices[si]];
-            ShaderResult &r = results_[indices[si]];
+    // Per-shader completion countdown (drives the incremental
+    // checkpoint) and a quarantine-free flag: only a shader whose
+    // items all completed cleanly is checkpointed.
+    std::unique_ptr<std::atomic<size_t>[]> remaining(
+        new std::atomic<size_t>[indices.size()]);
+    std::unique_ptr<std::atomic<bool>[]> clean(
+        new std::atomic<bool>[indices.size()]);
+    for (size_t si = 0; si < indices.size(); ++si) {
+        remaining[si].store(n_dev, std::memory_order_relaxed);
+        clean[si].store(true, std::memory_order_relaxed);
+    }
 
-            std::call_once(explored[si], [&] {
-                r.exploration = exploreShader(shader);
-            });
+    // GSOPT_STRICT=1 restores fail-fast: the first item error aborts
+    // the campaign (CI wants a loud failure, not a quarantine).
+    const char *strict_env = std::getenv("GSOPT_STRICT");
+    const bool strict = strict_env && *strict_env && *strict_env != '0';
+    const RetryPolicy policy = defaultRetryPolicy();
 
-            // Drivers receive what an application would ship: the
-            // original preprocessed text (real engines preprocess
-            // übershaders before glShaderSource).
-            const std::string &original =
-                r.exploration.preprocessedOriginal;
-            const gpu::DeviceModel &device =
-                gpu::deviceModel(devices[di]);
+    std::mutex health_mutex;
 
-            DeviceMeasurement &m = slots[item];
-            m.originalMeanNs =
-                runtime::measureShader(original, device,
-                                       shader.name + "/original")
-                    .meanNs;
-            m.variantMeanNs.reserve(r.exploration.variants.size());
-            for (size_t v = 0; v < r.exploration.variants.size();
-                 ++v) {
-                const auto &variant = r.exploration.variants[v];
-                m.variantMeanNs.push_back(
-                    runtime::measureShader(
-                        variant.source, device,
-                        shader.name + "/v" + std::to_string(v))
-                        .meanNs);
-            }
+    auto run_item = [&](size_t item) {
+        const size_t si = item / n_dev;
+        const size_t di = item % n_dev;
+        const corpus::CorpusShader &shader = shaders[indices[si]];
+        ShaderResult &r = results_[indices[si]];
+
+        fault::point("worker.item", shader.name);
+
+        std::call_once(explored[si], [&] {
+            r.exploration = exploreShader(shader);
         });
 
-    for (size_t si = 0; si < indices.size(); ++si) {
+        // Drivers receive what an application would ship: the
+        // original preprocessed text (real engines preprocess
+        // übershaders before glShaderSource).
+        const std::string &original =
+            r.exploration.preprocessedOriginal;
+        const gpu::DeviceModel &device = gpu::deviceModel(devices[di]);
+
+        // Reset the slot: this may be the retry of a partially filled
+        // attempt, and the measurement protocol is deterministic, so a
+        // clean re-run reproduces the same values.
+        DeviceMeasurement &m = slots[item];
+        m = DeviceMeasurement{};
+        m.originalMeanNs =
+            runtime::measureShader(original, device,
+                                   shader.name + "/original")
+                .meanNs;
+        m.variantMeanNs.reserve(r.exploration.variants.size());
+        for (size_t v = 0; v < r.exploration.variants.size(); ++v) {
+            const auto &variant = r.exploration.variants[v];
+            m.variantMeanNs.push_back(
+                runtime::measureShader(
+                    variant.source, device,
+                    shader.name + "/v" + std::to_string(v))
+                    .meanNs);
+        }
+    };
+
+    auto quarantine_item = [&](size_t item, const char *what,
+                               int attempts) {
+        const size_t si = item / n_dev;
+        const size_t di = item % n_dev;
+        slots[item] = DeviceMeasurement{};
+        clean[si].store(false, std::memory_order_relaxed);
+
+        std::lock_guard<std::mutex> lock(health_mutex);
         ShaderResult &r = results_[indices[si]];
-        for (size_t di = 0; di < n_dev; ++di)
-            r.byDevice.emplace(devices[di],
-                               std::move(slots[si * n_dev + di]));
-    }
+        // Exploration itself may have failed; keep the result
+        // addressable by name either way.
+        if (r.exploration.shaderName.empty())
+            r.exploration.shaderName = shaders[indices[si]].name;
+        r.quarantined.insert(devices[di]);
+        QuarantinedItem q;
+        q.shader = shaders[indices[si]].name;
+        q.device = devices[di];
+        q.error = what;
+        q.attempts = attempts;
+
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.message = "quarantined campaign item " + q.shader + " x " +
+                    gpu::deviceModel(devices[di]).vendor + " after " +
+                    std::to_string(attempts) + " attempt(s): " + what;
+        std::fprintf(stderr, "%s\n", d.str().c_str());
+
+        health_.quarantined.push_back(std::move(q));
+    };
+
+    uint64_t item_retries = 0;
+    std::atomic<uint64_t> retries{0};
+
+    parallelFor(
+        n_items, threads,
+        [&](size_t item) {
+            if (strict) {
+                run_item(item);
+                return;
+            }
+            int attempts = 0;
+            try {
+                retryTransient(
+                    policy,
+                    shaders[indices[item / n_dev]].name + "/item",
+                    [&] { run_item(item); }, &attempts);
+            } catch (const std::exception &e) {
+                quarantine_item(item, e.what(), attempts);
+            }
+            if (attempts > 1)
+                retries.fetch_add(
+                    static_cast<uint64_t>(attempts - 1),
+                    std::memory_order_relaxed);
+        },
+        [&](size_t item) {
+            // Per-item completion hook (also runs after a quarantine
+            // — the countdown must drain either way). When the last
+            // device item of a shader finishes, every other item of
+            // that shader has fully completed (the hook runs after
+            // the item body, and the countdown is sequenced after
+            // both), so assembling the result here is race-free.
+            const size_t si = item / n_dev;
+            if (remaining[si].fetch_sub(1) != 1)
+                return;
+            ShaderResult &r = results_[indices[si]];
+            for (size_t di = 0; di < n_dev; ++di) {
+                if (!r.quarantined.count(devices[di]))
+                    r.byDevice.emplace(
+                        devices[di],
+                        std::move(slots[si * n_dev + di]));
+            }
+            if (clean[si].load(std::memory_order_relaxed) &&
+                checkpoint)
+                checkpoint(indices[si]);
+        });
+
+    item_retries = retries.load(std::memory_order_relaxed);
+    health_.itemRetries += item_retries;
+    health_.itemsQuarantined =
+        static_cast<uint64_t>(health_.quarantined.size());
+    health_.itemsCompleted +=
+        static_cast<uint64_t>(n_items) - health_.itemsQuarantined;
+
+    if (!health_.healthy())
+        std::fprintf(stderr, "%s", health_.summary().c_str());
 }
 
 const ShaderResult &
@@ -427,7 +589,16 @@ readString(std::istream &is, std::string &s)
     uint64_t n = 0;
     if (!is.read(reinterpret_cast<char *>(&n), sizeof(n)))
         return false;
-    if (n > (1ull << 30))
+    // Bound the length by the bytes actually remaining in the body: a
+    // flipped length byte must fail cleanly here, not allocate ~1 GB
+    // before the read fails.
+    const std::streamoff here = is.tellg();
+    if (here < 0)
+        return false;
+    is.seekg(0, std::ios::end);
+    const std::streamoff end = is.tellg();
+    is.seekg(here);
+    if (end < here || n > static_cast<uint64_t>(end - here))
         return false;
     s.resize(n);
     return static_cast<bool>(
@@ -492,27 +663,71 @@ serializeShardBody(const ShaderResult &r)
     return os.str();
 }
 
+namespace {
+
+void
+warnShard(const std::string &path, const std::string &what)
+{
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.message = "shard checkpoint '" + path + "': " + what;
+    std::fprintf(stderr, "%s\n", d.str().c_str());
+}
+
+} // namespace
+
 void
 ExperimentEngine::saveShard(const std::string &path, uint64_t key,
                             const ShaderResult &r)
 {
+    namespace fs = std::filesystem;
     // Serialise the body first so a content hash can front it: the
     // structural caps in loadShard cannot catch a flipped byte inside
     // stored shader text, and a silently wrong variant is worse than
     // a re-run shard.
     const std::string body = serializeShardBody(r);
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (!file)
+
+    // Tmp-rename protocol: build the whole file beside the target,
+    // publish it with one atomic rename. A crash (or injected tear)
+    // mid-write leaves only the .tmp — readers never see a torn
+    // shard, and a previous complete shard stays intact.
+    const std::string tmp = path + ".tmp";
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+        warnShard(path, "cannot open temporary file for writing");
         return;
+    }
     writePod(file, key);
     writePod(file, fnv1a(body));
-    file.write(body.data(), static_cast<std::streamsize>(body.size()));
+    const size_t n = fault::tearPoint("shard.write", body.size());
+    file.write(body.data(), static_cast<std::streamsize>(n));
+    file.flush();
+    if (n != body.size()) {
+        // Injected torn write: simulate the process dying mid-write —
+        // abandon the .tmp without publishing it.
+        warnShard(path, "torn write injected; checkpoint abandoned");
+        return;
+    }
+    if (!file) {
+        warnShard(path, "write failed; checkpoint abandoned");
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return;
+    }
+    file.close();
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        warnShard(path, "rename failed: " + ec.message());
 }
 
 bool
 ExperimentEngine::loadShard(const std::string &path, uint64_t key,
                             ShaderResult &out)
 {
+    // An injected read fault is a cache miss: the shard re-runs.
+    if (fault::triggered("shard.read"))
+        return false;
     std::ifstream file(path, std::ios::binary);
     if (!file)
         return false;

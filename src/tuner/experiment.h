@@ -15,11 +15,22 @@
  * keyed by (shader hash, device-set hash, pass-registry signature,
  * schema). Editing one corpus shader re-runs only that shard. Delete
  * the directory (or set GSOPT_NO_CACHE=1) to force a full re-run.
+ *
+ * Fault tolerance: per-item transient failures (support/fault sites on
+ * the driver, the timing harness, and the work items themselves) are
+ * retried with bounded backoff; items that still fail are quarantined
+ * into the CampaignHealth report and the campaign completes with
+ * partial results. GSOPT_STRICT=1 restores fail-fast (first error
+ * aborts the run). Shards are checkpointed *incrementally* — each one
+ * is written the moment its shader's last device item completes — so a
+ * killed campaign resumes from completed shards.
  */
 #ifndef GSOPT_TUNER_EXPERIMENT_H
 #define GSOPT_TUNER_EXPERIMENT_H
 
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,9 +65,20 @@ struct ShaderResult
     Exploration exploration;
     std::map<gpu::DeviceId, DeviceMeasurement> byDevice;
 
+    /** Devices whose (shader, device) item was quarantined by the
+     * fault-tolerant campaign (no measurement available). Never
+     * serialised: a shard is only checkpointed when every device item
+     * completed, so persisted shards are always whole. */
+    std::set<gpu::DeviceId> quarantined;
+
+    /** Measurement for @p dev. Throws std::out_of_range with a
+     * quarantine-aware message when the device item was quarantined or
+     * never measured. */
+    const DeviceMeasurement &measurement(gpu::DeviceId dev) const;
+
     double speedupFor(gpu::DeviceId dev, FlagSet flags) const
     {
-        const auto &m = byDevice.at(dev);
+        const auto &m = measurement(dev);
         return m.speedupOf(exploration.variantOf(flags));
     }
 
@@ -92,8 +114,47 @@ uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
  * hash). Deterministic for a deterministic campaign; the golden
  * regression tests md5 these bytes against the values captured before
  * the arena/memoization refactor.
+ *
+ * Shard file format: [shard key u64][fnv1a(body) u64][body bytes].
+ * Shards are published with a tmp-rename protocol: saveShard writes
+ * the whole file to a `<path>.tmp` sibling first and only then
+ * atomically renames it onto `<path>`, so readers never observe a
+ * half-written shard — a crash mid-checkpoint leaves at worst a stale
+ * `.tmp` (overwritten by the next checkpoint, reaped by the orphan
+ * sweep once its key dies) and the previous complete shard, if any,
+ * stays intact. loadShard additionally verifies the key and the body
+ * content hash, so any residual corruption is a cache miss (re-run),
+ * never bad data.
  */
 std::string serializeShardBody(const ShaderResult &r);
+
+/** One quarantined (shader, device) campaign item. */
+struct QuarantinedItem
+{
+    std::string shader;
+    gpu::DeviceId device;
+    std::string error; ///< what() of the final failure
+    int attempts = 0;  ///< item-level attempts consumed
+};
+
+/**
+ * Fault report of one campaign run: what was retried away, what had to
+ * be quarantined. A healthy campaign has an empty quarantine list and
+ * every derived figure sees complete data; an unhealthy one still
+ * completes, with quarantined items surfaced here and on the affected
+ * ShaderResult::quarantined sets.
+ */
+struct CampaignHealth
+{
+    std::vector<QuarantinedItem> quarantined;
+    uint64_t itemsCompleted = 0;   ///< items measured successfully
+    uint64_t itemsQuarantined = 0; ///< == quarantined.size()
+    uint64_t itemRetries = 0;      ///< extra item-level attempts used
+
+    bool healthy() const { return quarantined.empty(); }
+    /** One line per quarantined item, for logs. */
+    std::string summary() const;
+};
 
 /** The full campaign. */
 class ExperimentEngine
@@ -111,10 +172,25 @@ class ExperimentEngine
         const std::vector<corpus::CorpusShader> &shaders,
         unsigned threads = 0);
 
+    /**
+     * Run with shard caching under @p cacheDir: existing valid shards
+     * are loaded, missing ones run and are checkpointed the moment
+     * their last device item completes — a campaign killed mid-run
+     * resumes from every shard it finished. instance() uses this with
+     * ./experiment_cache; tests use it for kill-resume coverage.
+     */
+    ExperimentEngine(const std::vector<corpus::CorpusShader> &shaders,
+                     unsigned threads, const std::string &cacheDir);
+
     const std::vector<ShaderResult> &results() const { return results_; }
     /** Result by shader name. Throws std::out_of_range listing the
-     * known shader names on a miss. */
+     * known shader names on a miss. The returned result surfaces any
+     * quarantined devices via ShaderResult::quarantined. */
     const ShaderResult &result(const std::string &shaderName) const;
+
+    /** Fault report of the run that built this engine (empty quarantine
+     * list when everything — including cache loads — succeeded). */
+    const CampaignHealth &health() const { return health_; }
 
     // ---- derived analyses ------------------------------------------------
     /** Static flag set maximising mean speed-up on a device (Table I). */
@@ -139,24 +215,41 @@ class ExperimentEngine
      */
     FamilyPrior familyPrior() const;
 
+    // ---- shard IO (public for the torture tests and the coordinator/
+    // worker split: a shard file is the campaign's checkpoint and
+    // transfer unit) ------------------------------------------------------
+
+    /** Load and validate one shard. Returns false — never throws — on
+     * any mismatch or corruption (missing file, wrong key, bad content
+     * hash, truncated or garbled body): the caller re-runs the shard. */
+    static bool loadShard(const std::string &path, uint64_t key,
+                          ShaderResult &out);
+
+    /** Crash-safe checkpoint of one shard: writes `path + ".tmp"`,
+     * then atomically renames onto @p path. Failures (unopenable file,
+     * failed write, injected torn write) emit a support/diag warning
+     * and leave any previous shard at @p path untouched. */
+    static void saveShard(const std::string &path, uint64_t key,
+                          const ShaderResult &r);
+
   private:
     ExperimentEngine() = default;
 
     /**
      * Work-queue campaign over (shader x device) items for the listed
      * shader indices; exploration runs once per shader (first item to
-     * need it), measurements fill per-item slots.
+     * need it), measurements fill per-item slots. Transient per-item
+     * failures retry with backoff; exhausted or non-transient ones are
+     * quarantined (or rethrown under GSOPT_STRICT=1). @p checkpoint,
+     * when set, is invoked with a shader index the moment all of its
+     * device items completed cleanly.
      */
     void runShaders(const std::vector<corpus::CorpusShader> &shaders,
-                    const std::vector<size_t> &indices,
-                    unsigned threads);
-
-    static bool loadShard(const std::string &path, uint64_t key,
-                          ShaderResult &out);
-    static void saveShard(const std::string &path, uint64_t key,
-                          const ShaderResult &r);
+                    const std::vector<size_t> &indices, unsigned threads,
+                    const std::function<void(size_t)> &checkpoint = {});
 
     std::vector<ShaderResult> results_;
+    CampaignHealth health_;
 };
 
 } // namespace gsopt::tuner

@@ -1,0 +1,678 @@
+/**
+ * @file
+ * Fault-tolerance torture harness: the deterministic fault-injection
+ * registry (support/fault), bounded retry (support/retry), and the
+ * campaign runtime's resilience contract — under injected driver,
+ * measurement, worker, and shard-IO faults a campaign must produce
+ * shard bytes *byte-identical* to a fault-free run (transients are
+ * retried away; torn checkpoints are never published; unrecoverable
+ * items are quarantined, never silently wrong), and a campaign killed
+ * mid-run must resume from its completed shards instead of re-running
+ * them. GSOPT_TORTURE_ITERS widens the randomized-plan sweep (nightly
+ * CI runs a deep pass alongside the fuzz job).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "gpu/driver.h"
+#include "runtime/framework.h"
+#include "support/fault.h"
+#include "support/retry.h"
+#include "support/rng.h"
+#include "tuner/experiment.h"
+#include "tuner/explore.h"
+
+namespace gsopt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --------------------------------------------------------- helpers
+
+/** Scoped environment variable (restores the prior value). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            old_ = old;
+        had_ = std::getenv(name) != nullptr;
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::string old_;
+    bool had_ = false;
+};
+
+/** Fresh scratch directory under the build tree, removed on scope
+ * exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_("fault_test_scratch/" + name)
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Masks any ambient GSOPT_FAULTS plan (the CI fault job installs
+ * one process-wide) for tests that assert fault-free behaviour; the
+ * ambient plan is restored on scope exit. */
+fault::ScopedFaultPlan
+quiesce()
+{
+    return fault::ScopedFaultPlan(fault::FaultPlan{});
+}
+
+std::vector<corpus::CorpusShader>
+miniCorpus()
+{
+    std::vector<corpus::CorpusShader> shaders;
+    for (const char *name :
+         {"simple/color_fill", "simple/grayscale", "blur/weighted9",
+          "tonemap/aces"}) {
+        const corpus::CorpusShader *s = corpus::findShader(name);
+        EXPECT_NE(s, nullptr) << name;
+        shaders.push_back(*s);
+    }
+    return shaders;
+}
+
+/** Per-shader serialized bodies of a campaign over @p shaders. */
+std::vector<std::string>
+campaignBodies(const tuner::ExperimentEngine &engine)
+{
+    std::vector<std::string> bodies;
+    for (const auto &r : engine.results())
+        bodies.push_back(tuner::serializeShardBody(r));
+    return bodies;
+}
+
+/** The fault-free reference campaign (computed once, shared). */
+const std::vector<std::string> &
+referenceBodies()
+{
+    static const std::vector<std::string> bodies = [] {
+        const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+        tuner::ExperimentEngine engine(miniCorpus(), /*threads=*/1);
+        EXPECT_TRUE(engine.health().healthy());
+        return campaignBodies(engine);
+    }();
+    return bodies;
+}
+
+int
+tortureIters()
+{
+    if (const char *env = std::getenv("GSOPT_TORTURE_ITERS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<int>(n);
+    }
+    return 3;
+}
+
+// -------------------------------------------- fault registry units
+
+TEST(FaultPlan, ParsesSitesRatesSeedsAndModes)
+{
+    const fault::FaultPlan plan = fault::FaultPlan::parse(
+        "driver.compile:0.25:7,shard.write:1:9,"
+        "runtime.measure:0.5:3:delay");
+    ASSERT_EQ(plan.sites.size(), 3u);
+    EXPECT_EQ(plan.sites[0].site, "driver.compile");
+    EXPECT_DOUBLE_EQ(plan.sites[0].rate, 0.25);
+    EXPECT_EQ(plan.sites[0].seed, 7u);
+    EXPECT_EQ(plan.sites[0].mode, fault::Mode::Throw);
+    // shard.write defaults to tearing, the natural write failure.
+    EXPECT_EQ(plan.sites[1].mode, fault::Mode::Tear);
+    EXPECT_EQ(plan.sites[2].mode, fault::Mode::Delay);
+}
+
+TEST(FaultPlan, RejectsGarbage)
+{
+    EXPECT_THROW(fault::FaultPlan::parse("nonsense.site:0.5:1"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::FaultPlan::parse("driver.compile:2:1"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::FaultPlan::parse("driver.compile:0.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::FaultPlan::parse("driver.compile:0.5:1:wat"),
+                 std::invalid_argument);
+}
+
+TEST(FaultRegistry, InactiveWithoutPlanAndScopedRestore)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    EXPECT_FALSE(fault::active());
+    EXPECT_NO_THROW(fault::point("driver.compile"));
+    EXPECT_EQ(fault::tearPoint("shard.write", 100), 100u);
+    EXPECT_FALSE(fault::triggered("shard.read"));
+    {
+        fault::ScopedFaultPlan outer("driver.compile:1:1");
+        EXPECT_TRUE(fault::active());
+        EXPECT_THROW(fault::point("driver.compile"),
+                     fault::TransientError);
+        // Unarmed sites stay quiet even while a plan is active.
+        EXPECT_NO_THROW(fault::point("runtime.measure"));
+        {
+            fault::ScopedFaultPlan inner("runtime.measure:1:1");
+            EXPECT_THROW(fault::point("runtime.measure"),
+                         fault::TransientError);
+            // The inner plan replaced the outer wholesale.
+            EXPECT_NO_THROW(fault::point("driver.compile"));
+        }
+        EXPECT_THROW(fault::point("driver.compile"),
+                     fault::TransientError);
+    }
+    EXPECT_FALSE(fault::active());
+}
+
+TEST(FaultRegistry, DrawsAreDeterministicPerSeed)
+{
+    auto pattern = [](uint64_t seed) {
+        fault::FaultPlan plan;
+        fault::SiteConfig cfg;
+        cfg.site = "shard.read";
+        cfg.rate = 0.5;
+        cfg.seed = seed;
+        plan.sites.push_back(cfg);
+        fault::ScopedFaultPlan scoped(plan);
+        std::string bits;
+        for (int i = 0; i < 64; ++i)
+            bits += fault::triggered("shard.read") ? '1' : '0';
+        return bits;
+    };
+    const std::string a = pattern(42), b = pattern(42),
+                      c = pattern(43);
+    EXPECT_EQ(a, b);              // same seed, same injections
+    EXPECT_NE(a, c);              // different seed, different stream
+    EXPECT_NE(a.find('1'), std::string::npos); // rate 0.5 does fire
+    EXPECT_NE(a.find('0'), std::string::npos); // ... and does miss
+}
+
+TEST(FaultRegistry, TearPointReturnsStrictPrefixAndCounts)
+{
+    fault::ScopedFaultPlan plan("shard.write:1:5");
+    for (int i = 0; i < 16; ++i) {
+        const size_t n = fault::tearPoint("shard.write", 1000);
+        EXPECT_LT(n, 1000u);
+    }
+    const fault::SiteStats stats = fault::siteStats("shard.write");
+    EXPECT_EQ(stats.evaluations, 16u);
+    EXPECT_EQ(stats.injected, 16u);
+    EXPECT_EQ(fault::siteStats("driver.compile").evaluations, 0u);
+}
+
+// ------------------------------------------------------ retry units
+
+TEST(Retry, SucceedsAfterTransientFailures)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.baseDelayUs = 1; // keep the test fast
+    int calls = 0, attempts = 0;
+    const int result = retryTransient(
+        policy, "test/flaky",
+        [&] {
+            if (++calls < 3)
+                throw fault::TransientError("flaky");
+            return 99;
+        },
+        &attempts);
+    EXPECT_EQ(result, 99);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, ExhaustsAndRethrowsTransient)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.baseDelayUs = 1;
+    int calls = 0, attempts = 0;
+    EXPECT_THROW(retryTransient(
+                     policy, "test/always",
+                     [&]() -> int {
+                         ++calls;
+                         throw fault::TransientError("always");
+                     },
+                     &attempts),
+                 fault::TransientError);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, NonTransientPropagatesImmediately)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.baseDelayUs = 1;
+    int calls = 0;
+    EXPECT_THROW(retryTransient(policy, "test/real",
+                                [&]() -> int {
+                                    ++calls;
+                                    throw std::logic_error("real bug");
+                                }),
+                 std::logic_error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, MeasurementsAbsorbFaultsBitIdentically)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    const gpu::DeviceModel &dev =
+        gpu::deviceModel(gpu::DeviceId::Nvidia);
+    const std::string src = "#version 450\n"
+                            "out vec4 frag;\n"
+                            "void main() { frag = vec4(0.25); }\n";
+    const auto clean = runtime::measureShader(src, dev, "fault/unit");
+    {
+        // Heavy transient rates on both the driver and the harness:
+        // the internal bounded retries must absorb them and reproduce
+        // the exact same timing protocol output.
+        fault::ScopedFaultPlan plan(
+            "driver.compile:0.5:11,runtime.measure:0.5:13");
+        gpu::clearDriverCache(); // force real compiles under faults
+        const auto faulted =
+            runtime::measureShader(src, dev, "fault/unit");
+        EXPECT_EQ(clean.meanNs, faulted.meanNs);
+        EXPECT_EQ(clean.frameTimesNs, faulted.frameTimesNs);
+        EXPECT_GT(fault::siteStats("runtime.measure").evaluations, 0u);
+    }
+}
+
+// ------------------------------------------- shard IO crash safety
+
+tuner::ShaderResult
+tinyResult()
+{
+    tuner::ShaderResult r;
+    r.exploration.shaderName = "tiny/shader";
+    r.exploration.family = "tiny";
+    r.exploration.preprocessedOriginal = "void main() {}";
+    r.exploration.originalSource = "void main(){}";
+    r.exploration.exploredFlagCount = 8;
+    tuner::Variant v0;
+    v0.source = "void main() { /* v0 */ }";
+    v0.sourceHash = fnv1a(v0.source);
+    v0.producers = {tuner::FlagSet(0), tuner::FlagSet(2)};
+    tuner::Variant v1;
+    v1.source = "void main() { /* v1 */ }";
+    v1.sourceHash = fnv1a(v1.source);
+    v1.producers = {tuner::FlagSet(1)};
+    r.exploration.variants = {v0, v1};
+    r.exploration.variantOfCombo = {{0, 0}, {1, 1}, {2, 0}};
+    r.exploration.passthroughVariant = 0;
+    tuner::DeviceMeasurement m;
+    m.originalMeanNs = 100.0;
+    m.variantMeanNs = {90.0, 110.0};
+    r.byDevice.emplace(gpu::DeviceId::Intel, m);
+    m.originalMeanNs = 200.0;
+    m.variantMeanNs = {150.0, 210.0};
+    r.byDevice.emplace(gpu::DeviceId::Arm, m);
+    return r;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    return data;
+}
+
+TEST(ShardIO, RoundTripsAndPublishesAtomically)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("roundtrip");
+    const std::string path = dir.path() + "/tiny.bin";
+    const tuner::ShaderResult r = tinyResult();
+    tuner::ExperimentEngine::saveShard(path, 0xabcdefull, r);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".tmp")); // published, not parked
+
+    tuner::ShaderResult out;
+    ASSERT_TRUE(
+        tuner::ExperimentEngine::loadShard(path, 0xabcdefull, out));
+    EXPECT_EQ(tuner::serializeShardBody(out),
+              tuner::serializeShardBody(r));
+
+    // A different key is someone else's shard: reject, don't parse.
+    EXPECT_FALSE(
+        tuner::ExperimentEngine::loadShard(path, 0x1234ull, out));
+}
+
+TEST(ShardIO, TornWriteNeverClobbersThePublishedShard)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("torn");
+    const std::string path = dir.path() + "/tiny.bin";
+    const tuner::ShaderResult r = tinyResult();
+    tuner::ExperimentEngine::saveShard(path, 1, r);
+    const std::string before = readFile(path);
+    ASSERT_FALSE(before.empty());
+
+    // Every subsequent checkpoint attempt tears mid-body: the .tmp is
+    // abandoned, the published bytes must not change.
+    tuner::ShaderResult r2 = tinyResult();
+    r2.byDevice.begin()->second.originalMeanNs = 12345.0;
+    {
+        fault::ScopedFaultPlan plan("shard.write:1:3");
+        tuner::ExperimentEngine::saveShard(path, 1, r2);
+    }
+    EXPECT_EQ(readFile(path), before);
+    EXPECT_TRUE(fs::exists(path + ".tmp")); // simulated mid-write crash
+
+    // The torn .tmp must itself never load as a shard.
+    tuner::ShaderResult out;
+    EXPECT_FALSE(
+        tuner::ExperimentEngine::loadShard(path + ".tmp", 1, out));
+}
+
+TEST(ShardIO, InjectedReadFaultIsACacheMiss)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("readfault");
+    const std::string path = dir.path() + "/tiny.bin";
+    tuner::ExperimentEngine::saveShard(path, 1, tinyResult());
+    fault::ScopedFaultPlan plan("shard.read:1:3");
+    tuner::ShaderResult out;
+    EXPECT_FALSE(tuner::ExperimentEngine::loadShard(path, 1, out));
+}
+
+TEST(ShardIO, CorruptionMatrixAlwaysLoadsFalse)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("corrupt");
+    const std::string path = dir.path() + "/tiny.bin";
+    const std::string mutant = dir.path() + "/mutant.bin";
+    tuner::ExperimentEngine::saveShard(path, 77, tinyResult());
+    const std::string good = readFile(path);
+    ASSERT_GT(good.size(), 16u);
+
+    auto write_mutant = [&](const std::string &bytes) {
+        std::ofstream f(mutant,
+                        std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    };
+    tuner::ShaderResult out;
+
+    // Truncation at every byte boundary — header fields, string
+    // lengths, counts, device blocks, everything.
+    for (size_t len = 0; len < good.size(); ++len) {
+        write_mutant(good.substr(0, len));
+        EXPECT_FALSE(
+            tuner::ExperimentEngine::loadShard(mutant, 77, out))
+            << "truncated at " << len;
+    }
+
+    // Every single-byte flip must be caught (key, content hash, or
+    // body-hash mismatch — fnv1a detects any one-byte change).
+    for (size_t pos = 0; pos < good.size(); ++pos) {
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0xff);
+        write_mutant(bad);
+        EXPECT_FALSE(
+            tuner::ExperimentEngine::loadShard(mutant, 77, out))
+            << "flipped byte " << pos;
+    }
+
+    // Random garbage of assorted sizes.
+    Rng rng(2026);
+    for (int i = 0; i < 64; ++i) {
+        std::string junk(rng.below(512), '\0');
+        for (char &c : junk)
+            c = static_cast<char>(rng.below(256));
+        write_mutant(junk);
+        EXPECT_FALSE(
+            tuner::ExperimentEngine::loadShard(mutant, 77, out))
+            << "garbage iter " << i;
+    }
+
+    // The unmodified file still loads (the matrix isn't vacuous).
+    EXPECT_TRUE(tuner::ExperimentEngine::loadShard(path, 77, out));
+}
+
+// -------------------------------------------- campaign resilience
+
+TEST(Campaign, QuarantinesUnrecoverableItemsAndCompletes)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    std::vector<corpus::CorpusShader> shaders;
+    shaders.push_back(*corpus::findShader("simple/color_fill"));
+    corpus::CorpusShader broken;
+    broken.name = "broken/unparseable";
+    broken.family = "broken";
+    broken.source = "this is not GLSL at all {";
+    shaders.push_back(broken);
+
+    // A non-transient failure (real compile error) is quarantined
+    // immediately — no retries wasted — and the rest of the campaign
+    // completes untouched.
+    tuner::ExperimentEngine engine(shaders, /*threads=*/2);
+    const tuner::CampaignHealth &health = engine.health();
+    EXPECT_FALSE(health.healthy());
+    const size_t n_dev = gpu::allDevices().size();
+    EXPECT_EQ(health.quarantined.size(), n_dev);
+    for (const auto &q : health.quarantined) {
+        EXPECT_EQ(q.shader, "broken/unparseable");
+        EXPECT_EQ(q.attempts, 1);
+    }
+    EXPECT_FALSE(health.summary().empty());
+
+    // The healthy shader is fully usable...
+    const auto &ok = engine.result("simple/color_fill");
+    EXPECT_TRUE(ok.quarantined.empty());
+    EXPECT_EQ(ok.byDevice.size(), n_dev);
+    // ... and the quarantined one is addressable, flagged, and throws
+    // a quarantine-aware error instead of returning garbage.
+    const auto &bad = engine.result("broken/unparseable");
+    EXPECT_EQ(bad.quarantined.size(), n_dev);
+    try {
+        bad.bestSpeedup(gpu::DeviceId::Intel);
+        FAIL() << "expected out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("quarantined"),
+                  std::string::npos);
+    }
+}
+
+TEST(Campaign, WorkerFaultsQuarantineEveryItem)
+{
+    std::vector<corpus::CorpusShader> shaders;
+    shaders.push_back(*corpus::findShader("simple/color_fill"));
+    fault::ScopedFaultPlan plan("worker.item:1:1");
+    tuner::ExperimentEngine engine(shaders, /*threads=*/1);
+    const size_t n_dev = gpu::allDevices().size();
+    EXPECT_EQ(engine.health().quarantined.size(), n_dev);
+    EXPECT_EQ(engine.health().itemsCompleted, 0u);
+    // Transient faults were retried before giving up.
+    for (const auto &q : engine.health().quarantined)
+        EXPECT_EQ(q.attempts, defaultRetryPolicy().maxAttempts);
+}
+
+TEST(Campaign, StrictModeRestoresFailFast)
+{
+    std::vector<corpus::CorpusShader> shaders;
+    shaders.push_back(*corpus::findShader("simple/color_fill"));
+    ScopedEnv strict("GSOPT_STRICT", "1");
+    fault::ScopedFaultPlan plan("worker.item:1:1");
+    EXPECT_THROW(tuner::ExperimentEngine(shaders, /*threads=*/1),
+                 fault::TransientError);
+}
+
+// ------------------------------------------------- torture harness
+
+TEST(Torture, FaultedCampaignBytesMatchFaultFreeRun)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    const auto shaders = miniCorpus();
+    const auto &reference = referenceBodies();
+    const int iters = tortureIters();
+
+    for (int iter = 0; iter < iters; ++iter) {
+        // Randomized-but-deterministic plan: rates drawn per
+        // iteration, every site armed. Rates are kept under the
+        // retry budget so transients never exhaust into quarantine
+        // (quarantine has its own tests above); the assertion here is
+        // the hard one — byte identity.
+        Rng rng(0x70a7u + static_cast<uint64_t>(iter));
+        auto rate = [&](double cap) {
+            return rng.uniform() * cap;
+        };
+        char spec[256];
+        std::snprintf(
+            spec, sizeof(spec),
+            "driver.compile:%.3f:%d,runtime.measure:%.3f:%d,"
+            "worker.item:%.3f:%d,shard.write:%.3f:%d,"
+            "shard.read:%.3f:%d",
+            rate(0.25), 100 + iter, rate(0.25), 200 + iter,
+            rate(0.08), 300 + iter, rate(0.9), 400 + iter,
+            rate(0.9), 500 + iter);
+        SCOPED_TRACE(std::string("plan: ") + spec);
+
+        ScratchDir dir("torture_" + std::to_string(iter));
+        {
+            fault::ScopedFaultPlan plan(spec);
+            gpu::clearDriverCache(); // compiles really run -> fault
+            tuner::ExperimentEngine faulted(shaders, /*threads=*/1,
+                                            dir.path());
+            ASSERT_TRUE(faulted.health().healthy())
+                << faulted.health().summary();
+            const auto bodies = campaignBodies(faulted);
+            ASSERT_EQ(bodies.size(), reference.size());
+            for (size_t i = 0; i < bodies.size(); ++i)
+                EXPECT_EQ(bodies[i], reference[i]) << shaders[i].name;
+        }
+        // Faults off: resume over whatever shards survived the torn
+        // writes. Partial checkpoints must either be whole or absent,
+        // never wrong — the resumed campaign reproduces the exact
+        // fault-free bytes.
+        tuner::ExperimentEngine resumed(shaders, /*threads=*/1,
+                                        dir.path());
+        EXPECT_TRUE(resumed.health().healthy());
+        const auto bodies = campaignBodies(resumed);
+        for (size_t i = 0; i < bodies.size(); ++i)
+            EXPECT_EQ(bodies[i], reference[i]) << shaders[i].name;
+    }
+}
+
+TEST(Torture, KilledCampaignResumesFromCompletedShards)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    const auto shaders = miniCorpus();
+    const auto &reference = referenceBodies();
+    const size_t n_dev = gpu::allDevices().size();
+    ScratchDir dir("kill_resume");
+
+    // "Kill" the campaign partway: strict mode turns the first
+    // injected worker fault into a run-aborting throw, exactly like a
+    // SIGKILL between two items. Single-threaded, the claim order is
+    // items in order, so a seed firing mid-queue leaves a prefix of
+    // shards checkpointed.
+    {
+        ScopedEnv strict("GSOPT_STRICT", "1");
+        fault::ScopedFaultPlan plan("worker.item:0.08:20260807");
+        EXPECT_THROW(tuner::ExperimentEngine(shaders, /*threads=*/1,
+                                             dir.path()),
+                     fault::TransientError);
+    }
+    size_t shards_on_disk = 0;
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        if (entry.path().extension() == ".bin")
+            ++shards_on_disk;
+    }
+    // The kill must land mid-run for the test to mean anything.
+    ASSERT_GT(shards_on_disk, 0u);
+    ASSERT_LT(shards_on_disk, shaders.size());
+
+    // Resume without faults: completed shards load, only the
+    // remainder is explored/measured again.
+    const auto &counters = tuner::exploreCounters();
+    const uint64_t explored_before = counters.frontEndRuns.load();
+    tuner::ExperimentEngine resumed(shaders, /*threads=*/1,
+                                    dir.path());
+    const uint64_t explored_after = counters.frontEndRuns.load();
+    EXPECT_EQ(explored_after - explored_before,
+              shaders.size() - shards_on_disk)
+        << "resume must not re-explore checkpointed shards";
+    EXPECT_TRUE(resumed.health().healthy());
+    EXPECT_EQ(resumed.health().itemsCompleted,
+              (shaders.size() - shards_on_disk) * n_dev)
+        << "resume must not re-measure checkpointed shards";
+
+    const auto bodies = campaignBodies(resumed);
+    ASSERT_EQ(bodies.size(), reference.size());
+    for (size_t i = 0; i < bodies.size(); ++i)
+        EXPECT_EQ(bodies[i], reference[i]) << shaders[i].name;
+
+    // All shards are now checkpointed; a further resume is pure load.
+    const uint64_t explored_resume2 = counters.frontEndRuns.load();
+    tuner::ExperimentEngine resumed2(shaders, /*threads=*/1,
+                                     dir.path());
+    EXPECT_EQ(counters.frontEndRuns.load(), explored_resume2);
+    EXPECT_EQ(resumed2.health().itemsCompleted, 0u);
+}
+
+TEST(Campaign, OrphanSweepSkipsLiveTmpAndReapsDeadFiles)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    const auto shaders = miniCorpus();
+    ScratchDir dir("sweep");
+    tuner::ExperimentEngine first(shaders, /*threads=*/1, dir.path());
+
+    // A live shard's in-flight .tmp (a checkpoint in progress on
+    // another worker) must survive the sweep; dead keys — old
+    // schemas, dropped shaders — are reaped, .tmp or not.
+    std::string live_bin;
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        if (entry.path().extension() == ".bin")
+            live_bin = entry.path().string();
+    }
+    ASSERT_FALSE(live_bin.empty());
+    const std::string live_tmp = live_bin + ".tmp";
+    const std::string dead_bin = dir.path() + "/dead-0000.bin";
+    const std::string dead_tmp = dead_bin + ".tmp";
+    for (const std::string &p : {live_tmp, dead_bin, dead_tmp})
+        std::ofstream(p, std::ios::binary) << "x";
+
+    tuner::ExperimentEngine second(shaders, /*threads=*/1,
+                                   dir.path());
+    EXPECT_TRUE(fs::exists(live_bin));
+    EXPECT_TRUE(fs::exists(live_tmp));
+    EXPECT_FALSE(fs::exists(dead_bin));
+    EXPECT_FALSE(fs::exists(dead_tmp));
+}
+
+} // namespace
+} // namespace gsopt

@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "support/diag.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace gsopt {
 namespace {
@@ -187,6 +191,83 @@ TEST(Table, RendersAlignedColumns)
     EXPECT_NE(s.find("longer_name"), std::string::npos);
     EXPECT_NE(s.find("+4.25%"), std::string::npos);
     EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(ParallelFor, SerialFirstErrorPropagatesWithPosition)
+{
+    std::atomic<int> executed{0};
+    try {
+        parallelFor(10, 1, [&](size_t i) {
+            ++executed;
+            if (i == 3)
+                throw std::runtime_error("item 3 failed");
+        });
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "item 3 failed");
+    }
+    // Serial claims in order: items 4..9 were abandoned.
+    EXPECT_EQ(executed.load(), 4);
+}
+
+TEST(ParallelFor, ThreadedErrorAbandonsTheQueue)
+{
+    // Any worker's failure must stop the others from claiming more
+    // work. With an early item throwing, far fewer than `items` run.
+    constexpr size_t items = 10000;
+    std::atomic<size_t> executed{0};
+    EXPECT_THROW(parallelFor(items, 4,
+                             [&](size_t i) {
+                                 executed.fetch_add(1);
+                                 if (i == 0)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    EXPECT_LT(executed.load(), items);
+}
+
+TEST(ParallelFor, CompletionHookRunsOncePerItem)
+{
+    for (unsigned threads : {1u, 4u}) {
+        std::vector<std::atomic<int>> done(64);
+        for (auto &d : done)
+            d = 0;
+        parallelFor(
+            done.size(), threads, [](size_t) {},
+            [&](size_t i) { done[i].fetch_add(1); });
+        for (size_t i = 0; i < done.size(); ++i)
+            EXPECT_EQ(done[i].load(), 1) << "item " << i;
+    }
+}
+
+TEST(ParallelFor, CompletionHookSkippedForFailedItem)
+{
+    std::vector<int> done(8, 0);
+    EXPECT_THROW(parallelFor(
+                     done.size(), 1,
+                     [&](size_t i) {
+                         if (i == 5)
+                             throw std::runtime_error("no hook for 5");
+                     },
+                     [&](size_t i) { done[i] = 1; }),
+                 std::runtime_error);
+    EXPECT_EQ(done[4], 1); // completed items got their hook...
+    EXPECT_EQ(done[5], 0); // ... the failed one did not
+    EXPECT_EQ(done[6], 0); // ... and the queue was abandoned
+}
+
+TEST(ParallelFor, HookExceptionIsAnItemFailure)
+{
+    std::atomic<int> executed{0};
+    EXPECT_THROW(parallelFor(
+                     8, 1, [&](size_t) { executed.fetch_add(1); },
+                     [](size_t i) {
+                         if (i == 2)
+                             throw std::runtime_error("hook failed");
+                     }),
+                 std::runtime_error);
+    // fn ran for 0,1,2; the failing hook abandoned the rest.
+    EXPECT_EQ(executed.load(), 3);
 }
 
 } // namespace
