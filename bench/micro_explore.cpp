@@ -15,7 +15,10 @@
  * It prints per-phase wall-clock (front end / lower / passes /
  * fingerprint / print / driver compile / measurement), the campaign
  * totals, the interpreter microbenchmark (slot-indexed engine vs the
- * map-based reference), and the registry-growth section: exploration
+ * map-based reference), the measurement/verify phase (scalar
+ * per-probe interprets vs one batched 16-lane run per distinct
+ * variant — see bench/micro_interp.cpp for the full width sweep), and
+ * the registry-growth section: exploration
  * cost at N=8 vs N=11 (the full extra-pass catalog registered), where
  * the memoized flag tree must keep *executed* pass runs under 2x the
  * N=8 figure despite walking an 8x larger combination space. Future
@@ -29,12 +32,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "bench_common.h"
 #include "corpus/corpus.h"
 #include "emit/offline.h"
 #include "glsl/frontend.h"
 #include "gpu/driver.h"
 #include "ir/interp.h"
+#include "ir/interp_batch.h"
 #include "lower/lower.h"
 #include "passes/passes.h"
 #include "passes/registry.h"
@@ -167,6 +173,69 @@ interpreterMicrobench()
                 map_ms / slot_ms);
 }
 
+/**
+ * The measurement/verify phase: functionally probing every distinct
+ * optimised variant of every probe shader against 16 environments —
+ * what the fuzz walk and the campaign's functional checks do in bulk.
+ * Times the scalar way (16 ir::interpret calls per variant) against
+ * one 16-lane batched run per variant over the same memoized flag-tree
+ * walk.
+ */
+void
+verifyPhase(const std::vector<corpus::CorpusShader> &probe)
+{
+    constexpr size_t kProbes = 16;
+    double scalarMs = 0, batchMs = 0;
+    size_t variants = 0;
+    for (const auto &s : probe) {
+        glsl::CompiledShader cs =
+            glsl::compileShader(s.source, s.defines);
+        auto base = lower::lowerShader(cs);
+
+        ir::BatchEnv benv = ir::BatchEnv::broadcast(
+            runtime::defaultEnvironmentCached(cs.interface), kProbes);
+        for (size_t l = 1; l < kProbes; ++l) {
+            const double p =
+                static_cast<double>(l) / (kProbes - 1);
+            for (auto &[name, in] : benv.inputs) {
+                ir::LaneVector v(in.comps);
+                for (size_t c = 0; c < in.comps; ++c)
+                    v[c] = 0.1 + 0.8 * p +
+                           0.05 * static_cast<double>(c);
+                benv.setLaneInput(name, l, v);
+            }
+        }
+        std::vector<ir::InterpEnv> envs;
+        for (size_t l = 0; l < kProbes; ++l)
+            envs.push_back(benv.laneEnv(l));
+
+        std::unordered_set<uint64_t> seen;
+        passes::forEachFlagCombination(
+            *base, [&](const passes::OptFlags &, const ir::Module &m,
+                       uint64_t fp) {
+                if (!seen.insert(fp).second)
+                    return;
+                ++variants;
+                double t0 = nowMs();
+                for (const ir::InterpEnv &env : envs)
+                    ir::interpret(m, env);
+                scalarMs += nowMs() - t0;
+                t0 = nowMs();
+                ir::interpretBatch(m, benv);
+                batchMs += nowMs() - t0;
+            });
+    }
+    std::printf("Measurement/verify phase (%zu distinct variants x %zu "
+                "probe envs):\n",
+                variants, kProbes);
+    std::printf("  scalar (16 interprets/variant) : %9.1f ms\n",
+                scalarMs);
+    std::printf("  batched (one 16-lane run)      : %9.1f ms\n",
+                batchMs);
+    std::printf("  speedup                        : %9.2fx\n\n",
+                batchMs > 0 ? scalarMs / batchMs : 0.0);
+}
+
 } // namespace
 
 int
@@ -258,6 +327,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 ms(cache.compileNs));
+
+    verifyPhase(probe);
 
     std::printf("Campaign wall-clock summary:\n");
     std::printf("  %-28s %12s %12s %12s\n", "", "explore", "measure",

@@ -623,6 +623,10 @@ denseIdsWalk(const Module &module, const Region &r,
     return true;
 }
 
+} // namespace
+
+namespace detail {
+
 bool
 denseIdsUsable(const Module &module)
 {
@@ -634,6 +638,10 @@ denseIdsUsable(const Module &module)
                            false);
     return denseIdsWalk(module, module.body, seen);
 }
+
+} // namespace detail
+
+namespace {
 
 class SlotInterpreter
 {
@@ -1167,7 +1175,7 @@ defaultTexture(double u, double v, double lod)
 InterpResult
 interpret(const Module &module, const InterpEnv &env)
 {
-    if (!denseIdsUsable(module))
+    if (!detail::denseIdsUsable(module))
         return MapInterpreter(module, env).run();
     return SlotInterpreter(module, env).run();
 }

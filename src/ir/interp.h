@@ -84,6 +84,17 @@ InterpResult interpret(const Module &module, const InterpEnv &env);
 InterpResult interpretReference(const Module &module,
                                 const InterpEnv &env);
 
+namespace detail {
+/**
+ * True when dense slot indexing is valid for @p module: every Instr::id
+ * unique and below idBound(), every referenced Var at vars[Var::id].
+ * Shared by the slot engine's dispatch and the batched SoA engine
+ * (ir/interp_batch.h), which both fall back to the map engine when it
+ * fails.
+ */
+bool denseIdsUsable(const Module &module);
+} // namespace detail
+
 } // namespace gsopt::ir
 
 #endif // GSOPT_IR_INTERP_H

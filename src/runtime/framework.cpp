@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #include "support/fault.h"
@@ -70,6 +72,173 @@ defaultEnvironment(const glsl::ShaderInterface &iface)
         }
     }
     return env;
+}
+
+namespace {
+
+/** Structural signature of an interface: every var's role, name, and
+ * type. Two interfaces with the same signature auto-initialise to the
+ * same environment, so it is the memoisation key. */
+std::string
+interfaceSignature(const glsl::ShaderInterface &iface)
+{
+    std::ostringstream os;
+    for (const auto &in : iface.inputs)
+        os << "i " << in.name << ':' << in.type.str() << ';';
+    for (const auto &u : iface.uniforms)
+        os << "u " << u.name << ':' << u.type.str() << ';';
+    for (const auto &out : iface.outputs)
+        os << "o " << out.name << ':' << out.type.str() << ';';
+    return os.str();
+}
+
+} // namespace
+
+const ir::InterpEnv &
+defaultEnvironmentCached(const glsl::ShaderInterface &iface)
+{
+    static std::mutex mu;
+    // std::map node stability keeps returned references valid while
+    // later insertions grow the cache.
+    static std::map<std::string, ir::InterpEnv> cache;
+    const std::string key = interfaceSignature(iface);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, defaultEnvironment(iface)).first;
+    return it->second;
+}
+
+namespace {
+
+/** A float input the tile sweep varies: component 0 follows u,
+ * component 1 (when present) follows v. */
+struct VaryingInput
+{
+    std::string name;
+    size_t comps = 0;
+};
+
+std::vector<VaryingInput>
+tileVaryings(const glsl::ShaderInterface &iface)
+{
+    std::vector<VaryingInput> out;
+    for (const auto &in : iface.inputs) {
+        if (in.type.isInt() || in.type.isArray())
+            continue;
+        const size_t comps =
+            static_cast<size_t>(in.type.componentCount());
+        if (comps > 0)
+            out.push_back({in.name, comps});
+    }
+    return out;
+}
+
+void
+accumulateFragment(TileResult &result, const ir::InterpResult &frag)
+{
+    ++result.fragments;
+    result.executedInstructions += frag.executedInstructions;
+    if (frag.discarded)
+        ++result.discardedFragments;
+    for (const auto &[name, lanes] : frag.outputs) {
+        ir::LaneVector &sum = result.outputSums[name];
+        if (sum.size() < lanes.size())
+            sum.resize(lanes.size(), 0.0);
+        for (size_t c = 0; c < lanes.size(); ++c) {
+            sum[c] += lanes[c];
+            if (!frag.discarded && !std::isfinite(lanes[c]))
+                result.allFinite = false;
+        }
+    }
+}
+
+} // namespace
+
+TileResult
+interpretTile(const ir::Module &module,
+              const glsl::ShaderInterface &iface,
+              const TileOptions &opts)
+{
+    TileResult result;
+    if (opts.width == 0 || opts.height == 0)
+        return result;
+    const ir::InterpEnv &base = defaultEnvironmentCached(iface);
+    const std::vector<VaryingInput> varyings = tileVaryings(iface);
+    const size_t total = opts.width * opts.height;
+
+    auto fragUV = [&](size_t f, double &u, double &v) {
+        const size_t x = f % opts.width;
+        const size_t y = f / opts.width;
+        u = (static_cast<double>(x) + 0.5) /
+            static_cast<double>(opts.width);
+        v = (static_cast<double>(y) + 0.5) /
+            static_cast<double>(opts.height);
+    };
+
+    if (opts.batchWidth == 0) {
+        // Scalar reference path: one interpret() per fragment, the
+        // environment built once and mutated in place per fragment.
+        ir::InterpEnv env = base;
+        for (size_t f = 0; f < total; ++f) {
+            double u, v;
+            fragUV(f, u, v);
+            for (const VaryingInput &in : varyings) {
+                ir::LaneVector &val = env.inputs[in.name];
+                val[0] = u;
+                if (in.comps > 1)
+                    val[1] = v;
+            }
+            accumulateFragment(result, ir::interpret(module, env));
+        }
+        return result;
+    }
+
+    const size_t W = opts.batchWidth;
+    ir::BatchRunner runner(module, W);
+    ir::BatchEnv benv = ir::BatchEnv::broadcast(base, W);
+    for (size_t f0 = 0; f0 < total; f0 += W) {
+        const size_t lanes = std::min(W, total - f0);
+        for (size_t l = 0; l < W; ++l) {
+            // Padding lanes replicate the last fragment; their results
+            // are simply not consumed.
+            double u, v;
+            fragUV(std::min(f0 + l, total - 1), u, v);
+            for (const VaryingInput &in : varyings) {
+                ir::BatchEnv::LaneInput &li = benv.inputs[in.name];
+                li.soa[0 * W + l] = u;
+                if (in.comps > 1)
+                    li.soa[1 * W + l] = v;
+            }
+        }
+        const ir::BatchResult batch = runner.run(benv);
+        // Accumulate straight from the SoA strips — reshaping every
+        // lane into a scalar InterpResult would allocate a map per
+        // fragment and dominate the batched path's runtime. Per
+        // (output, component) the sum still accumulates in row-major
+        // fragment order, so it stays bit-identical to the scalar path.
+        for (size_t l = 0; l < lanes; ++l) {
+            ++result.fragments;
+            result.executedInstructions += batch.laneExecuted[l];
+            if (batch.discarded[l])
+                ++result.discardedFragments;
+        }
+        for (const auto &[name, soa] : batch.outputs) {
+            const size_t comps = soa.size() / batch.width;
+            ir::LaneVector &sum = result.outputSums[name];
+            if (sum.size() < comps)
+                sum.resize(comps, 0.0);
+            for (size_t c = 0; c < comps; ++c) {
+                for (size_t l = 0; l < lanes; ++l) {
+                    const double v = soa[c * batch.width + l];
+                    sum[c] += v;
+                    if (!batch.discarded[l] && !std::isfinite(v))
+                        result.allFinite = false;
+                }
+            }
+        }
+    }
+    return result;
 }
 
 TimingResult

@@ -26,6 +26,7 @@
 #include "gpu/device.h"
 #include "gpu/driver.h"
 #include "ir/interp.h"
+#include "ir/interp_batch.h"
 
 namespace gsopt::runtime {
 
@@ -59,6 +60,59 @@ std::string generateVertexShader(const glsl::ShaderInterface &iface);
  * shaders functionally.
  */
 ir::InterpEnv defaultEnvironment(const glsl::ShaderInterface &iface);
+
+/**
+ * Memoised defaultEnvironment: one build per distinct interface
+ * signature, then the same (immutable) environment is returned by
+ * reference forever. The bulk consumers — corpus sweeps, fuzz probe
+ * loops, per-variant verification — ask for the same shader's
+ * environment thousands of times; rebuilding the maps each call was
+ * pure overhead in those loops. Thread-safe; the returned reference is
+ * stable for the process lifetime. Callers that want to perturb the
+ * environment copy it first (it is shared!).
+ */
+const ir::InterpEnv &
+defaultEnvironmentCached(const glsl::ShaderInterface &iface);
+
+/**
+ * Options for interpretTile: tile geometry and engine selection.
+ * batchWidth 0 selects the scalar reference path (one ir::interpret
+ * per fragment); any other value runs the batched SIMT engine with
+ * that many lanes per batch. Both paths produce bit-identical results.
+ */
+struct TileOptions
+{
+    size_t width = 16;
+    size_t height = 16;
+    size_t batchWidth = ir::kBatchWidth;
+};
+
+/** Aggregate result of shading one tile. Sums are accumulated in
+ * row-major fragment order on both engine paths, so they are
+ * bit-comparable between scalar and batched runs. */
+struct TileResult
+{
+    size_t fragments = 0;
+    size_t discardedFragments = 0;
+    size_t executedInstructions = 0;
+    /** All components of all non-discarded fragments finite. */
+    bool allFinite = true;
+    /** Per output: per-component sum over all fragments. */
+    std::map<std::string, ir::LaneVector> outputSums;
+};
+
+/**
+ * Shade a width x height tile of fragments with the framework's
+ * auto-initialised bindings, varying each float input across the tile
+ * like an interpolated varying (component 0 sweeps u = (x+0.5)/width,
+ * component 1 sweeps v = (y+0.5)/height, remaining components keep the
+ * auto-init value). This is the bulk-verification entry point: the
+ * corpus functional checks and the benchmarks drive whole tiles
+ * through one BatchRunner instead of one interpret() per fragment.
+ */
+TileResult interpretTile(const ir::Module &module,
+                         const glsl::ShaderInterface &iface,
+                         const TileOptions &opts = {});
 
 /**
  * Run the full measurement protocol for one shader on one device.

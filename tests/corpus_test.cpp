@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -46,13 +48,25 @@ class CorpusEach : public ::testing::TestWithParam<size_t>
 {
 };
 
+/** Bit pattern of a double — lets the tile checks assert true
+ * bit-identity even when a sum is NaN (NaN != NaN under operator==,
+ * but the engines must still agree on the exact bits). */
+uint64_t
+bits(double v)
+{
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
 TEST_P(CorpusEach, CompilesLowersExecutes)
 {
     const CorpusShader &s = corpus()[GetParam()];
     glsl::CompiledShader cs = glsl::compileShader(s.source, s.defines);
     ASSERT_FALSE(cs.interface.outputs.empty()) << s.name;
     auto module = lower::lowerShader(cs);
-    ir::InterpEnv env = runtime::defaultEnvironment(cs.interface);
+    const ir::InterpEnv &env =
+        runtime::defaultEnvironmentCached(cs.interface);
     auto result = ir::interpret(*module, env);
     // Outputs must be finite (shader executes meaningfully with the
     // framework's auto-initialised inputs), unless discarded.
@@ -60,6 +74,50 @@ TEST_P(CorpusEach, CompilesLowersExecutes)
         for (const auto &[name, lanes] : result.outputs) {
             for (double v : lanes)
                 EXPECT_TRUE(std::isfinite(v)) << s.name << "/" << name;
+        }
+    }
+}
+
+TEST_P(CorpusEach, TileExecutionBatchedMatchesScalar)
+{
+    // The bulk functional check: an 8x6 tile sweeps the shader's
+    // varyings across the unit square, once per fragment on the scalar
+    // engine and once through the batched SIMT engine. Everything the
+    // tile aggregates — fragment/discard counts, the dynamic
+    // instruction total, and row-major per-component output sums —
+    // must match bit-for-bit.
+    const CorpusShader &s = corpus()[GetParam()];
+    glsl::CompiledShader cs = glsl::compileShader(s.source, s.defines);
+    auto module = lower::lowerShader(cs);
+
+    runtime::TileOptions scalarOpts;
+    scalarOpts.width = 8;
+    scalarOpts.height = 6;
+    scalarOpts.batchWidth = 0; // scalar reference path
+    const runtime::TileResult want =
+        runtime::interpretTile(*module, cs.interface, scalarOpts);
+    EXPECT_EQ(want.fragments, 48u) << s.name;
+
+    for (size_t w : {size_t{8}, size_t{16}}) {
+        runtime::TileOptions opts = scalarOpts;
+        opts.batchWidth = w;
+        const runtime::TileResult got =
+            runtime::interpretTile(*module, cs.interface, opts);
+        EXPECT_EQ(got.fragments, want.fragments) << s.name;
+        EXPECT_EQ(got.discardedFragments, want.discardedFragments)
+            << s.name;
+        EXPECT_EQ(got.executedInstructions, want.executedInstructions)
+            << s.name;
+        EXPECT_EQ(got.allFinite, want.allFinite) << s.name;
+        ASSERT_EQ(got.outputSums.size(), want.outputSums.size())
+            << s.name;
+        for (const auto &[name, sums] : want.outputSums) {
+            const auto &g = got.outputSums.at(name);
+            ASSERT_EQ(g.size(), sums.size()) << s.name << "/" << name;
+            for (size_t c = 0; c < sums.size(); ++c)
+                EXPECT_EQ(bits(g[c]), bits(sums[c]))
+                    << s.name << "/" << name << "[" << c << "] W=" << w
+                    << " got " << g[c] << " want " << sums[c];
         }
     }
 }

@@ -8,11 +8,19 @@
  *      the whole extra-pass catalog (licm, strength_reduce, tex_batch),
  *      2048 combinations by default — with identical semantics vs the
  *      reference interpretation of the unoptimised shader,
- *   2. interpret bit-identically on the slot-indexed engine and the
- *      map-based `interpretReference` golden engine for every distinct
- *      optimised module, and
+ *   2. interpret identically across all three engines — the batched
+ *      SIMT engine evaluates all probe environments as lanes of ONE
+ *      run per distinct optimised module (the fast path), and a
+ *      rotating lane is re-checked bit-identically on the slot-indexed
+ *      and map-based golden engines — and
  *   3. round-trip through the GLSL back end into the driver path
- *      (emit, re-parse, re-interpret) for every distinct variant.
+ *      (emit, re-parse, re-interpret batched) for every distinct
+ *      variant.
+ *
+ * Batching is what pays for width here: the walk probes 8 environments
+ * per distinct module (previously 2) at one batched interpretation per
+ * engine check instead of one scalar run per environment, so the
+ * nightly seed budget rises with flat wall-clock.
  *
  * The generator favours the constructs the passes rewrite: additive and
  * multiplicative chains with shared subterms, constant divisions,
@@ -38,6 +46,7 @@
 #include "emit/emit.h"
 #include "emit/offline.h"
 #include "ir/interp.h"
+#include "ir/interp_batch.h"
 #include "lower/lower.h"
 #include "passes/registry.h"
 #include "support/rng.h"
@@ -234,28 +243,33 @@ TEST_P(RandomShader, FullRegistryTreePreservesSemantics)
 
     auto reference = emit::compileToIr(src);
 
-    std::vector<ir::InterpEnv> envs;
-    for (double x : {0.15, 0.85}) {
-        ir::InterpEnv env;
-        env.inputs["uv"] = {x, 1.0 - x};
-        env.inputs["tone"] = {0.3 + x};
-        env.uniforms["gain"] = {1.25};
-        envs.push_back(std::move(env));
+    // 8 probe environments, evaluated as the 8 lanes of one batch.
+    constexpr size_t kProbeLanes = 8;
+    ir::BatchEnv benv;
+    benv.width = kProbeLanes;
+    for (size_t l = 0; l < kProbeLanes; ++l) {
+        const double x =
+            0.15 + 0.7 * static_cast<double>(l) / (kProbeLanes - 1);
+        benv.setLaneInput("uv", l, {x, 1.0 - x});
+        benv.setLaneInput("tone", l, {0.3 + x});
     }
+    benv.uniforms["gain"] = {1.25};
+    std::vector<ir::InterpEnv> envs;
+    for (size_t l = 0; l < kProbeLanes; ++l)
+        envs.push_back(benv.laneEnv(l));
+
     // Ground truth: the golden map-based engine on the unoptimised IR.
     std::vector<ir::InterpResult> want;
     for (const auto &env : envs)
         want.push_back(ir::interpretReference(*reference, env));
 
-    auto check_against_reference = [&](const ir::Module &module,
+    auto check_against_reference = [&](const ir::BatchResult &got,
                                        const char *what) {
         for (size_t e = 0; e < envs.size(); ++e) {
-            const auto got = ir::interpret(module, envs[e]);
             for (const auto &[name, lanes] : want[e].outputs) {
-                const auto &g = got.outputs.at(name);
-                ASSERT_EQ(g.size(), lanes.size());
+                ASSERT_EQ(got.outputComps(name), lanes.size());
                 for (size_t k = 0; k < lanes.size(); ++k) {
-                    ASSERT_NEAR(g[k], lanes[k],
+                    ASSERT_NEAR(got.output(name, k, e), lanes[k],
                                 1e-6 * (1.0 + std::fabs(lanes[k])))
                         << what << " seed " << seed << " env " << e
                         << " output " << name << "[" << k << "]\n"
@@ -277,23 +291,38 @@ TEST_P(RandomShader, FullRegistryTreePreservesSemantics)
             SCOPED_TRACE("flags mask " +
                          std::to_string(flags.mask()));
 
-            // (1) semantics vs the unoptimised reference run.
-            check_against_reference(module, "optimized");
+            // (1) semantics vs the unoptimised reference run: one
+            // batched interpretation covers all 8 environments.
+            const ir::BatchResult batch =
+                ir::interpretBatch(module, benv);
+            check_against_reference(batch, "optimized");
 
-            // (2) the slot-indexed engine must be bit-identical to
-            // interpretReference on the optimised module.
-            for (const auto &env : envs) {
-                const auto slot = ir::interpret(module, env);
-                const auto ref = ir::interpretReference(module, env);
-                ASSERT_EQ(slot.discarded, ref.discarded);
-                ASSERT_EQ(slot.outputs, ref.outputs)
-                    << "slot/reference divergence, seed " << seed;
-            }
+            // (2) tri-engine bit-identity on a rotating probe lane:
+            // slot-indexed, map-based golden, and the batched lane
+            // must agree bit-for-bit (outputs, discard, and the
+            // per-lane dynamic instruction count).
+            const size_t lane =
+                static_cast<size_t>(fingerprint % kProbeLanes);
+            const auto slot = ir::interpret(module, envs[lane]);
+            const auto ref =
+                ir::interpretReference(module, envs[lane]);
+            ASSERT_EQ(slot.discarded, ref.discarded);
+            ASSERT_EQ(slot.outputs, ref.outputs)
+                << "slot/reference divergence, seed " << seed;
+            const auto blane = batch.laneResult(lane);
+            ASSERT_EQ(blane.discarded, slot.discarded);
+            ASSERT_EQ(blane.executedInstructions,
+                      slot.executedInstructions)
+                << "batched lane count diverged, seed " << seed;
+            ASSERT_EQ(blane.outputs, slot.outputs)
+                << "batched/scalar divergence, seed " << seed
+                << " lane " << lane;
 
-            // (3) driver path: emit, re-parse, re-interpret.
+            // (3) driver path: emit, re-parse, re-interpret batched.
             const std::string text = emit::emitGlsl(module);
             auto reparsed = emit::compileToIr(text);
-            check_against_reference(*reparsed, "round-trip");
+            check_against_reference(
+                ir::interpretBatch(*reparsed, benv), "round-trip");
         });
     EXPECT_EQ(combos, reg.comboCount()) << "walk must cover 2^N";
     EXPECT_GE(seen.size(), 1u);

@@ -4,17 +4,22 @@
  * shaders and a sample of pass combinations, the dense-register engine
  * must produce *bit-identical* results to the map-based reference
  * implementation it replaced (same outputs, same discard behaviour,
- * same dynamic instruction count).
+ * same dynamic instruction count) — and the batched SIMT engine must
+ * produce bit-identical per-lane results to the scalar engine on every
+ * corpus shader under every combination of the full pass registry.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <unordered_set>
 
 #include "corpus/corpus.h"
 #include "glsl/frontend.h"
 #include "ir/interp.h"
+#include "ir/interp_batch.h"
 #include "lower/lower.h"
 #include "passes/passes.h"
+#include "passes/registry.h"
 #include "runtime/framework.h"
 #include "tuner/flags.h"
 
@@ -78,7 +83,7 @@ TEST(InterpGolden, SlotEngineMatchesMapReferenceAcrossCorpus)
         // A handful of probe environments: the framework default plus
         // perturbed fragment positions.
         std::vector<ir::InterpEnv> envs;
-        envs.push_back(runtime::defaultEnvironment(cs.interface));
+        envs.push_back(runtime::defaultEnvironmentCached(cs.interface));
         for (double p : {0.15, 0.85}) {
             ir::InterpEnv env = envs.front();
             for (auto &[k, v] : env.inputs) {
@@ -102,6 +107,64 @@ TEST(InterpGolden, SlotEngineMatchesMapReferenceAcrossCorpus)
     }
 }
 
+TEST(InterpGolden, BatchedMatchesScalarOnEveryCorpusShaderAllCombos)
+{
+    // The acceptance pin for the batched engine: EVERY corpus shader,
+    // EVERY combination of the FULL pass registry (walked through the
+    // memoized combination tree, so each distinct optimised module is
+    // checked once), with 4 probe lanes spanning the default
+    // environment and perturbed inputs. Each distinct module gets one
+    // batched run; a lane chosen by the module's fingerprint is then
+    // re-run on the scalar slot engine and compared bit-for-bit —
+    // outputs, discard flag, and dynamic instruction count. Across the
+    // corpus the rotation covers all lanes many times over.
+    passes::ScopedExtraPasses extras;
+    constexpr size_t kLanes = 4;
+
+    size_t modulesChecked = 0;
+    for (const auto &shader : corpus::corpus()) {
+        glsl::CompiledShader cs =
+            glsl::compileShader(shader.source, shader.defines);
+        auto base = lower::lowerShader(cs);
+
+        ir::BatchEnv benv = ir::BatchEnv::broadcast(
+            runtime::defaultEnvironmentCached(cs.interface), kLanes);
+        const double perturb[kLanes] = {0.0, 0.15, 0.5, 0.85};
+        for (size_t l = 1; l < kLanes; ++l) {
+            for (auto &[name, in] : benv.inputs) {
+                ir::LaneVector v(in.comps);
+                for (size_t c = 0; c < in.comps; ++c)
+                    v[c] = perturb[l] +
+                           0.1 * static_cast<double>(c);
+                benv.setLaneInput(name, l, v);
+            }
+        }
+        std::vector<ir::InterpEnv> envs;
+        for (size_t l = 0; l < kLanes; ++l)
+            envs.push_back(benv.laneEnv(l));
+
+        std::unordered_set<uint64_t> seen;
+        passes::forEachFlagCombination(
+            *base, [&](const passes::OptFlags &, const ir::Module &m,
+                       uint64_t fp) {
+                if (!seen.insert(fp).second)
+                    return; // distinct modules only
+                const ir::BatchResult batch =
+                    ir::interpretBatch(m, benv);
+                const size_t lane = static_cast<size_t>(fp % kLanes);
+                expectBitIdentical(
+                    batch.laneResult(lane),
+                    ir::interpret(m, envs[lane]),
+                    (shader.name + " lane " + std::to_string(lane))
+                        .c_str());
+                ++modulesChecked;
+            });
+    }
+    // The walk must have produced a meaningful number of distinct
+    // optimised modules across the corpus, or the pin is vacuous.
+    EXPECT_GE(modulesChecked, 500u);
+}
+
 TEST(InterpGolden, ExploredVariantsMatchOnClonedModules)
 {
     // The compile-once pipeline interprets clones; pin that a cloned
@@ -111,7 +174,8 @@ TEST(InterpGolden, ExploredVariantsMatchOnClonedModules)
     glsl::CompiledShader cs =
         glsl::compileShader(shader.source, shader.defines);
     auto base = lower::lowerShader(cs);
-    ir::InterpEnv env = runtime::defaultEnvironment(cs.interface);
+    const ir::InterpEnv &env =
+        runtime::defaultEnvironmentCached(cs.interface);
 
     auto want = ir::interpretReference(*base, env);
     for (const tuner::FlagSet &flags : sampleFlagSets()) {
