@@ -330,6 +330,61 @@ void main() {
 }
 )";
 
+// A 64-step march whose per-step scattering weight folds in a heavy
+// spectral phase function. Every phase term is loop-invariant but the
+// raw body (~160 instructions x 64 trips) blows the offline unroller's
+// instruction budget, so in the canonical pipeline order unroll
+// declines and the loop survives; hoisting the phase tree first (licm
+// *before* unroll — an ordering no flag subset can express) shrinks
+// the body enough for a full unroll. The corpus member behind
+// bench/micro_order's phase-ordering headline.
+const char *kGodRaysSpectral = R"(#version 450
+out vec4 fragColor;
+in vec2 uv;
+uniform sampler2D occlusion;
+uniform vec2 light_pos;
+uniform float density;
+uniform float decay;
+uniform float ray_weight;
+void main() {
+    vec2 delta = (uv - light_pos) * (density / 64.0);
+    vec2 pos = uv;
+    float illumination = 0.0;
+    float falloff = 1.0;
+    for (int i = 0; i < 64; i++) {
+        float p0 = sin(uv.x * 1.31) * 0.021 + cos(uv.y * 1.73) * 0.017;
+        float p1 = sin(uv.x * 2.11) * 0.019 + cos(uv.y * 2.41) * 0.016;
+        float p2 = sin(uv.x * 3.07) * 0.018 + cos(uv.y * 3.37) * 0.015;
+        float p3 = sin(uv.x * 4.13) * 0.017 + cos(uv.y * 4.51) * 0.014;
+        float p4 = sin(uv.x * 5.23) * 0.016 + cos(uv.y * 5.87) * 0.013;
+        float p5 = sin(uv.x * 6.29) * 0.015 + cos(uv.y * 6.91) * 0.012;
+        float p6 = sin(uv.x * 7.19) * 0.014 + cos(uv.y * 7.79) * 0.011;
+        float p7 = sin(uv.x * 8.39) * 0.013 + cos(uv.y * 8.93) * 0.010;
+        float p8 = sin(uv.x * 9.43) * 0.012 + cos(uv.y * 9.67) * 0.009;
+        float p9 = sin(uv.x * 10.9) * 0.011 + cos(uv.y * 10.3) * 0.008;
+        float pa = sin(uv.x * 11.3) * 0.010 + cos(uv.y * 11.7) * 0.007;
+        float pb = sin(uv.x * 12.7) * 0.009 + cos(uv.y * 12.1) * 0.006;
+        float pc = sin(uv.x * 13.1) * 0.008 + cos(uv.y * 13.9) * 0.005;
+        float pd = sin(uv.x * 14.9) * 0.007 + cos(uv.y * 14.3) * 0.004;
+        float pe = sin(uv.x * 15.2) * 0.006 + cos(uv.y * 15.8) * 0.003;
+        float pf = sin(uv.x * 16.4) * 0.005 + cos(uv.y * 16.6) * 0.002;
+        float pg = sin(uv.x * 17.5) * 0.004 + cos(uv.y * 17.2) * 0.001;
+        float ph = sin(uv.x * 18.6) * 0.003 + cos(uv.y * 18.4) * 0.002;
+        float pi = sin(uv.x * 19.8) * 0.002 + cos(uv.y * 19.4) * 0.001;
+        float pj = sin(uv.x * 20.2) * 0.001 + cos(uv.y * 20.6) * 0.002;
+        float phase = p0 + p1 + p2 + p3 + p4 + p5 + p6 + p7 + p8 +
+                      p9 + pa + pb + pc + pd + pe + pf + pg + ph +
+                      pi + pj;
+        pos = pos - delta;
+        float sample_v = texture(occlusion, pos).r;
+        illumination += sample_v * falloff * (ray_weight + phase);
+        falloff = falloff * decay;
+    }
+    vec4 base = texture(occlusion, uv);
+    fragColor = base + vec4(illumination);
+}
+)";
+
 const char *kChromatic = R"(#version 450
 out vec4 fragColor;
 in vec2 uv;
@@ -468,6 +523,8 @@ addPostProcessFamilies(std::vector<CorpusShader> &out)
         make("godrays", "march16", kGodRays, {{"RAY_STEPS", "16"}}));
     out.push_back(
         make("godrays", "march32", kGodRays, {{"RAY_STEPS", "32"}}));
+    out.push_back(
+        make("godrays", "march64_spectral", kGodRaysSpectral));
 
     // small one-offs
     out.push_back(make("post", "chromatic", kChromatic));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <list>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
@@ -48,20 +50,54 @@ deviceConfigHash(const DeviceModel &d)
     return h;
 }
 
+/** One cached binary plus its position in the LRU order list. */
+struct CacheEntry
+{
+    ShaderBinary bin;
+    std::list<uint64_t>::iterator lru;
+};
+
 std::shared_mutex cacheMutex;
-std::unordered_map<uint64_t, ShaderBinary> cache;
+std::unordered_map<uint64_t, CacheEntry> cache;
+/** Cache keys, front = most recently used. Guarded by cacheMutex. */
+std::list<uint64_t> lruOrder;
 std::atomic<uint64_t> cacheHits{0};
 std::atomic<uint64_t> cacheMisses{0};
 std::atomic<uint64_t> cacheCompileNs{0};
+std::atomic<uint64_t> cacheEvictions{0};
+
+/** Max entries, 0 = unbounded (the historical default). Seeded from
+ * GSOPT_DRIVER_CACHE_CAP once at start-up; setDriverCacheCap after. */
+std::atomic<size_t> cacheCap{[] {
+    const char *env = std::getenv("GSOPT_DRIVER_CACHE_CAP");
+    return env ? static_cast<size_t>(std::strtoull(env, nullptr, 10))
+               : size_t{0};
+}()};
+
+/** Evict LRU entries beyond the cap. Caller holds cacheMutex unique. */
+void
+evictOverCapLocked()
+{
+    const size_t cap = cacheCap.load(std::memory_order_relaxed);
+    if (cap == 0)
+        return;
+    while (cache.size() > cap) {
+        const uint64_t victim = lruOrder.back();
+        lruOrder.pop_back();
+        cache.erase(victim);
+        cacheEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+}
 
 /** Front-end sharing across devices: the driver's parse+lower of a
  * given text is device-independent, so a campaign compiling one
  * variant on five devices parses it once and clones the IR per device
  * for the vendor pass set. Entries are immutable once inserted (vendor
- * passes always run on a clone). Both caches are deliberately
- * unbounded: a full campaign tops out at a few hundred unique texts x
- * 5 devices, and clearDriverCache() is the pressure valve for
- * longer-lived processes. */
+ * passes always run on a clone). Unbounded by default — a full
+ * campaign tops out at a few hundred unique texts x 5 devices. For
+ * longer-lived processes the binary cache above is LRU-boundable
+ * (setDriverCacheCap / GSOPT_DRIVER_CACHE_CAP) and clearDriverCache()
+ * drops both. */
 std::mutex irCacheMutex;
 std::unordered_map<uint64_t, std::unique_ptr<ir::Module>> irCache;
 
@@ -94,12 +130,26 @@ driverCompile(const std::string &glslSource, const DeviceModel &device)
 {
     const uint64_t key =
         hashCombine(fnv1a(glslSource), deviceConfigHash(device));
-    {
+    if (cacheCap.load(std::memory_order_relaxed) == 0) {
+        // Unbounded (default): lock-shared read path, no recency
+        // maintenance needed — nothing is ever evicted.
         std::shared_lock lock(cacheMutex);
         auto it = cache.find(key);
         if (it != cache.end()) {
             cacheHits.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
+            return it->second.bin;
+        }
+    } else {
+        // Capped: a hit must refresh recency, which mutates the LRU
+        // list — the hit path pays for the exclusive lock only when a
+        // cap is actually configured.
+        std::unique_lock lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            cacheHits.fetch_add(1, std::memory_order_relaxed);
+            lruOrder.splice(lruOrder.begin(), lruOrder,
+                            it->second.lru);
+            return it->second.bin;
         }
     }
     // Miss: front end via the cross-device IR cache (parse each unique
@@ -114,7 +164,18 @@ driverCompile(const std::string &glslSource, const DeviceModel &device)
     {
         std::unique_lock lock(cacheMutex);
         cacheMisses.fetch_add(1, std::memory_order_relaxed);
-        cache.emplace(key, bin);
+        auto [it, inserted] = cache.try_emplace(key);
+        if (inserted) {
+            lruOrder.push_front(key);
+            it->second.bin = bin;
+            it->second.lru = lruOrder.begin();
+            evictOverCapLocked();
+        } else {
+            // Another thread filled this key while we compiled; its
+            // entry is identical (deterministic compile) — just touch.
+            lruOrder.splice(lruOrder.begin(), lruOrder,
+                            it->second.lru);
+        }
     }
     return bin;
 }
@@ -123,7 +184,17 @@ DriverCacheStats
 driverCacheStats()
 {
     std::shared_lock lock(cacheMutex);
-    return {cacheHits, cacheMisses, cache.size(), cacheCompileNs};
+    return {cacheHits,      cacheMisses,
+            cache.size(),   cacheCompileNs,
+            cacheEvictions, cacheCap.load(std::memory_order_relaxed)};
+}
+
+void
+setDriverCacheCap(size_t cap)
+{
+    std::unique_lock lock(cacheMutex);
+    cacheCap.store(cap, std::memory_order_relaxed);
+    evictOverCapLocked();
 }
 
 void
@@ -135,9 +206,11 @@ clearDriverCache()
     }
     std::unique_lock lock(cacheMutex);
     cache.clear();
+    lruOrder.clear();
     cacheHits = 0;
     cacheMisses = 0;
     cacheCompileNs = 0;
+    cacheEvictions = 0;
 }
 
 ShaderBinary

@@ -63,12 +63,27 @@ struct DriverCacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t entries = 0;
-    uint64_t compileNs = 0; ///< time spent in uncached fills
+    uint64_t compileNs = 0;  ///< time spent in uncached fills
+    uint64_t evictions = 0;  ///< entries LRU-evicted over the cap
+    uint64_t capacity = 0;   ///< current cap (0 = unbounded)
 };
 
 DriverCacheStats driverCacheStats();
 
-/** Drop all cached binaries and zero the stats (benchmarks only). */
+/**
+ * Bound the binary cache to at most @p cap entries, evicting least-
+ * recently-used entries beyond it (0 restores the default unbounded
+ * behaviour). A campaign never needs a cap — it tops out at a few
+ * hundred unique texts x 5 devices — but a long-lived tuner daemon
+ * serving open-ended traffic does; this is its pressure valve (ROADMAP
+ * daemon item). Also settable at start-up via GSOPT_DRIVER_CACHE_CAP.
+ * Shrinking below the current entry count evicts immediately.
+ * Thread-safe.
+ */
+void setDriverCacheCap(size_t cap);
+
+/** Drop all cached binaries and zero the stats (benchmarks only).
+ * The configured capacity is config, not a stat: it survives. */
 void clearDriverCache();
 
 /** Timing: nanoseconds to shade one full-screen draw (noise-free). */

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -265,6 +266,77 @@ void forEachFlagCombination(
     const ir::Module &base,
     const std::function<void(const OptFlags &, const ir::Module &)>
         &sink);
+
+struct PassPlan; // registry.h — an ordered sequence of pass bits
+
+/**
+ * The memoized apply-edge machinery behind forEachFlagCombination,
+ * exposed so ordered-plan exploration shares the same cache. Every
+ * module a PlanApplier creates is immutable once built and owned by
+ * the applier (alive until destruction), and every apply edge is
+ * content-addressed by (incoming structural fingerprint, incoming id
+ * labelling, pass id) — so plans that share a prefix, or that converge
+ * to identical intermediate IR through different orders, pay for each
+ * distinct (module, pass) edge exactly once across the applier's whole
+ * lifetime. This is what holds executed pass runs far below the
+ * walked-plan count when exploring permutations.
+ *
+ * Node handles stay valid for the applier's lifetime. Not thread-safe;
+ * one applier per exploration thread.
+ */
+class PlanApplier
+{
+  public:
+    /** A module in the plan tree plus the hashes its outgoing apply
+     * edges are keyed by. */
+    struct Node
+    {
+        const ir::Module *module = nullptr;
+        uint64_t fingerprint = 0; ///< ir::fingerprint (structural)
+        uint64_t idHash = 0;      ///< instruction-id labelling hash
+    };
+
+    PlanApplier();
+    ~PlanApplier();
+    PlanApplier(const PlanApplier &) = delete;
+    PlanApplier &operator=(const PlanApplier &) = delete;
+
+    /** Clone @p base, canonicalize, verify, fingerprint — the shared
+     * root every plan starts from (identical to what optimize() and
+     * forEachFlagCombination() do before the first gated pass). */
+    Node root(const ir::Module &base);
+
+    /** Apply registered pass @p passBit to @p from, memoized: a
+     * repeated (fingerprint, idHash, pass) edge returns the stored
+     * result without running the pass. */
+    Node apply(const Node &from, int passBit);
+
+    /** Cumulative work accounting since construction (callers diff
+     * before/after to attribute work to one walk). */
+    const FlagTreeStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run every ordered plan in @p plans against @p base, invoking @p sink
+ * with the plan, its final module (valid until the call returns), and
+ * that module's structural fingerprint. The generalisation of
+ * forEachFlagCombination from the flag lattice to ordered sequences:
+ * a canonical plan (PassPlan::canonicalOf) delivers a module
+ * bit-identical to optimize() with the same flag set, and one shared
+ * PlanApplier memo serves all plans, so permutations that share a
+ * prefix or converge to the same module share pass runs and
+ * fingerprints. Plans are processed in the given order; invalid plans
+ * abort (validate first with PassPlan::valid).
+ */
+void forEachPlan(
+    const ir::Module &base, const std::vector<PassPlan> &plans,
+    const std::function<void(const PassPlan &, const ir::Module &,
+                             uint64_t fingerprint)> &sink,
+    FlagTreeStats *stats = nullptr);
 
 } // namespace gsopt::passes
 

@@ -9,6 +9,8 @@
  * (and that newly registered passes flow through both paths with no
  * further changes).
  */
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -139,27 +141,19 @@ struct PassEdgeKeyHash
     }
 };
 
-/**
- * The memoizing prefix-tree walk. Modules are immutable once created
- * (a pass mutates only the fresh clone it is handed), so the memo can
- * safely hand the same result module to every edge that shares its
- * key; subtree walks below those edges only read it and clone from it.
- */
-struct CombinationWalker
-{
-    const std::vector<const PassDescriptor *> &pipeline;
-    const std::function<void(const OptFlags &, const ir::Module &,
-                             uint64_t)> &sink;
-    FlagTreeStats stats;
+} // namespace
 
-    struct MemoEntry
-    {
-        const ir::Module *module;
-        uint64_t fp;
-        uint64_t idHash;
-    };
-    std::unordered_map<PassEdgeKey, MemoEntry, PassEdgeKeyHash> memo;
-    /** Owners of the memoized modules (alive for the whole walk). */
+/**
+ * Memo + ownership behind PlanApplier. Modules are immutable once
+ * created (a pass mutates only the fresh clone it is handed), so the
+ * memo can safely hand the same result module to every edge that
+ * shares its key; downstream consumers only read it and clone from it.
+ */
+struct PlanApplier::Impl
+{
+    FlagTreeStats stats;
+    std::unordered_map<PassEdgeKey, Node, PassEdgeKeyHash> memo;
+    /** Owners of the tree's modules (alive for the applier's life). */
     std::vector<std::unique_ptr<ir::Module>> owned;
 
     uint64_t fingerprintTimed(const ir::Module &m)
@@ -170,44 +164,85 @@ struct CombinationWalker
         ++stats.fingerprintRuns;
         return fp;
     }
+};
 
-    void walk(const ir::Module &module, uint64_t moduleFp,
-              uint64_t moduleIdHash, size_t stage, const OptFlags &flags)
+PlanApplier::PlanApplier() : impl_(std::make_unique<Impl>()) {}
+PlanApplier::~PlanApplier() = default;
+
+PlanApplier::Node
+PlanApplier::root(const ir::Module &base)
+{
+    auto m = base.clone();
+    canonicalize(*m);
+    ir::verifyOrDie(*m, "after optimize pipeline");
+    Node node{m.get(), impl_->fingerprintTimed(*m),
+              idSequenceHash(*m)};
+    impl_->stats.arenaBytes += m->arenaBytes();
+    impl_->owned.push_back(std::move(m));
+    return node;
+}
+
+PlanApplier::Node
+PlanApplier::apply(const Node &from, int passBit)
+{
+    // Memoized on (incoming fingerprint, incoming id labelling, pass).
+    const PassEdgeKey key{from.fingerprint, from.idHash, passBit};
+    auto it = impl_->memo.find(key);
+    if (it == impl_->memo.end()) {
+        const PassDescriptor &pass = PassRegistry::instance().pass(passBit);
+        auto on = from.module->clone();
+        pass.apply(*on);
+        // Every module is verified right after its last mutation;
+        // sharing below never re-mutates, so this covers all the
+        // leaves that reuse it.
+        ir::verifyOrDie(*on, "after optimize pipeline");
+        ++impl_->stats.passRuns;
+        const uint64_t onFp = impl_->fingerprintTimed(*on);
+        impl_->stats.arenaBytes += on->arenaBytes();
+        it = impl_->memo
+                 .emplace(key, Node{on.get(), onFp, idSequenceHash(*on)})
+                 .first;
+        impl_->owned.push_back(std::move(on));
+    } else {
+        ++impl_->stats.passMemoHits;
+    }
+    return it->second;
+}
+
+const FlagTreeStats &
+PlanApplier::stats() const
+{
+    return impl_->stats;
+}
+
+namespace {
+
+/** The prefix-sharing binary tree walk over include/exclude decisions,
+ * with the apply edges served by the shared PlanApplier memo. */
+struct CombinationWalker
+{
+    const std::vector<const PassDescriptor *> &pipeline;
+    const std::function<void(const OptFlags &, const ir::Module &,
+                             uint64_t)> &sink;
+    PlanApplier &applier;
+
+    void walk(const PlanApplier::Node &node, size_t stage,
+              const OptFlags &flags)
     {
         if (stage == pipeline.size()) {
-            sink(flags, module, moduleFp);
+            sink(flags, *node.module, node.fingerprint);
             return;
         }
         // Skip branch: the module is untouched — share it (and its
         // hashes), no copy.
-        walk(module, moduleFp, moduleIdHash, stage + 1, flags);
+        walk(node, stage + 1, flags);
 
-        // Apply branch: memoized on (incoming fingerprint, incoming
-        // id labelling, pass).
+        // Apply branch: memoized inside the applier.
         const PassDescriptor *pass = pipeline[stage];
-        const PassEdgeKey key{moduleFp, moduleIdHash, pass->bit};
-        auto it = memo.find(key);
-        if (it == memo.end()) {
-            auto on = module.clone();
-            pass->apply(*on);
-            // Every module is verified right after its last mutation;
-            // sharing below never re-mutates, so this covers all the
-            // leaves that reuse it.
-            ir::verifyOrDie(*on, "after optimize pipeline");
-            ++stats.passRuns;
-            const uint64_t onFp = fingerprintTimed(*on);
-            stats.arenaBytes += on->arenaBytes();
-            it = memo.emplace(key, MemoEntry{on.get(), onFp,
-                                             idSequenceHash(*on)})
-                     .first;
-            owned.push_back(std::move(on));
-        } else {
-            ++stats.passMemoHits;
-        }
+        const PlanApplier::Node next = applier.apply(node, pass->bit);
         OptFlags with = flags;
         with.set(pass->bit);
-        walk(*it->second.module, it->second.fp, it->second.idHash,
-             stage + 1, with);
+        walk(next, stage + 1, with);
     }
 };
 
@@ -232,16 +267,37 @@ forEachFlagCombination(
                              uint64_t)> &sink,
     FlagTreeStats *stats)
 {
-    auto root = base.clone();
-    canonicalize(*root);
-    ir::verifyOrDie(*root, "after optimize pipeline");
+    PlanApplier applier;
+    const PlanApplier::Node root = applier.root(base);
     CombinationWalker walker{PassRegistry::instance().pipeline(), sink,
-                             {}, {}, {}};
-    const uint64_t rootFp = walker.fingerprintTimed(*root);
-    walker.stats.arenaBytes += root->arenaBytes();
-    walker.walk(*root, rootFp, idSequenceHash(*root), 0, OptFlags{});
+                             applier};
+    walker.walk(root, 0, OptFlags{});
     if (stats)
-        *stats = walker.stats;
+        *stats = applier.stats();
+}
+
+void
+forEachPlan(const ir::Module &base, const std::vector<PassPlan> &plans,
+            const std::function<void(const PassPlan &,
+                                     const ir::Module &, uint64_t)> &sink,
+            FlagTreeStats *stats)
+{
+    PlanApplier applier;
+    const PlanApplier::Node root = applier.root(base);
+    for (const PassPlan &plan : plans) {
+        std::string why;
+        if (!plan.valid(&why)) {
+            std::fprintf(stderr, "forEachPlan: invalid plan '%s': %s\n",
+                         plan.str().c_str(), why.c_str());
+            std::abort();
+        }
+        PlanApplier::Node node = root;
+        for (int bit : plan.bits)
+            node = applier.apply(node, bit);
+        sink(plan, *node.module, node.fingerprint);
+    }
+    if (stats)
+        *stats = applier.stats();
 }
 
 void

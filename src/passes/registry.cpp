@@ -304,6 +304,89 @@ PassRegistry::rebuildPipeline()
 }
 
 uint64_t
+PassPlan::mask() const
+{
+    uint64_t m = 0;
+    for (int b : bits)
+        m |= 1ull << b;
+    return m;
+}
+
+PassPlan
+PassPlan::canonicalOf(uint64_t mask)
+{
+    PassPlan plan;
+    for (const PassDescriptor *d : PassRegistry::instance().pipeline()) {
+        if (mask & (1ull << d->bit))
+            plan.bits.push_back(d->bit);
+    }
+    return plan;
+}
+
+bool
+PassPlan::isCanonical() const
+{
+    return bits == canonicalOf(mask()).bits;
+}
+
+bool
+PassPlan::valid(std::string *why) const
+{
+    const PassRegistry &reg = PassRegistry::instance();
+    uint64_t seen = 0;
+    for (int b : bits) {
+        if (b < 0 || static_cast<size_t>(b) >= reg.count()) {
+            if (why)
+                *why = "pass bit " + std::to_string(b) +
+                       " is not registered";
+            return false;
+        }
+        if (seen & (1ull << b)) {
+            if (why)
+                *why = "pass '" + reg.pass(b).id + "' appears twice";
+            return false;
+        }
+        seen |= 1ull << b;
+    }
+    return true;
+}
+
+std::string
+PassPlan::str() const
+{
+    if (bits.empty())
+        return "-";
+    const PassRegistry &reg = PassRegistry::instance();
+    std::string s;
+    for (size_t i = 0; i < bits.size(); ++i) {
+        if (i)
+            s += '>';
+        s += reg.pass(bits[i]).id;
+    }
+    return s;
+}
+
+bool
+PassPlan::parse(const std::string &text, PassPlan &out)
+{
+    PassPlan plan;
+    if (text != "-") {
+        const PassRegistry &reg = PassRegistry::instance();
+        for (const std::string &raw : split(text, '>')) {
+            std::string id(trim(raw));
+            int bit = reg.bitOf(id);
+            if (bit < 0)
+                return false;
+            plan.bits.push_back(bit);
+        }
+    }
+    if (!plan.valid())
+        return false;
+    out = std::move(plan);
+    return true;
+}
+
+uint64_t
 PassRegistry::signature() const
 {
     uint64_t sig = fnv1a("pass-registry");

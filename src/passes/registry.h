@@ -108,6 +108,61 @@ class PassRegistry
 };
 
 /**
+ * An ordered sequence of registered pass ids — the unit of
+ * phase-ordering exploration. A flag subset is the canonical-order
+ * special case: `PassPlan::canonicalOf(mask)` lists the selected
+ * passes in registry pipeline order, and applying that plan is
+ * bit-identical to `optimize()` with the same flags. Non-canonical
+ * plans open the ordering dimension the flag lattice cannot express
+ * (e.g. licm *before* unroll can shrink a loop body under unroll's
+ * budget, unlocking a full unroll no flag subset reaches).
+ *
+ * Stable string form (shard annotations, logs, dedup keys): pass ids
+ * joined by '>' in application order — "unroll>licm>gvn"; the empty
+ * plan prints as "-". parse() inverts str() against the live registry.
+ */
+struct PassPlan
+{
+    /** Registry flag bits in application order. No duplicates. */
+    std::vector<int> bits;
+
+    PassPlan() = default;
+    explicit PassPlan(std::vector<int> b) : bits(std::move(b)) {}
+
+    size_t length() const { return bits.size(); }
+    bool empty() const { return bits.empty(); }
+
+    /** Selection mask of the member passes (order erased). */
+    uint64_t mask() const;
+
+    /** The canonical plan of @p mask: selected passes in registry
+     * pipeline order. Applying it reproduces optimize() with the same
+     * flags bit-for-bit. */
+    static PassPlan canonicalOf(uint64_t mask);
+
+    /** Is this exactly the canonical (pipeline-order) plan of its own
+     * mask? Canonical plans are flag subsets; only non-canonical ones
+     * carry ordering information. */
+    bool isCanonical() const;
+
+    /** Every bit registered and no bit repeated? On failure @p why
+     * (when non-null) names the offending bit. */
+    bool valid(std::string *why = nullptr) const;
+
+    /** Stable spelling: ids joined by '>' ("unroll>licm"); "-" when
+     * empty. */
+    std::string str() const;
+
+    /** Inverse of str() against the live registry. Returns false —
+     * leaving @p out untouched — on unknown ids, duplicates, or
+     * malformed input. */
+    static bool parse(const std::string &text, PassPlan &out);
+
+    bool operator==(const PassPlan &o) const { return bits == o.bits; }
+    bool operator!=(const PassPlan &o) const { return bits != o.bits; }
+};
+
+/**
  * The catalog of shippable passes beyond the built-in eight: licm,
  * strength_reduce, tex_batch (ISSUE 5 / ROADMAP "New registered
  * passes"). Catalogued, not registered — the default space stays the

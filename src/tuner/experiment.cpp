@@ -31,7 +31,12 @@ namespace {
  * serialisation), combo->variant map replaces the fixed array. */
 /* 14: Exploration carries the übershader family id (cross-shader
  * transfer seeding). */
-constexpr uint64_t kSchemaVersion = 14;
+/* 15: ordered-plan annotations — bodies may carry a trailing
+ * variantOfPlan section (absent for pure flag-lattice campaigns, so
+ * canonical bodies are byte-identical to schema 14) and plan-only
+ * variants may have zero producers. The version is part of every
+ * shard key, so schema-14 shards miss cleanly and re-run. */
+constexpr uint64_t kSchemaVersion = 15;
 
 /** Exact IEEE-754 bit pattern of a double, for hashing. Decimal
  * formatting (the old ostringstream path) silently collided configs
@@ -173,6 +178,10 @@ ShaderResult::bestFlags(gpu::DeviceId dev) const
     int best_variant = 0;
     double best = -1e30;
     for (size_t v = 0; v < m.variantMeanNs.size(); ++v) {
+        // Plan-only variants have no producers — no flag set reaches
+        // them, so they cannot answer a best-*flags* query.
+        if (exploration.variants[v].producers.empty())
+            continue;
         double s = m.speedupOf(static_cast<int>(v));
         if (s > best) {
             best = s;
@@ -660,6 +669,19 @@ serializeShardBody(const ShaderResult &r)
         for (double t : m.variantMeanNs)
             writePod(os, t);
     }
+    // Ordered-plan annotations (schema 15): written only when present,
+    // so a pure flag-lattice campaign — the paper's canonical 2^N
+    // sweep — serialises byte-identically to schema 14 and the golden
+    // md5 pins hold across the plan refactor. variantOfPlan is an
+    // ordered map; iteration order is deterministic.
+    if (!r.exploration.variantOfPlan.empty()) {
+        writePod(os, static_cast<uint64_t>(
+                         r.exploration.variantOfPlan.size()));
+        for (const auto &[plan, index] : r.exploration.variantOfPlan) {
+            writeString(os, plan);
+            writePod(os, static_cast<int64_t>(index));
+        }
+    }
     return os.str();
 }
 
@@ -732,8 +754,21 @@ ExperimentEngine::loadShard(const std::string &path, uint64_t key,
     if (!file)
         return false;
     uint64_t file_key = 0, body_hash = 0;
-    if (!readPod(file, file_key) || file_key != key ||
-        !readPod(file, body_hash))
+    if (!readPod(file, file_key))
+        return false;
+    if (file_key != key) {
+        // A present-but-differently-keyed shard is stale, not corrupt:
+        // the key covers the schema version, registry signature,
+        // device set, and shader source, so this is what an old-schema
+        // (or otherwise outdated) shard looks like. Miss cleanly — the
+        // shard re-runs — but say so: a silent wrong-key hit here
+        // would poison every figure downstream.
+        warnShard(path, "key mismatch (stale schema, registry, device "
+                        "set, or shader source); treating as a cache "
+                        "miss");
+        return false;
+    }
+    if (!readPod(file, body_hash))
         return false;
     const std::streamoff body_start = file.tellg();
     file.seekg(0, std::ios::end);
@@ -761,13 +796,20 @@ ExperimentEngine::loadShard(const std::string &path, uint64_t key,
     if (!readPod(is, n_variants) || n_variants > 100000)
         return false;
     r.exploration.variants.resize(n_variants);
-    for (auto &v : r.exploration.variants) {
+    // Plan-only variants (schema 15) legitimately have zero producers
+    // — no flag combination reaches their text. Anything else with
+    // zero producers is structural corruption; checked once the plan
+    // section below says which variants plans actually reference.
+    std::vector<size_t> producerless;
+    for (size_t vi = 0; vi < n_variants; ++vi) {
+        auto &v = r.exploration.variants[vi];
         if (!readString(is, v.source) || !readPod(is, v.sourceHash))
             return false;
         uint64_t n_producers = 0;
-        if (!readPod(is, n_producers) || n_producers == 0 ||
-            n_producers > (1ull << 24))
+        if (!readPod(is, n_producers) || n_producers > (1ull << 24))
             return false;
+        if (n_producers == 0)
+            producerless.push_back(vi);
         v.producers.resize(n_producers);
         for (auto &f : v.producers) {
             if (!readPod(is, f.bits))
@@ -811,6 +853,44 @@ ExperimentEngine::loadShard(const std::string &path, uint64_t key,
         }
         r.byDevice.emplace(static_cast<gpu::DeviceId>(dev_int),
                            std::move(m));
+    }
+    // Optional trailing plan section (schema 15): count, then
+    // (plan string, variant index) pairs. Absent for pure
+    // flag-lattice campaigns — then the body must end exactly here.
+    if (is.peek() != std::char_traits<char>::eof()) {
+        uint64_t n_plans = 0;
+        if (!readPod(is, n_plans) || n_plans == 0 ||
+            n_plans > (1ull << 24))
+            return false;
+        for (uint64_t p = 0; p < n_plans; ++p) {
+            std::string plan;
+            int64_t index = 0;
+            if (!readString(is, plan) || plan.empty() ||
+                !readPod(is, index))
+                return false;
+            if (index < 0 ||
+                static_cast<uint64_t>(index) >= n_variants)
+                return false;
+            if (!r.exploration.variantOfPlan
+                     .emplace(std::move(plan), static_cast<int>(index))
+                     .second)
+                return false; // duplicate plan key
+        }
+        if (is.peek() != std::char_traits<char>::eof())
+            return false; // trailing garbage after the plan section
+    }
+    // Every producer-less variant must be reachable through some plan
+    // annotation; otherwise the body is structurally corrupt.
+    for (size_t vi : producerless) {
+        bool referenced = false;
+        for (const auto &[plan, index] : r.exploration.variantOfPlan) {
+            if (static_cast<size_t>(index) == vi) {
+                referenced = true;
+                break;
+            }
+        }
+        if (!referenced)
+            return false;
     }
     out = std::move(r);
     return true;

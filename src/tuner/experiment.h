@@ -124,7 +124,21 @@ uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
  * sweep once its key dies) and the previous complete shard, if any,
  * stays intact. loadShard additionally verifies the key and the body
  * content hash, so any residual corruption is a cache miss (re-run),
- * never bad data.
+ * never bad data. A shard whose key does not match — the key covers
+ * the schema version, pass-registry signature, device set, and shader
+ * source, so this is what an old-schema shard looks like — is a clean
+ * miss with a support/diag warning, never a silent wrong-key hit.
+ *
+ * Schema 15 (ordered plans): the body may end with an optional plan
+ * section — `[u64 count]` then `count` x `[string plan][i64 variant]`
+ * — mapping each explored non-canonical plan to its variant. Plan
+ * strings are PassPlan::str spellings: registered pass ids joined by
+ * '>' in application order, e.g. "licm>unroll>gvn" ("-" is the empty
+ * plan, though the empty plan is canonical and never annotated).
+ * The section is written only when variantOfPlan is non-empty, so a
+ * pure flag-lattice campaign body is byte-identical to schema 14;
+ * plan-only variants (zero producers) are valid exactly when a plan
+ * annotation references them.
  */
 std::string serializeShardBody(const ShaderResult &r);
 

@@ -25,6 +25,7 @@ ExploreCounters::reset()
     fingerprintRuns = 0;
     fingerprintHits = 0;
     arenaBytes = 0;
+    plansWalked = 0;
     frontEndNs = 0;
     lowerNs = 0;
     pipelineNs = 0;
@@ -63,6 +64,22 @@ Exploration::variantOf(FlagSet flags) const
             shaderName);
     }
     return it->second;
+}
+
+int
+Exploration::variantOf(const passes::PassPlan &plan) const
+{
+    if (plan.isCanonical()) {
+        auto it = variantOfCombo.find(plan.mask());
+        if (it != variantOfCombo.end())
+            return it->second;
+    } else {
+        auto it = variantOfPlan.find(plan.str());
+        if (it != variantOfPlan.end())
+            return it->second;
+    }
+    throw std::out_of_range("plan " + plan.str() +
+                            " was not explored for " + shaderName);
 }
 
 bool
@@ -181,6 +198,114 @@ exploreShader(const corpus::CorpusShader &shader)
     }
     ex.passthroughVariant = ex.variantOf(FlagSet::none());
     return ex;
+}
+
+PlanExplorer::PlanExplorer(const corpus::CorpusShader &shader,
+                           Exploration &ex)
+    : ex_(ex)
+{
+    ExploreCounters &counters = exploreCounters();
+    // Front end + lowering once, same accounting as exploreShader;
+    // every plan walks from clones of this module.
+    uint64_t t0 = nowNs();
+    glsl::CompiledShader cs =
+        glsl::compileShader(shader.source, shader.defines);
+    counters.frontEndRuns.fetch_add(1, std::memory_order_relaxed);
+    counters.frontEndNs.fetch_add(nowNs() - t0,
+                                  std::memory_order_relaxed);
+    t0 = nowNs();
+    base_ = lower::lowerShader(cs);
+    counters.lowerRuns.fetch_add(1, std::memory_order_relaxed);
+    counters.lowerNs.fetch_add(nowNs() - t0, std::memory_order_relaxed);
+    root_ = applier_.root(*base_);
+    foldStats();
+    for (size_t i = 0; i < ex_.variants.size(); ++i)
+        byTextHash_.emplace(ex_.variants[i].sourceHash,
+                            static_cast<int>(i));
+}
+
+PlanExplorer::~PlanExplorer() = default;
+
+void
+PlanExplorer::foldStats()
+{
+    const passes::FlagTreeStats &now = applier_.stats();
+    ExploreCounters &counters = exploreCounters();
+    counters.passRuns.fetch_add(now.passRuns - folded_.passRuns,
+                                std::memory_order_relaxed);
+    counters.passMemoHits.fetch_add(
+        now.passMemoHits - folded_.passMemoHits,
+        std::memory_order_relaxed);
+    counters.fingerprintRuns.fetch_add(
+        now.fingerprintRuns - folded_.fingerprintRuns,
+        std::memory_order_relaxed);
+    counters.fingerprintNs.fetch_add(
+        now.fingerprintNs - folded_.fingerprintNs,
+        std::memory_order_relaxed);
+    counters.arenaBytes.fetch_add(now.arenaBytes - folded_.arenaBytes,
+                                  std::memory_order_relaxed);
+    folded_ = now;
+}
+
+int
+PlanExplorer::ensure(const passes::PassPlan &plan)
+{
+    // Canonical plans are flag subsets; the lattice exploration
+    // already owns their variants.
+    if (plan.isCanonical()) {
+        auto it = ex_.variantOfCombo.find(plan.mask());
+        if (it != ex_.variantOfCombo.end())
+            return it->second;
+    }
+    const std::string key = plan.str();
+    auto pit = ex_.variantOfPlan.find(key);
+    if (pit != ex_.variantOfPlan.end())
+        return pit->second;
+    std::string why;
+    if (!plan.valid(&why)) {
+        throw std::invalid_argument("PlanExplorer: invalid plan '" +
+                                    key + "': " + why);
+    }
+
+    ExploreCounters &counters = exploreCounters();
+    const uint64_t fp_ns_before = applier_.stats().fingerprintNs;
+    const uint64_t t0 = nowNs();
+    passes::PlanApplier::Node node = root_;
+    for (int bit : plan.bits)
+        node = applier_.apply(node, bit);
+    counters.pipelineNs.fetch_add(
+        nowNs() - t0 - (applier_.stats().fingerprintNs - fp_ns_before),
+        std::memory_order_relaxed);
+    ++plansWalked_;
+    counters.plansWalked.fetch_add(1, std::memory_order_relaxed);
+    foldStats();
+
+    // Dedup against every variant seen so far: plans converging to an
+    // existing text (canonical or plan-born) share its index.
+    const uint64_t tp = nowNs();
+    std::string text = emit::emitGlsl(*node.module);
+    counters.printRuns.fetch_add(1, std::memory_order_relaxed);
+    counters.printNs.fetch_add(nowNs() - tp, std::memory_order_relaxed);
+    const uint64_t hash = fnv1a(text);
+    auto hit = byTextHash_.find(hash);
+    int index;
+    if (hit == byTextHash_.end()) {
+        index = static_cast<int>(ex_.variants.size());
+        byTextHash_.emplace(hash, index);
+        Variant v;
+        v.source = std::move(text);
+        v.sourceHash = hash;
+        ex_.variants.push_back(std::move(v));
+    } else {
+        index = hit->second;
+        counters.fingerprintHits.fetch_add(1,
+                                           std::memory_order_relaxed);
+    }
+    if (plan.isCanonical())
+        ex_.variantOfCombo.emplace(plan.mask(), index);
+    else
+        ex_.variantOfPlan.emplace(key, index);
+    return index;
 }
 
 } // namespace gsopt::tuner

@@ -10,12 +10,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "corpus/corpus.h"
+#include "passes/passes.h"
+#include "passes/registry.h"
 #include "tuner/flags.h"
 
 namespace gsopt::tuner {
@@ -41,6 +44,7 @@ struct ExploreCounters
     std::atomic<uint64_t> fingerprintRuns{0}; ///< fingerprints computed
     std::atomic<uint64_t> fingerprintHits{0}; ///< combos deduped pre-print
     std::atomic<uint64_t> arenaBytes{0}; ///< IR arena bytes, all tree modules
+    std::atomic<uint64_t> plansWalked{0}; ///< ordered plans explored
 
     std::atomic<uint64_t> frontEndNs{0};
     std::atomic<uint64_t> lowerNs{0};
@@ -79,6 +83,13 @@ struct Exploration
      * explorer (ROADMAP follow-on) would map only the combinations it
      * compiled. */
     std::unordered_map<uint64_t, int> variantOfCombo;
+    /** Ordered-plan annotations: stable plan string (PassPlan::str)
+     * -> variant index, for the *non-canonical* plans a PlanExplorer
+     * walked (canonical plans are flag subsets and live in
+     * variantOfCombo). Ordered map so shard serialization is
+     * deterministic. Plan-only variants may have no producers — no
+     * flag combination reaches their text. */
+    std::map<std::string, int> variantOfPlan;
     size_t exploredFlagCount = 0; ///< N at exploration time
     int passthroughVariant = 0;   ///< index of flags-none output
 
@@ -87,6 +98,11 @@ struct Exploration
     /** Variant index for a flag combination. Throws std::out_of_range
      * (naming the shader and combination) if it was never explored. */
     int variantOf(FlagSet flags) const;
+
+    /** Variant index for an ordered plan (canonical plans route
+     * through variantOfCombo). Throws std::out_of_range if the plan
+     * was never explored — use PlanExplorer::ensure to explore. */
+    int variantOf(const passes::PassPlan &plan) const;
 
     /** Does toggling @p bit ever change the output text? (Fig 8 red) */
     bool flagChangesOutput(int bit) const;
@@ -100,6 +116,51 @@ struct Exploration
 /** Run the exhaustive 2^N-combination exploration for one corpus
  * shader (N from the pass registry; the paper's 256 by default). */
 Exploration exploreShader(const corpus::CorpusShader &shader);
+
+/**
+ * Incremental ordered-plan exploration layered over an Exploration.
+ * Where exploreShader walks the whole flag lattice up front, a
+ * PlanExplorer explores plans on demand: `ensure(plan)` returns the
+ * plan's variant index, walking the pass sequence only the first time
+ * (canonical plans resolve straight from variantOfCombo with no pass
+ * work, and repeated or text-converging plans dedup against the
+ * existing variants). One persistent passes::PlanApplier serves every
+ * ensure() call, so all plans explored through one PlanExplorer share
+ * the content-addressed (fingerprint, pass) memo — executed pass runs
+ * stay far below walked-plan count (ExploreCounters::plansWalked vs
+ * passRuns). New variants are appended to the Exploration with the
+ * plan recorded in variantOfPlan; front end and lowering run once, at
+ * construction. Not thread-safe; confine to one search thread.
+ */
+class PlanExplorer
+{
+  public:
+    /** @p shader must be the shader @p ex was explored from. */
+    PlanExplorer(const corpus::CorpusShader &shader, Exploration &ex);
+    ~PlanExplorer();
+    PlanExplorer(const PlanExplorer &) = delete;
+    PlanExplorer &operator=(const PlanExplorer &) = delete;
+
+    /** Variant index of @p plan, exploring it first if needed. Throws
+     * std::invalid_argument on invalid plans. */
+    int ensure(const passes::PassPlan &plan);
+
+    Exploration &exploration() { return ex_; }
+
+    /** Plans this explorer actually walked (cache-missing ensures). */
+    uint64_t plansWalked() const { return plansWalked_; }
+
+  private:
+    void foldStats();
+
+    Exploration &ex_;
+    std::unique_ptr<ir::Module> base_;
+    passes::PlanApplier applier_;
+    passes::PlanApplier::Node root_;
+    std::unordered_map<uint64_t, int> byTextHash_;
+    passes::FlagTreeStats folded_; ///< applier stats already counted
+    uint64_t plansWalked_ = 0;
+};
 
 } // namespace gsopt::tuner
 

@@ -1,5 +1,7 @@
 #include "tuner/predict.h"
 
+#include <algorithm>
+
 #include "passes/registry.h"
 
 namespace gsopt::tuner {
@@ -98,6 +100,78 @@ predictCandidates(gpu::DeviceId device, const ShaderFeatures &f)
         out.push_back(out.front().with(kUnroll).with(kReassociate));
         out.push_back(
             FlagSet::none().with(kUnroll).with(kReassociate));
+    }
+    return out;
+}
+
+namespace {
+
+/** Append @p plan unless an equal plan is already listed. */
+void
+pushUnique(std::vector<passes::PassPlan> &out, passes::PassPlan plan)
+{
+    if (std::find(out.begin(), out.end(), plan) == out.end())
+        out.push_back(std::move(plan));
+}
+
+/** @p plan with pass @p bit moved to the front (added if absent). */
+passes::PassPlan
+withPassFirst(passes::PassPlan plan, int bit)
+{
+    auto it = std::find(plan.bits.begin(), plan.bits.end(), bit);
+    if (it != plan.bits.end())
+        plan.bits.erase(it);
+    plan.bits.insert(plan.bits.begin(), bit);
+    return plan;
+}
+
+} // namespace
+
+std::vector<passes::PassPlan>
+predictPlanCandidates(gpu::DeviceId device, const ShaderFeatures &f)
+{
+    using passes::PassPlan;
+    std::vector<PassPlan> out;
+    const std::vector<FlagSet> lattice = predictCandidates(device, f);
+    for (const FlagSet &fs : lattice)
+        pushUnique(out, PassPlan::canonicalOf(fs.bits));
+
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    const gpu::DeviceModel &dm = gpu::deviceModel(device);
+
+    // Ordering win measured by bench/micro_order: licm *before* unroll
+    // hoists the invariant subtrees out first, which can shrink an
+    // over-budget loop body under unroll's instruction cap — the
+    // canonical order (unroll leads the pipeline) never sees the
+    // smaller body, so no flag subset reaches the fully unrolled,
+    // invariant-free code. Worth probing wherever a constant loop
+    // carries invariants and the unrolled result would actually run
+    // (the JIT won't redo the work on the weak-JIT mobile parts).
+    const int licmBit = reg.bitOf("licm");
+    if (licmBit >= 0 && f.hasConstLoop && f.loopInvariantInstrs > 0) {
+        // The bare pair first: it isolates the ordering effect, where
+        // a full candidate set can dilute it (e.g. post-unroll FP
+        // reassociation raising pressure on spill-sensitive parts).
+        pushUnique(out, PassPlan{{licmBit, kUnroll}});
+        for (const FlagSet &fs : lattice) {
+            const FlagSet want =
+                fs.with(licmBit).with(kUnroll);
+            pushUnique(out, withPassFirst(
+                                PassPlan::canonicalOf(want.bits),
+                                licmBit));
+        }
+    }
+    // tex_batch early on the no-GVN mobile parts: batching duplicate
+    // fetches while the loop is still rolled keeps the dedup window
+    // one body long; after unroll the replicas sit in distinct
+    // iterations where the dominance-scoped pass must prove a lot more
+    // to collapse them.
+    const int tbBit = reg.bitOf("tex_batch");
+    if (tbBit >= 0 && f.dupFetches > 0 && !dm.jitFlags.gvn) {
+        pushUnique(out,
+                   withPassFirst(PassPlan::canonicalOf(
+                                     lattice.front().with(tbBit).bits),
+                                 tbBit));
     }
     return out;
 }

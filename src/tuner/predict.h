@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gpu/device.h"
+#include "passes/registry.h"
 #include "tuner/features.h"
 #include "tuner/flags.h"
 
@@ -39,6 +40,19 @@ FlagSet predictFlags(gpu::DeviceId device, const ShaderFeatures &f);
  */
 std::vector<FlagSet> predictCandidates(gpu::DeviceId device,
                                        const ShaderFeatures &f);
+
+/**
+ * Ranked ordered-plan candidates for SequenceSearch to probe before
+ * its random restarts. Entries 0..k are the canonical plans of
+ * predictCandidates (the flag-lattice picks); later entries fold in
+ * the per-device *ordering* wins measured by bench/micro_order — e.g.
+ * hoisting invariants with licm *before* unroll shrinks an over-budget
+ * loop body under unroll's instruction cap, reaching a full unroll the
+ * canonical order (unroll first) never sees. Deduplicated; every entry
+ * is valid against the live registry.
+ */
+std::vector<passes::PassPlan> predictPlanCandidates(
+    gpu::DeviceId device, const ShaderFeatures &f);
 
 /**
  * Per-(family, device) table of best-known flag sets, built from a

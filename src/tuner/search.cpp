@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <stdexcept>
 
 #include "runtime/framework.h"
 #include "support/diag.h"
@@ -12,11 +13,17 @@
 namespace gsopt::tuner {
 
 MeasurementOracle::MeasurementOracle(const Exploration &exploration,
-                                     const gpu::DeviceModel &device)
-    : exploration_(exploration), device_(device),
+                                     const gpu::DeviceModel &device,
+                                     PlanExplorer *planner)
+    : exploration_(exploration), device_(device), planner_(planner),
       variantMeanNs_(exploration.variants.size(),
                      std::numeric_limits<double>::quiet_NaN())
 {
+    if (planner_ && &planner_->exploration() != &exploration_) {
+        throw std::logic_error(
+            "MeasurementOracle: planner explores a different "
+            "Exploration than the oracle measures");
+    }
 }
 
 double
@@ -38,10 +45,14 @@ MeasurementOracle::originalMeanNs()
 }
 
 double
-MeasurementOracle::measure(FlagSet flags)
+MeasurementOracle::measureVariant(size_t v)
 {
-    const size_t v =
-        static_cast<size_t>(exploration_.variantOf(flags));
+    // Plan exploration appends variants after construction; late
+    // arrivals start unmeasured like everyone else.
+    if (v >= variantMeanNs_.size()) {
+        variantMeanNs_.resize(exploration_.variants.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    }
     if (std::isnan(variantMeanNs_[v])) {
         variantMeanNs_[v] =
             runtime::measureShader(exploration_.variants[v].source,
@@ -55,24 +66,53 @@ MeasurementOracle::measure(FlagSet flags)
 }
 
 double
-MeasurementOracle::speedupOf(FlagSet flags)
+MeasurementOracle::measure(FlagSet flags)
+{
+    return measureVariant(
+        static_cast<size_t>(exploration_.variantOf(flags)));
+}
+
+double
+MeasurementOracle::measure(const passes::PassPlan &plan)
+{
+    const int v = planner_ ? planner_->ensure(plan)
+                           : exploration_.variantOf(plan);
+    return measureVariant(static_cast<size_t>(v));
+}
+
+double
+MeasurementOracle::baselineOrWarn()
 {
     const double base = originalMeanNs();
-    if (base <= 0.0) {
-        if (!warnedBaseline_) {
-            warnedBaseline_ = true;
-            Diagnostic d;
-            d.severity = Severity::Warning;
-            d.message = "non-positive baseline mean (" +
-                        std::to_string(base) + " ns) for '" +
-                        exploration_.shaderName + "' on " +
-                        device_.vendor +
-                        "; all speed-ups report 0";
-            std::fprintf(stderr, "%s\n", d.str().c_str());
-        }
-        return 0.0;
+    if (base <= 0.0 && !warnedBaseline_) {
+        warnedBaseline_ = true;
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.message = "non-positive baseline mean (" +
+                    std::to_string(base) + " ns) for '" +
+                    exploration_.shaderName + "' on " +
+                    device_.vendor + "; all speed-ups report 0";
+        std::fprintf(stderr, "%s\n", d.str().c_str());
     }
+    return base;
+}
+
+double
+MeasurementOracle::speedupOf(FlagSet flags)
+{
+    const double base = baselineOrWarn();
+    if (base <= 0.0)
+        return 0.0;
     return (base - measure(flags)) / base * 100.0;
+}
+
+double
+MeasurementOracle::speedupOf(const passes::PassPlan &plan)
+{
+    const double base = baselineOrWarn();
+    if (base <= 0.0)
+        return 0.0;
+    return (base - measure(plan)) / base * 100.0;
 }
 
 namespace {
@@ -109,10 +149,37 @@ struct Tracker
         if (better) {
             out.bestSpeedupPercent = speedup;
             out.bestFlags = flags;
+            out.bestPlan = passes::PassPlan::canonicalOf(flags.bits);
         }
-        if (oracle.measurementsTaken() > before) {
+        recordBudget(before, better);
+        return speedup;
+    }
+
+    /** Plan-space probe: same incumbent/curve bookkeeping, ties kept
+     * by the shorter plan. The flag incumbent tracks the plan's member
+     * set so lattice-only consumers stay coherent. */
+    double probePlan(const passes::PassPlan &plan)
+    {
+        const size_t before = oracle.measurementsTaken();
+        const double speedup = oracle.speedupOf(plan);
+        const bool better =
+            speedup > out.bestSpeedupPercent + 1e-12 ||
+            (speedup > out.bestSpeedupPercent - 1e-12 &&
+             plan.length() < out.bestPlan.length());
+        if (better) {
+            out.bestSpeedupPercent = speedup;
+            out.bestFlags = FlagSet(plan.mask());
+            out.bestPlan = plan;
+        }
+        recordBudget(before, better);
+        return speedup;
+    }
+
+    void recordBudget(size_t beforeMeasurements, bool improved)
+    {
+        if (oracle.measurementsTaken() > beforeMeasurements) {
             out.bestByBudget.push_back(out.bestSpeedupPercent);
-        } else if (better && !out.bestByBudget.empty()) {
+        } else if (improved && !out.bestByBudget.empty()) {
             // Free probe (variant-cache hit) that still improved the
             // incumbent — possible via the minimal-flag-set tie-break
             // or on a pre-warmed oracle. Record it at the current
@@ -120,7 +187,6 @@ struct Tracker
             // next paid measurement.
             out.bestByBudget.back() = out.bestSpeedupPercent;
         }
-        return speedup;
     }
 
     SearchOutcome finish()
@@ -187,6 +253,10 @@ ExhaustiveSearch::run(MeasurementOracle &oracle) const
     int best_variant = 0;
     double best = -1e30;
     for (size_t v = 0; v < ex.variants.size(); ++v) {
+        // Plan-only variants (no producing flag set) are outside the
+        // lattice this strategy sweeps.
+        if (ex.variants[v].producers.empty())
+            continue;
         const double s =
             oracle.speedupOf(ex.variants[v].producers.front());
         if (s > best) {
@@ -197,6 +267,7 @@ ExhaustiveSearch::run(MeasurementOracle &oracle) const
     out.bestSpeedupPercent = best;
     out.bestFlags = minimalProducer(
         ex.variants[static_cast<size_t>(best_variant)].producers);
+    out.bestPlan = passes::PassPlan::canonicalOf(out.bestFlags.bits);
     return out;
 }
 
@@ -302,6 +373,77 @@ TransferSeededSearch::run(MeasurementOracle &oracle) const
     if (oracle.originalMeanNs() <= 0.0)
         return t.finish();
     refineByFlips(t, seed, s, refineBudget_);
+    return t.finish();
+}
+
+std::string
+SequenceSearch::name() const
+{
+    return "sequence(" + std::to_string(budget_) + ")";
+}
+
+SearchOutcome
+SequenceSearch::run(MeasurementOracle &oracle) const
+{
+    using passes::PassPlan;
+    Tracker t(oracle);
+    const bool ordered = oracle.canExplorePlans();
+
+    // Passthrough baseline first, like every budgeted strategy.
+    t.probePlan(PassPlan{});
+    if (oracle.originalMeanNs() <= 0.0)
+        return t.finish();
+
+    // Ranked measurement-free candidates: the lattice prediction plus
+    // the per-device ordering rules micro_order validated.
+    const ShaderFeatures &f = featuresOf(oracle.exploration());
+    for (const PassPlan &plan :
+         predictPlanCandidates(oracle.device().id, f)) {
+        if (t.spent() >= budget_)
+            break;
+        if (!ordered && !plan.isCanonical())
+            continue;
+        t.probePlan(plan);
+    }
+
+    // Random restarts: a random pass subset in a random order, each
+    // refined by local adjacent swaps over the restart's incumbent
+    // (first-improvement, so one cheap swap can redirect the whole
+    // descent). Deterministic: the stream is keyed by (seed, shader).
+    Rng rng(
+        hashCombine(seed_, fnv1a(oracle.exploration().shaderName)));
+    for (size_t restart = 0;
+         restart < restarts_ && t.spent() < budget_; ++restart) {
+        PassPlan incumbent =
+            PassPlan::canonicalOf(rng.below(oracle.comboCount()));
+        if (ordered) {
+            // Fisher-Yates over the drawn subset.
+            for (size_t i = incumbent.bits.size(); i > 1; --i) {
+                std::swap(incumbent.bits[i - 1],
+                          incumbent.bits[rng.below(i)]);
+            }
+        }
+        double incumbent_speedup = t.probePlan(incumbent);
+        if (!ordered)
+            continue;
+        bool improved = true;
+        while (improved && t.spent() < budget_) {
+            improved = false;
+            for (size_t i = 0; i + 1 < incumbent.bits.size() &&
+                               t.spent() < budget_;
+                 ++i) {
+                PassPlan cand = incumbent;
+                std::swap(cand.bits[i], cand.bits[i + 1]);
+                const double s = t.probePlan(cand);
+                if (s > incumbent_speedup + 1e-12) {
+                    incumbent = std::move(cand);
+                    incumbent_speedup = s;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
     return t.finish();
 }
 

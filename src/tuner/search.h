@@ -37,8 +37,19 @@ namespace gsopt::tuner {
 class MeasurementOracle
 {
   public:
+    /**
+     * With a @p planner (a PlanExplorer over the same Exploration),
+     * the oracle also measures *ordered plans*: a plan probe explores
+     * the plan on demand (appending any new variant) and times it
+     * under the same per-variant cache, so plans converging to
+     * already-measured text are free. Without a planner, plan probes
+     * resolve only against what the exploration already maps
+     * (canonical plans, previously annotated plans) and throw
+     * std::out_of_range otherwise.
+     */
     MeasurementOracle(const Exploration &exploration,
-                      const gpu::DeviceModel &device);
+                      const gpu::DeviceModel &device,
+                      PlanExplorer *planner = nullptr);
 
     size_t flagCount() const
     {
@@ -49,8 +60,15 @@ class MeasurementOracle
         return 1ull << exploration_.exploredFlagCount;
     }
 
+    /** Can this oracle explore never-seen ordered plans? */
+    bool canExplorePlans() const { return planner_ != nullptr; }
+
     /** Mean frame time of the shader compiled under @p flags. */
     double measure(FlagSet flags);
+
+    /** Mean frame time under ordered plan @p plan (explored on demand
+     * when a planner is attached). */
+    double measure(const passes::PassPlan &plan);
 
     /** Mean frame time of the unmodified original (cached; does not
      * count against measurementsTaken). Measured exactly once, even
@@ -63,6 +81,9 @@ class MeasurementOracle
      * meaningless). */
     double speedupOf(FlagSet flags);
 
+    /** Percent speed-up of ordered plan @p plan vs the original. */
+    double speedupOf(const passes::PassPlan &plan);
+
     /** Distinct variant measurements performed so far. */
     size_t measurementsTaken() const { return measured_; }
 
@@ -70,9 +91,16 @@ class MeasurementOracle
     const gpu::DeviceModel &device() const { return device_; }
 
   private:
+    double measureVariant(size_t v);
+    /** originalMeanNs(), with the one-time warning on a non-positive
+     * baseline (shared by both speedupOf overloads). */
+    double baselineOrWarn();
+
     const Exploration &exploration_;
     const gpu::DeviceModel &device_;
-    std::vector<double> variantMeanNs_; ///< NaN until measured
+    PlanExplorer *planner_;             ///< optional, not owned
+    std::vector<double> variantMeanNs_; ///< NaN until measured; grows
+                                        ///< as plans add variants
     double originalMeanNs_ = 0.0;
     bool measuredOriginal_ = false; ///< explicit, not a sentinel value
     bool warnedBaseline_ = false;   ///< one diagnostic per oracle
@@ -83,6 +111,11 @@ class MeasurementOracle
 struct SearchOutcome
 {
     FlagSet bestFlags;               ///< best combination found
+    /** Best ordered plan found. For lattice-only strategies this is
+     * the canonical plan of bestFlags; SequenceSearch can return a
+     * non-canonical ordering that beats every flag subset it probed
+     * (bestFlags then holds the plan's member set). */
+    passes::PassPlan bestPlan;
     double bestSpeedupPercent = 0.0; ///< vs the original shader
     size_t measurementsUsed = 0;     ///< distinct variant timings
     /** Best-so-far speed-up after the (i+1)-th paid measurement (the
@@ -197,6 +230,41 @@ class TransferSeededSearch : public SearchStrategy
   private:
     std::shared_ptr<const FamilyPrior> prior_;
     size_t refineBudget_;
+};
+
+/**
+ * Phase-ordering search over ordered pass plans (ROADMAP
+ * "Phase-ordering search: beyond the flag lattice"). Probes the
+ * ranked predictPlanCandidates first (the measurement-free ordering
+ * rules), then spends the rest of its budget on random restarts —
+ * a random pass subset in a random order — each refined by local
+ * adjacent swaps over the incumbent plan, accepting strict
+ * improvements. Hard-capped at @p budget distinct variant
+ * measurements, like PredictedSearch; plans that converge to
+ * already-measured text are free probes.
+ *
+ * Needs an oracle with a PlanExplorer attached to leave the flag
+ * lattice; without one it degrades gracefully to probing canonical
+ * plans only (the ordering dimension collapses, the budget cap and
+ * outcome contract still hold). Deterministic for a given (oracle,
+ * seed) — all randomness comes from support/rng keyed by the shader
+ * name.
+ */
+class SequenceSearch : public SearchStrategy
+{
+  public:
+    explicit SequenceSearch(size_t budget = 16, size_t restarts = 4,
+                            uint64_t seed = 0x0de5)
+        : budget_(budget), restarts_(restarts), seed_(seed)
+    {
+    }
+    std::string name() const override;
+    SearchOutcome run(MeasurementOracle &oracle) const override;
+
+  private:
+    size_t budget_;
+    size_t restarts_;
+    uint64_t seed_;
 };
 
 /** The built-in strategy roster the comparison example iterates:

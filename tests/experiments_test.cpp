@@ -109,6 +109,9 @@ TEST(Fig4b, ArmCyclesCorrelateWithSize)
 
 TEST(Fig4c, FewUniqueVariants)
 {
+    if (tuner::flagCount() != 8)
+        GTEST_SKIP() << "pinned to the paper's 8-pass registry; "
+                        "GSOPT_EXTRA_PASSES widens it";
     // Paper: max 48 distinct variants, most shaders < 10.
     size_t max_variants = 0;
     int under_ten = 0, total = 0;

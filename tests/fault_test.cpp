@@ -437,7 +437,10 @@ TEST(ShardIO, CorruptionMatrixAlwaysLoadsFalse)
     }
 
     // Every single-byte flip must be caught (key, content hash, or
-    // body-hash mismatch — fnv1a detects any one-byte change).
+    // body-hash mismatch — fnv1a detects any one-byte change). Flips
+    // inside the key bytes legitimately warn as stale shards; swallow
+    // the noise.
+    testing::internal::CaptureStderr();
     for (size_t pos = 0; pos < good.size(); ++pos) {
         std::string bad = good;
         bad[pos] = static_cast<char>(bad[pos] ^ 0xff);
@@ -446,6 +449,7 @@ TEST(ShardIO, CorruptionMatrixAlwaysLoadsFalse)
             tuner::ExperimentEngine::loadShard(mutant, 77, out))
             << "flipped byte " << pos;
     }
+    testing::internal::GetCapturedStderr();
 
     // Random garbage of assorted sizes.
     Rng rng(2026);
@@ -461,6 +465,138 @@ TEST(ShardIO, CorruptionMatrixAlwaysLoadsFalse)
 
     // The unmodified file still loads (the matrix isn't vacuous).
     EXPECT_TRUE(tuner::ExperimentEngine::loadShard(path, 77, out));
+}
+
+/** tinyResult() plus the schema-15 plan section: one producer-less
+ * plan-only variant, referenced by an ordered-plan annotation. */
+tuner::ShaderResult
+planAnnotatedResult()
+{
+    tuner::ShaderResult r = tinyResult();
+    tuner::Variant v2;
+    v2.source = "void main() { /* plan-only text */ }";
+    v2.sourceHash = fnv1a(v2.source);
+    // No producers on purpose: no flag combination reaches this text,
+    // only the plan annotation below keeps it structurally valid.
+    r.exploration.variants.push_back(v2);
+    for (auto &[dev, m] : r.byDevice)
+        m.variantMeanNs.push_back(95.0 + m.originalMeanNs / 100.0);
+    r.exploration.variantOfPlan = {{"adce>gvn", 2}, {"gvn>unroll", 0}};
+    return r;
+}
+
+/** Write a shard file by hand: key, body hash, body — the saveShard
+ * layout without the tmp-rename protocol, for crafting bodies whose
+ * hash is *correct* so only structural validation can reject them. */
+void
+writeRawShard(const std::string &path, uint64_t key,
+              const std::string &body)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const uint64_t hash = fnv1a(body);
+    f.write(reinterpret_cast<const char *>(&key), sizeof(key));
+    f.write(reinterpret_cast<const char *>(&hash), sizeof(hash));
+    f.write(body.data(), static_cast<std::streamsize>(body.size()));
+}
+
+TEST(ShardIO, StaleKeyMissesCleanlyAndSaysSo)
+{
+    // The shard key folds in the schema version, registry signature,
+    // device set, and shader source — so a shard from any older schema
+    // arrives here as a key mismatch. The contract: a clean cache miss
+    // with a warning on the support/diag channel, never a crash and
+    // never a silent wrong-key hit.
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("stalekey");
+    const std::string path = dir.path() + "/tiny.bin";
+    tuner::ExperimentEngine::saveShard(path, 14, tinyResult());
+
+    tuner::ShaderResult out;
+    out.exploration.shaderName = "sentinel/untouched";
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(tuner::ExperimentEngine::loadShard(path, 15, out));
+    const std::string warning = testing::internal::GetCapturedStderr();
+    EXPECT_NE(warning.find("key mismatch"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("cache miss"), std::string::npos)
+        << warning;
+    // The miss must not leak a partial parse into the output.
+    EXPECT_EQ(out.exploration.shaderName, "sentinel/untouched");
+
+    // The matching key still loads, and quietly.
+    testing::internal::CaptureStderr();
+    EXPECT_TRUE(tuner::ExperimentEngine::loadShard(path, 14, out));
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ShardIO, PlanAnnotatedShardRoundTripsAndSurvivesTheMatrix)
+{
+    const fault::ScopedFaultPlan noAmbientFaults = quiesce();
+    ScratchDir dir("plancorrupt");
+    const std::string path = dir.path() + "/plan.bin";
+    const std::string mutant = dir.path() + "/mutant.bin";
+    const tuner::ShaderResult r = planAnnotatedResult();
+    tuner::ExperimentEngine::saveShard(path, 88, r);
+
+    // Round trip: the plan section and the producer-less variant it
+    // references come back byte-identical.
+    tuner::ShaderResult out;
+    ASSERT_TRUE(tuner::ExperimentEngine::loadShard(path, 88, out));
+    EXPECT_EQ(tuner::serializeShardBody(out),
+              tuner::serializeShardBody(r));
+    ASSERT_EQ(out.exploration.variantOfPlan.size(), 2u);
+    EXPECT_EQ(out.exploration.variantOfPlan.at("adce>gvn"), 2);
+    EXPECT_TRUE(out.exploration.variants[2].producers.empty());
+
+    // The plan section widens the byte surface; the corruption matrix
+    // must hold over all of it. Truncation everywhere...
+    const std::string good = readFile(path);
+    ASSERT_GT(good.size(), 16u);
+    auto write_mutant = [&](const std::string &bytes) {
+        std::ofstream f(mutant, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    };
+    for (size_t len = 0; len < good.size(); ++len) {
+        write_mutant(good.substr(0, len));
+        EXPECT_FALSE(
+            tuner::ExperimentEngine::loadShard(mutant, 88, out))
+            << "truncated at " << len;
+    }
+    // ...and every single-byte flip (key-byte flips warn as stale
+    // shards; swallow the noise).
+    testing::internal::CaptureStderr();
+    for (size_t pos = 0; pos < good.size(); ++pos) {
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0xff);
+        write_mutant(bad);
+        EXPECT_FALSE(
+            tuner::ExperimentEngine::loadShard(mutant, 88, out))
+            << "flipped byte " << pos;
+    }
+    testing::internal::GetCapturedStderr();
+
+    // Structural corruption the content hash cannot catch — bodies
+    // re-hashed after tampering, so only the loader's validation
+    // stands between them and a poisoned cache.
+    // (a) A producer-less variant with the plan section stripped:
+    // nothing references the orphan text.
+    tuner::ShaderResult orphan = planAnnotatedResult();
+    orphan.exploration.variantOfPlan.clear();
+    writeRawShard(mutant, 88, tuner::serializeShardBody(orphan));
+    EXPECT_FALSE(tuner::ExperimentEngine::loadShard(mutant, 88, out));
+    // (b) A plan annotation pointing past the variant table.
+    tuner::ShaderResult dangling = planAnnotatedResult();
+    dangling.exploration.variantOfPlan["unroll>hoist"] = 99;
+    writeRawShard(mutant, 88, tuner::serializeShardBody(dangling));
+    EXPECT_FALSE(tuner::ExperimentEngine::loadShard(mutant, 88, out));
+    // (c) Trailing garbage after a well-formed plan section.
+    writeRawShard(mutant, 88,
+                  tuner::serializeShardBody(r) + std::string(7, 'x'));
+    EXPECT_FALSE(tuner::ExperimentEngine::loadShard(mutant, 88, out));
+
+    // The pristine shard still loads after all of that.
+    EXPECT_TRUE(tuner::ExperimentEngine::loadShard(path, 88, out));
 }
 
 // -------------------------------------------- campaign resilience

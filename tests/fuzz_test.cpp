@@ -48,6 +48,7 @@
 #include "ir/interp.h"
 #include "ir/interp_batch.h"
 #include "lower/lower.h"
+#include "passes/passes.h"
 #include "passes/registry.h"
 #include "support/rng.h"
 
@@ -325,6 +326,115 @@ TEST_P(RandomShader, FullRegistryTreePreservesSemantics)
                 ir::interpretBatch(*reparsed, benv), "round-trip");
         });
     EXPECT_EQ(combos, reg.comboCount()) << "walk must cover 2^N";
+    EXPECT_GE(seen.size(), 1u);
+}
+
+TEST_P(RandomShader, RandomPlanWalkPreservesSemantics)
+{
+    // The ordering dimension: beyond the canonical-order lattice the
+    // last test sweeps, every *permutation* of every subset must also
+    // preserve semantics. Each seed draws K random plans — a random
+    // subset of the full registry in a random order — and walks them
+    // through the shared-memo plan applier, holding each distinct
+    // result to the same three properties: reference-interp
+    // bit-identity, batched-lane cross-check, GLSL round trip.
+    passes::ScopedExtraPasses extras;
+    const passes::PassRegistry &reg = passes::PassRegistry::instance();
+    ASSERT_GE(reg.count(), 11u);
+
+    const uint64_t seed = 0xf00dULL + static_cast<uint64_t>(GetParam());
+    const std::string src = randomShader(seed);
+    auto reference = emit::compileToIr(src);
+
+    constexpr size_t kProbeLanes = 8;
+    ir::BatchEnv benv;
+    benv.width = kProbeLanes;
+    for (size_t l = 0; l < kProbeLanes; ++l) {
+        const double x =
+            0.15 + 0.7 * static_cast<double>(l) / (kProbeLanes - 1);
+        benv.setLaneInput("uv", l, {x, 1.0 - x});
+        benv.setLaneInput("tone", l, {0.3 + x});
+    }
+    benv.uniforms["gain"] = {1.25};
+    std::vector<ir::InterpEnv> envs;
+    for (size_t l = 0; l < kProbeLanes; ++l)
+        envs.push_back(benv.laneEnv(l));
+
+    std::vector<ir::InterpResult> want;
+    for (const auto &env : envs)
+        want.push_back(ir::interpretReference(*reference, env));
+
+    auto check_against_reference = [&](const ir::BatchResult &got,
+                                       const char *what,
+                                       const std::string &plan) {
+        for (size_t e = 0; e < envs.size(); ++e) {
+            for (const auto &[name, lanes] : want[e].outputs) {
+                ASSERT_EQ(got.outputComps(name), lanes.size());
+                for (size_t k = 0; k < lanes.size(); ++k) {
+                    ASSERT_NEAR(got.output(name, k, e), lanes[k],
+                                1e-6 * (1.0 + std::fabs(lanes[k])))
+                        << what << " seed " << seed << " plan " << plan
+                        << " env " << e << " output " << name << "["
+                        << k << "]\n"
+                        << src;
+                }
+            }
+        }
+    };
+
+    // K random plans per seed: GSOPT_FUZZ_PLANS scales the nightly
+    // depth the same way GSOPT_FUZZ_ITERS scales seed count.
+    int k_plans = 6;
+    if (const char *env = std::getenv("GSOPT_FUZZ_PLANS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            k_plans = n;
+    }
+    Rng rng(hashCombine(seed, fnv1a("random-plan-walk")));
+    std::vector<passes::PassPlan> plans;
+    for (int p = 0; p < k_plans; ++p) {
+        passes::PassPlan plan =
+            passes::PassPlan::canonicalOf(rng.below(reg.comboCount()));
+        for (size_t i = plan.bits.size(); i > 1; --i)
+            std::swap(plan.bits[i - 1], plan.bits[rng.below(i)]);
+        ASSERT_TRUE(plan.valid());
+        plans.push_back(std::move(plan));
+    }
+
+    size_t walked = 0;
+    std::unordered_set<uint64_t> seen;
+    passes::forEachPlan(
+        *reference, plans,
+        [&](const passes::PassPlan &plan, const ir::Module &module,
+            uint64_t fingerprint) {
+            ++walked;
+            if (!seen.insert(fingerprint).second)
+                return; // distinct results only: the memo shares
+            SCOPED_TRACE("plan " + plan.str());
+
+            const ir::BatchResult batch =
+                ir::interpretBatch(module, benv);
+            check_against_reference(batch, "plan", plan.str());
+
+            const size_t lane =
+                static_cast<size_t>(fingerprint % kProbeLanes);
+            const auto slot = ir::interpret(module, envs[lane]);
+            const auto blane = batch.laneResult(lane);
+            ASSERT_EQ(blane.discarded, slot.discarded);
+            ASSERT_EQ(blane.executedInstructions,
+                      slot.executedInstructions)
+                << "batched lane count diverged, seed " << seed
+                << " plan " << plan.str();
+            ASSERT_EQ(blane.outputs, slot.outputs)
+                << "batched/scalar divergence, seed " << seed
+                << " plan " << plan.str() << " lane " << lane;
+
+            const std::string text = emit::emitGlsl(module);
+            auto reparsed = emit::compileToIr(text);
+            check_against_reference(ir::interpretBatch(*reparsed, benv),
+                                    "round-trip", plan.str());
+        });
+    EXPECT_EQ(walked, plans.size());
     EXPECT_GE(seen.size(), 1u);
 }
 

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Ordered-plan tests: PassPlan's canonical/string/parse algebra, the
+ * forEachPlan walk delivering bit-identical modules to the linear
+ * pipeline for canonical plans, the PlanApplier memo collapsing
+ * permutations onto distinct (module, pass) edges, and PlanExplorer
+ * layering on-demand plan exploration over an Exploration without
+ * disturbing the flag-lattice contract.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "corpus/corpus.h"
+#include "emit/emit.h"
+#include "emit/offline.h"
+#include "passes/passes.h"
+#include "passes/registry.h"
+#include "tuner/explore.h"
+
+namespace gsopt {
+namespace {
+
+using passes::PassPlan;
+using passes::PassRegistry;
+
+TEST(PassPlan, CanonicalOfListsSelectionInPipelineOrder)
+{
+    PassRegistry &reg = PassRegistry::instance();
+    if (reg.count() != 8)
+        GTEST_SKIP() << "string pins cover the built-in eight; "
+                        "GSOPT_EXTRA_PASSES widens the registry";
+
+    // The empty plan: mask 0, canonical, prints as "-".
+    const PassPlan none = PassPlan::canonicalOf(0);
+    EXPECT_TRUE(none.empty());
+    EXPECT_TRUE(none.isCanonical());
+    EXPECT_EQ(none.str(), "-");
+
+    // Every mask round-trips through canonicalOf, and the member bits
+    // come out in registry pipeline order, not bit order.
+    for (uint64_t mask : {0x13ull, 0xffull, 0x80ull, 0x05ull}) {
+        const PassPlan plan = PassPlan::canonicalOf(mask);
+        EXPECT_EQ(plan.mask(), mask);
+        EXPECT_TRUE(plan.isCanonical());
+        EXPECT_TRUE(plan.valid());
+        int prev_position = -1;
+        for (int bit : plan.bits) {
+            EXPECT_GT(reg.pass(bit).position, prev_position);
+            prev_position = reg.pass(bit).position;
+        }
+    }
+
+    // The full canonical plan spells the historical pipeline order.
+    EXPECT_EQ(PassPlan::canonicalOf(0xff).str(),
+              "unroll>hoist>coalesce>reassociate>fp_reassociate"
+              ">div_to_mul>gvn>adce");
+}
+
+TEST(PassPlan, StrParseRoundTripAndRejection)
+{
+    // Round trip for canonical and non-canonical plans alike.
+    for (const PassPlan &plan :
+         {PassPlan::canonicalOf(0xff), PassPlan::canonicalOf(0),
+          PassPlan{{passes::kPassBitGvn, passes::kPassBitUnroll}},
+          PassPlan{{passes::kPassBitAdce}}}) {
+        PassPlan parsed;
+        ASSERT_TRUE(PassPlan::parse(plan.str(), parsed))
+            << plan.str();
+        EXPECT_EQ(parsed, plan) << plan.str();
+    }
+
+    // Whitespace around ids is tolerated.
+    PassPlan spaced;
+    ASSERT_TRUE(PassPlan::parse(" unroll > gvn ", spaced));
+    EXPECT_EQ(spaced.str(), "unroll>gvn");
+
+    // Unknown ids, duplicates, and empty segments are rejected and
+    // leave the output untouched.
+    PassPlan out{{passes::kPassBitAdce}};
+    const PassPlan before = out;
+    EXPECT_FALSE(PassPlan::parse("unroll>nosuchpass", out));
+    EXPECT_FALSE(PassPlan::parse("unroll>unroll", out));
+    EXPECT_FALSE(PassPlan::parse("unroll>>gvn", out));
+    EXPECT_EQ(out, before);
+}
+
+TEST(PassPlan, ValidNamesTheOffendingBit)
+{
+    // Duplicate bit.
+    std::string why;
+    const PassPlan dup{{passes::kPassBitGvn, passes::kPassBitGvn}};
+    EXPECT_FALSE(dup.valid(&why));
+    EXPECT_NE(why.find("gvn"), std::string::npos) << why;
+
+    // Unregistered bit (beyond the live registry).
+    const int dead_bit =
+        static_cast<int>(PassRegistry::instance().count());
+    why.clear();
+    EXPECT_FALSE(PassPlan{{dead_bit}}.valid(&why));
+    EXPECT_FALSE(why.empty());
+
+    // Ordering alone never invalidates: any permutation of
+    // registered bits is a valid plan.
+    const PassPlan reversed{
+        {passes::kPassBitAdce, passes::kPassBitUnroll}};
+    EXPECT_TRUE(reversed.valid());
+}
+
+TEST(PlanWalk, CanonicalPlansMatchLinearPipelineByteForByte)
+{
+    // forEachPlan over every canonical plan must reproduce
+    // optimize() exactly — the flag lattice really is the
+    // canonical-order special case of the plan space.
+    if (PassRegistry::instance().count() != 8)
+        GTEST_SKIP() << "step counts pinned to the 256-combo lattice; "
+                        "GSOPT_EXTRA_PASSES widens it";
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("toon/bands3");
+    auto base = emit::compileToIr(shader.source, shader.defines);
+
+    std::vector<PassPlan> plans;
+    const uint64_t combos = PassRegistry::instance().comboCount();
+    for (uint64_t mask = 0; mask < combos; ++mask)
+        plans.push_back(PassPlan::canonicalOf(mask));
+
+    std::map<uint64_t, std::string> plan_text;
+    passes::FlagTreeStats stats;
+    passes::forEachPlan(
+        *base, plans,
+        [&](const PassPlan &plan, const ir::Module &module, uint64_t) {
+            plan_text[plan.mask()] = emit::emitGlsl(module);
+        },
+        &stats);
+    ASSERT_EQ(plan_text.size(), combos);
+
+    for (uint64_t mask = 0; mask < combos; ++mask) {
+        auto linear = base->clone();
+        passes::optimize(
+            *linear, passes::OptFlags::fromMask(mask));
+        EXPECT_EQ(emit::emitGlsl(*linear), plan_text.at(mask))
+            << PassPlan::canonicalOf(mask).str();
+    }
+
+    // The memo must hold executed pass runs far below the walked
+    // total: 256 canonical plans contain 8 * 128 = 1024 plan steps.
+    EXPECT_EQ(stats.passRuns + stats.passMemoHits, 1024u);
+    EXPECT_LT(stats.passRuns, 256u);
+    EXPECT_GT(stats.passMemoHits, stats.passRuns);
+}
+
+TEST(PlanWalk, PermutationsShareDistinctEdgesThroughTheMemo)
+{
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("blur/weighted9");
+    auto base = emit::compileToIr(shader.source, shader.defines);
+
+    // All 6 orderings of {unroll, gvn, fp_reassociate}.
+    const int u = passes::kPassBitUnroll;
+    const int g = passes::kPassBitGvn;
+    const int f = passes::kPassBitFpReassociate;
+    std::vector<PassPlan> plans = {
+        PassPlan{{u, g, f}}, PassPlan{{u, f, g}}, PassPlan{{g, u, f}},
+        PassPlan{{g, f, u}}, PassPlan{{f, u, g}}, PassPlan{{f, g, u}},
+    };
+
+    size_t delivered = 0;
+    passes::FlagTreeStats stats;
+    passes::forEachPlan(
+        *base, plans,
+        [&](const PassPlan &, const ir::Module &, uint64_t) {
+            ++delivered;
+        },
+        &stats);
+    EXPECT_EQ(delivered, plans.size());
+
+    // 6 plans x 3 steps = 18 apply edges walked. Each pass can open
+    // at most one *distinct* edge per distinct incoming module, and
+    // each of the three passes appears twice as a first step — so at
+    // least 3 edges are memo hits even with zero convergence, and
+    // every walked edge is accounted as exactly one of run/hit.
+    EXPECT_EQ(stats.passRuns + stats.passMemoHits, 18u);
+    EXPECT_GE(stats.passMemoHits, 3u);
+    EXPECT_LT(stats.passRuns, 18u);
+}
+
+TEST(PlanExplorer, CanonicalPlansResolveWithoutPassWork)
+{
+    tuner::Exploration ex =
+        tuner::exploreShader(*corpus::findShader("blur/weighted9"));
+    const size_t unique_before = ex.uniqueCount();
+
+    tuner::PlanExplorer planner(*corpus::findShader("blur/weighted9"),
+                                ex);
+    // Canonical plans are flag subsets: resolved from variantOfCombo,
+    // no walk, no new variants, no plan annotation.
+    const PassPlan canon = PassPlan::canonicalOf(0x13);
+    EXPECT_EQ(planner.ensure(canon),
+              ex.variantOf(tuner::FlagSet(0x13)));
+    EXPECT_EQ(planner.plansWalked(), 0u);
+    EXPECT_EQ(ex.uniqueCount(), unique_before);
+    EXPECT_TRUE(ex.variantOfPlan.empty());
+}
+
+TEST(PlanExplorer, NonCanonicalPlansDedupAnnotateAndCache)
+{
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("simple/grayscale");
+    tuner::Exploration ex = tuner::exploreShader(shader);
+    const size_t unique_before = ex.uniqueCount();
+
+    tuner::PlanExplorer planner(shader, ex);
+
+    // adce>gvn is non-canonical (pipeline order is gvn before adce);
+    // on grayscale both fire on nothing, so the walk converges to the
+    // canonical {adce, gvn} text and dedups against it — a plan
+    // annotation, not a new variant.
+    const PassPlan plan{{passes::kPassBitAdce, passes::kPassBitGvn}};
+    ASSERT_FALSE(plan.isCanonical());
+    const int v = planner.ensure(plan);
+    EXPECT_EQ(v, ex.variantOf(tuner::FlagSet(plan.mask())));
+    EXPECT_EQ(ex.uniqueCount(), unique_before);
+    EXPECT_EQ(planner.plansWalked(), 1u);
+    ASSERT_EQ(ex.variantOfPlan.count(plan.str()), 1u);
+    EXPECT_EQ(ex.variantOfPlan.at(plan.str()), v);
+
+    // Exploration::variantOf(plan) now resolves it; the repeat
+    // ensure is a cache hit (no second walk).
+    EXPECT_EQ(ex.variantOf(plan), v);
+    EXPECT_EQ(planner.ensure(plan), v);
+    EXPECT_EQ(planner.plansWalked(), 1u);
+
+    // Unknown plans still throw from the bare Exploration.
+    const PassPlan unknown{
+        {passes::kPassBitDivToMul, passes::kPassBitUnroll}};
+    EXPECT_THROW(ex.variantOf(unknown), std::out_of_range);
+
+    // Invalid plans are rejected up front.
+    EXPECT_THROW(
+        planner.ensure(PassPlan{
+            {passes::kPassBitGvn, passes::kPassBitGvn}}),
+        std::invalid_argument);
+}
+
+TEST(PlanExplorer, OrderingCanReachTextNoFlagSubsetProduces)
+{
+    // The mechanistic ordering win (N=11): licm *before* unroll
+    // shrinks godrays/march64_spectral's over-budget loop body below
+    // unroll's instruction budget, so the loop unrolls fully — in the
+    // canonical order unroll runs first and declines. The resulting
+    // text differs from every flag subset: a plan-only variant with
+    // no producers, valid precisely because variantOfPlan references
+    // it.
+    passes::ScopedExtraPasses extras;
+    const int licm = PassRegistry::instance().bitOf("licm");
+    ASSERT_GE(licm, 0);
+
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("godrays/march64_spectral");
+    tuner::Exploration ex = tuner::exploreShader(shader);
+    const size_t unique_before = ex.uniqueCount();
+
+    tuner::PlanExplorer planner(shader, ex);
+    const PassPlan plan{{licm, passes::kPassBitUnroll}};
+    ASSERT_FALSE(plan.isCanonical());
+    const int v = planner.ensure(plan);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(static_cast<size_t>(v), ex.uniqueCount());
+    EXPECT_EQ(ex.variantOfPlan.at(plan.str()), v);
+
+    // A genuinely new text, reachable by no flag subset: the variant
+    // was appended producerless, and it differs from the canonical
+    // order of the same member set (where the loop stays rolled).
+    ASSERT_GE(static_cast<size_t>(v), unique_before);
+    EXPECT_TRUE(ex.variants[v].producers.empty());
+    EXPECT_NE(
+        ex.variants[v].source,
+        ex.variants[ex.variantOf(tuner::FlagSet(plan.mask()))].source);
+}
+
+} // namespace
+} // namespace gsopt

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "corpus/corpus.h"
 #include "passes/registry.h"
@@ -401,6 +402,110 @@ TEST(Search, RandomDuplicateDrawsDoNotDistortAccounting)
     const SearchOutcome c = RandomSearch(6, 42).run(warmed);
     EXPECT_EQ(c.measurementsUsed, 0u);
     EXPECT_EQ(warmed.measurementsTaken(), ex.uniqueCount());
+}
+
+TEST(Search, SequenceRespectsBudgetAndFindsOrderingWins)
+{
+    // N=8 contract: SequenceSearch is budget-capped, deterministic,
+    // and degrades gracefully to canonical-only plans without a
+    // planner. With a planner it walks real orderings; plansWalked
+    // grows while the budget cap still holds.
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("blur/weighted9");
+    const gpu::DeviceModel &device =
+        gpu::deviceModel(gpu::DeviceId::Amd);
+
+    for (size_t budget : {size_t{4}, size_t{12}}) {
+        Exploration e1 = exploreShader(shader);
+        Exploration e2 = exploreShader(shader);
+        PlanExplorer p1(shader, e1), p2(shader, e2);
+        MeasurementOracle o1(e1, device, &p1);
+        MeasurementOracle o2(e2, device, &p2);
+        ASSERT_TRUE(o1.canExplorePlans());
+
+        const SearchOutcome a = SequenceSearch(budget).run(o1);
+        const SearchOutcome b = SequenceSearch(budget).run(o2);
+        EXPECT_LE(a.measurementsUsed, budget) << budget;
+        EXPECT_GE(a.measurementsUsed, 1u);
+        EXPECT_EQ(a.measurementsUsed, o1.measurementsTaken());
+        // Deterministic across independent explorations.
+        EXPECT_EQ(a.bestPlan, b.bestPlan) << budget;
+        EXPECT_EQ(a.bestFlags, b.bestFlags) << budget;
+        EXPECT_DOUBLE_EQ(a.bestSpeedupPercent, b.bestSpeedupPercent);
+        // The plan incumbent and flag incumbent stay coherent.
+        EXPECT_EQ(a.bestPlan.mask(), a.bestFlags.bits);
+        EXPECT_TRUE(a.bestPlan.valid());
+        // The passthrough baseline is probed first, so the incumbent
+        // never ends below it.
+        EXPECT_GE(a.bestSpeedupPercent, 0.0);
+    }
+
+    // Without a planner: canonical-only, same caps, still runs.
+    Exploration ex = exploreShader(shader);
+    MeasurementOracle lattice_only(ex, device);
+    ASSERT_FALSE(lattice_only.canExplorePlans());
+    const SearchOutcome c = SequenceSearch(6).run(lattice_only);
+    EXPECT_LE(c.measurementsUsed, 6u);
+    EXPECT_TRUE(c.bestPlan.isCanonical());
+
+    EXPECT_EQ(SequenceSearch(6).name(), "sequence(6)");
+
+    // A planner over a different exploration is a construction error.
+    Exploration other = exploreShader(shader);
+    PlanExplorer mismatched(shader, other);
+    EXPECT_THROW(MeasurementOracle(ex, device, &mismatched),
+                 std::logic_error);
+}
+
+TEST(Search, SequenceStaysInBoundsBeyondEightPasses)
+{
+    // N=11: the full catalog opens the ordering dimension (licm
+    // before unroll). On the spectral god-rays shader the ordered
+    // plan beats the canonical-only sequence search on AMD — the
+    // device whose JIT neither unrolls nor hoists.
+    passes::ScopedExtraPasses extras;
+    const size_t n = flagCount();
+    ASSERT_EQ(n, 11u);
+
+    const corpus::CorpusShader &shader =
+        *corpus::findShader("godrays/march64_spectral");
+    const gpu::DeviceModel &device =
+        gpu::deviceModel(gpu::DeviceId::Amd);
+    const uint64_t width_mask = (1ull << n) - 1;
+
+    Exploration ordered_ex = exploreShader(shader);
+    ASSERT_EQ(ordered_ex.exploredFlagCount, 11u);
+    PlanExplorer planner(shader, ordered_ex);
+    MeasurementOracle ordered(ordered_ex, device, &planner);
+    const SearchOutcome with_plans = SequenceSearch(16).run(ordered);
+
+    Exploration lattice_ex = exploreShader(shader);
+    MeasurementOracle lattice(lattice_ex, device);
+    const SearchOutcome lattice_only = SequenceSearch(16).run(lattice);
+
+    for (const SearchOutcome *out : {&with_plans, &lattice_only}) {
+        EXPECT_LE(out->measurementsUsed, 16u);
+        EXPECT_EQ(out->bestFlags.bits & ~width_mask, 0u);
+        EXPECT_TRUE(out->bestPlan.valid());
+    }
+    // The ordering dimension is real measured value, not bookkeeping:
+    // the planner-backed search finds a strictly better plan than any
+    // canonical probe sequence, and the winning plan is non-canonical.
+    EXPECT_GT(with_plans.bestSpeedupPercent,
+              lattice_only.bestSpeedupPercent);
+    EXPECT_FALSE(with_plans.bestPlan.isCanonical());
+
+    // Plan-exploration accounting: the walked plans appended at most
+    // a handful of variants, each annotated or deduped, and the
+    // memoized applier kept pass runs bounded.
+    EXPECT_GT(planner.plansWalked(), 0u);
+    EXPECT_FALSE(ordered_ex.variantOfPlan.empty());
+    for (const auto &[text, v] : ordered_ex.variantOfPlan) {
+        passes::PassPlan parsed;
+        ASSERT_TRUE(passes::PassPlan::parse(text, parsed)) << text;
+        EXPECT_GE(v, 0);
+        EXPECT_LT(static_cast<size_t>(v), ordered_ex.uniqueCount());
+    }
 }
 
 } // namespace

@@ -154,6 +154,9 @@ const Golden kGoldens[] = {
 
 TEST(ShardGolden, ThreeShaderCampaignBytesMatchSeed)
 {
+    if (tuner::flagCount() != 8)
+        GTEST_SKIP() << "md5 pins cover the paper's 8-pass campaign; "
+                        "GSOPT_EXTRA_PASSES changes the bytes";
     std::vector<corpus::CorpusShader> shaders;
     for (const Golden &g : kGoldens)
         shaders.push_back(*corpus::findShader(g.shader));

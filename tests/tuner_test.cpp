@@ -39,6 +39,9 @@ TEST(FlagSet, DefaultsMatchPaper)
 
 TEST(FlagSet, Spelling)
 {
+    if (flagCount() != 8)
+        GTEST_SKIP() << "spellings pinned to the built-in eight; "
+                        "GSOPT_EXTRA_PASSES widens the registry";
     EXPECT_EQ(FlagSet::none().str(), "{none}");
     FlagSet f = FlagSet::none().with(kUnroll).with(kDivToMul);
     EXPECT_EQ(f.str(), "{Unroll,Div to Mul}");
@@ -47,6 +50,9 @@ TEST(FlagSet, Spelling)
 
 TEST(Explore, MotivatingExampleHasMultipleVariants)
 {
+    if (flagCount() != 8)
+        GTEST_SKIP() << "variant counts pinned to the 8-pass lattice; "
+                        "GSOPT_EXTRA_PASSES widens it";
     Exploration ex = exploreShader(corpus::motivatingExample());
     // 256 combos collapse to a handful of unique variants (Fig 4c).
     EXPECT_GE(ex.uniqueCount(), 4u);
@@ -66,6 +72,9 @@ TEST(Explore, MotivatingExampleHasMultipleVariants)
 
 TEST(Explore, FrontEndAndLoweringRunOncePerShader)
 {
+    if (flagCount() != 8)
+        GTEST_SKIP() << "counter arithmetic pinned to 256 combos; "
+                        "GSOPT_EXTRA_PASSES widens the lattice";
     ExploreCounters &c = exploreCounters();
     const uint64_t fe0 = c.frontEndRuns, lo0 = c.lowerRuns;
     const uint64_t pi0 = c.pipelineRuns, pr0 = c.printRuns;
