@@ -2,6 +2,7 @@
 
 #include "glsl/lexer.h"
 #include "glsl/parser.h"
+#include "support/governor.h"
 
 namespace gsopt::glsl {
 
@@ -10,6 +11,10 @@ tryCompileShader(const std::string &source,
                  const std::map<std::string, std::string> &predefines,
                  DiagEngine &diags)
 {
+    // Admission control: a cold compile of untrusted text gets a fresh
+    // budget from the ambient caps (GSOPT_DEADLINE_MS / GSOPT_BUDGET_*)
+    // unless an outer request already governs this thread.
+    governor::ScopedRequestBudget admission;
     auto out = std::make_unique<CompiledShader>();
     PreprocessResult pp = preprocess(source, predefines, diags);
     if (diags.hasErrors())
@@ -39,6 +44,10 @@ compileShader(const std::string &source,
     DiagEngine diags;
     auto out = tryCompileShader(source, predefines, diags);
     diags.checkpoint();
+    // Success is not silence: this entry point's contract only throws
+    // on errors, so route any warnings through the support/diag sink
+    // rather than dropping them with the local engine.
+    diags.reportWarnings();
     return std::move(*out);
 }
 

@@ -29,7 +29,14 @@ struct CompiledShader
 
 /**
  * Run the complete front end. Throws CompileError on any diagnostic of
- * error severity.
+ * error severity; warnings on a successful compile are delivered
+ * through the support/diag warning sink (setWarningSink), never
+ * silently dropped.
+ *
+ * Both entry points are governed admission points: when ambient
+ * resource caps are configured (GSOPT_DEADLINE_MS / GSOPT_BUDGET_*, or
+ * governor::ScopedAmbientCaps), each call gets a fresh budget and may
+ * throw governor::ResourceExhausted naming the exhausted dimension.
  *
  * @param source     raw GLSL text (may contain directives)
  * @param predefines externally injected macros (übershader specialisation)
@@ -39,7 +46,9 @@ CompiledShader compileShader(
     const std::map<std::string, std::string> &predefines = {});
 
 /**
- * Non-throwing variant; returns nullptr on error and fills @p diags.
+ * Diagnostic-collecting variant; returns nullptr on error and fills
+ * @p diags (the caller owns reporting, including warnings). Still
+ * throws governor::ResourceExhausted under a configured budget.
  */
 std::unique_ptr<CompiledShader> tryCompileShader(
     const std::string &source,

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "support/governor.h"
+
 namespace gsopt::glsl {
 
 const char *
@@ -90,7 +92,11 @@ lex(const std::string &source, DiagEngine &diags)
     std::vector<Token> out;
     Cursor cur(source);
 
+    // Every emitted token is charged to the ambient budget (the charge
+    // path also re-checks the deadline periodically, so a giant source
+    // cannot outrun a governed deadline between tokens).
     auto push = [&](TokKind kind, SourceLoc loc, std::string text = "") {
+        governor::charge(governor::Dim::Tokens, 1, "lex");
         Token t;
         t.kind = kind;
         t.loc = loc;
@@ -173,6 +179,7 @@ lex(const std::string &source, DiagEngine &diags)
             } else if (cur.peek() == 'u' || cur.peek() == 'U') {
                 cur.advance(); // treat uint literals as int
             }
+            governor::charge(governor::Dim::Tokens, 1, "lex");
             Token t;
             t.loc = loc;
             t.text = num;

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "support/governor.h"
+
 namespace gsopt::glsl {
 
 namespace {
@@ -80,6 +82,40 @@ class Parser
         return advance();
     }
     void error(const std::string &msg) { diags_.error(peek().loc, msg); }
+
+    // -- nesting governance ----------------------------------------------
+    // Recursive descent turns input nesting into C++ stack depth. The
+    // built-in cap turns a nesting bomb into a clean diagnostic well
+    // before the stack overflows (even ungoverned); the governed cap
+    // (Dim::ParseDepth) lets a budget reject far shallower with a
+    // structured ResourceExhausted. Depth counts statement and
+    // expression levels combined.
+    static constexpr int kMaxNesting = 1024;
+    struct NestingGuard
+    {
+        Parser &p;
+        explicit NestingGuard(Parser &parser) : p(parser)
+        {
+            governor::checkDepth(governor::Dim::ParseDepth,
+                                 static_cast<uint64_t>(++p.depth_),
+                                 "parse");
+        }
+        ~NestingGuard() { --p.depth_; }
+
+        /** Past the built-in cap? Diagnoses once; the caller must then
+         * return a stub without recursing further. */
+        bool tooDeep() const
+        {
+            if (p.depth_ <= kMaxNesting)
+                return false;
+            if (!p.deepDiagnosed_) {
+                p.deepDiagnosed_ = true;
+                p.error("nesting too deep (more than " +
+                        std::to_string(kMaxNesting) + " levels)");
+            }
+            return true;
+        }
+    };
 
     // -- qualifiers / types ---------------------------------------------
     void skipPrecisionAndInterp()
@@ -282,7 +318,10 @@ class Parser
 
     StmtPtr parseStatement()
     {
+        NestingGuard guard(*this);
         const SourceLoc loc = peek().loc;
+        if (guard.tooDeep())
+            return Stmt::make(StmtKind::Block, loc);
         if (check(TokKind::LBrace))
             return parseBlock();
         if (peek().isIdent("if"))
@@ -608,7 +647,10 @@ class Parser
 
     ExprPtr parseUnary()
     {
+        NestingGuard guard(*this);
         const SourceLoc loc = peek().loc;
+        if (guard.tooDeep())
+            return Expr::makeFloat(0.0, loc);
         if (accept(TokKind::Minus)) {
             auto e = std::make_unique<Expr>();
             e->kind = ExprKind::Unary;
@@ -761,6 +803,8 @@ class Parser
     const std::vector<Token> &toks_;
     DiagEngine &diags_;
     size_t pos_ = 0;
+    int depth_ = 0;
+    bool deepDiagnosed_ = false;
 };
 
 } // namespace

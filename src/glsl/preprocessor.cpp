@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <optional>
 
+#include "support/governor.h"
 #include "support/strings.h"
 
 namespace gsopt::glsl {
@@ -33,13 +34,33 @@ isIdentChar(char c)
 }
 
 /**
+ * Macro-expansion work accounting across one whole preprocess() run.
+ * Recursion depth alone cannot stop a non-recursive exponential bomb
+ * (#define A B B / #define B C C / ... doubles per rescan, OOMing long
+ * before depth 32), so total output bytes are capped too: the built-in
+ * cap rejects any bomb with a clean diagnostic even ungoverned, and
+ * every produced byte is charged to the ambient governor budget so a
+ * (usually much tighter) policy cap raises ResourceExhausted first.
+ */
+struct ExpandWork
+{
+    size_t bytes = 0;
+    bool exhausted = false;
+};
+
+constexpr size_t kMaxExpansionBytes = 4u << 20;
+
+/**
  * Expand macros in a single line of text. Handles nested function-like
- * invocations by rescanning; @p depth guards against runaway recursion.
+ * invocations by rescanning; @p depth guards against runaway recursion
+ * and @p work against runaway output growth.
  */
 std::string
 expandMacros(const std::string &line, const MacroTable &macros,
-             DiagEngine &diags, int depth = 0)
+             DiagEngine &diags, ExpandWork &work, int depth = 0)
 {
+    if (work.exhausted)
+        return line; // already diagnosed; stop rewriting entirely
     if (depth > 32) {
         diags.error({}, "macro expansion too deep (recursive macro?)");
         return line;
@@ -144,8 +165,19 @@ expandMacros(const std::string &line, const MacroTable &macros,
         i = j;
         changed = true;
     }
-    if (changed)
-        return expandMacros(out, macros, diags, depth + 1);
+    if (changed) {
+        governor::charge(governor::Dim::PreprocBytes, out.size(),
+                         "preprocess");
+        work.bytes += out.size();
+        if (work.bytes > kMaxExpansionBytes) {
+            work.exhausted = true;
+            diags.error({}, "macro expansion exceeded " +
+                                std::to_string(kMaxExpansionBytes) +
+                                " bytes (macro bomb?)");
+            return line;
+        }
+        return expandMacros(out, macros, diags, work, depth + 1);
+    }
     return out;
 }
 
@@ -361,6 +393,7 @@ preprocess(const std::string &source,
 {
     PreprocessResult result;
     MacroTable macros;
+    ExpandWork work;
     for (const auto &[name, body] : predefines)
         macros[name] = Macro{false, {}, body};
 
@@ -392,6 +425,8 @@ preprocess(const std::string &source,
     int line_no = 0;
     for (const std::string &line : lines) {
         ++line_no;
+        if ((line_no & 63) == 0)
+            governor::checkDeadline("preprocess");
         const SourceLoc loc{line_no, 1};
         std::string_view stripped = trim(line);
         if (!stripped.empty() && stripped.front() == '#') {
@@ -458,8 +493,9 @@ preprocess(const std::string &source,
             } else if (head == "if") {
                 bool cond = false;
                 if (active()) {
-                    std::string expr = expandMacros(
-                        resolveDefined(rest, macros), macros, diags);
+                    std::string expr =
+                        expandMacros(resolveDefined(rest, macros),
+                                     macros, diags, work);
                     cond = CondParser(expr, diags).parse() != 0;
                 }
                 bool parent = active();
@@ -474,8 +510,9 @@ preprocess(const std::string &source,
                 if (!cs.parentActive || cs.taken) {
                     cs.active = false;
                 } else {
-                    std::string expr = expandMacros(
-                        resolveDefined(rest, macros), macros, diags);
+                    std::string expr =
+                        expandMacros(resolveDefined(rest, macros),
+                                     macros, diags, work);
                     cs.active = CondParser(expr, diags).parse() != 0;
                     cs.taken = cs.taken || cs.active;
                 }
@@ -500,7 +537,7 @@ preprocess(const std::string &source,
         }
         if (!active())
             continue;
-        result.text += expandMacros(line, macros, diags);
+        result.text += expandMacros(line, macros, diags, work);
         result.text += '\n';
     }
     if (!conds.empty())

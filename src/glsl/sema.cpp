@@ -4,6 +4,8 @@
 #include <optional>
 #include <set>
 
+#include "support/governor.h"
+
 namespace gsopt::glsl {
 
 namespace {
@@ -396,9 +398,42 @@ class Checker
         currentFunction_ = nullptr;
     }
 
+    // -- recursion governance ---------------------------------------------
+    // Sema recursion mirrors AST depth. The parser already caps its own
+    // nesting, but sema must stand alone against any AST producer: the
+    // built-in cap yields a clean diagnostic before the C++ stack
+    // overflows, and the governed cap (Dim::SemaDepth) lets a budget
+    // reject shallower with a structured ResourceExhausted.
+    static constexpr int kMaxDepth = 1024;
+    struct DepthGuard
+    {
+        Checker &c;
+        explicit DepthGuard(Checker &checker) : c(checker)
+        {
+            governor::checkDepth(governor::Dim::SemaDepth,
+                                 static_cast<uint64_t>(++c.depth_),
+                                 "sema");
+        }
+        ~DepthGuard() { --c.depth_; }
+
+        bool tooDeep(SourceLoc loc) const
+        {
+            if (c.depth_ <= kMaxDepth)
+                return false;
+            if (!c.deepDiagnosed_) {
+                c.deepDiagnosed_ = true;
+                c.diags_.error(loc, "semantic analysis nesting too deep");
+            }
+            return true;
+        }
+    };
+
     // -- statements ---------------------------------------------------------
     void checkStmt(StmtPtr &s)
     {
+        DepthGuard guard(*this);
+        if (guard.tooDeep(s->loc))
+            return;
         switch (s->kind) {
           case StmtKind::Block: {
             if (!s->transparent)
@@ -589,6 +624,11 @@ class Checker
     // -- expressions ----------------------------------------------------
     void checkExpr(ExprPtr &e)
     {
+        DepthGuard guard(*this);
+        if (guard.tooDeep(e->loc)) {
+            e->type = Type::floatTy();
+            return;
+        }
         switch (e->kind) {
           case ExprKind::IntLit:
             e->type = Type::intTy();
@@ -968,6 +1008,8 @@ class Checker
     std::set<std::string> usedNames_;
     ShaderInterface iface_;
     FunctionDecl *currentFunction_ = nullptr;
+    int depth_ = 0;
+    bool deepDiagnosed_ = false;
 };
 
 } // namespace

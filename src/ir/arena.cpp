@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/governor.h"
+
 namespace gsopt::ir {
 
 void
@@ -24,6 +26,11 @@ Arena::allocateSlow(size_t size, size_t align)
     size_t payload = nextChunkSize_;
     if (payload < size + align)
         payload = size + align;
+    // Charged at chunk granularity: one probe per >=16 KiB chunk keeps
+    // the inline bump path untouched while a governed byte cap still
+    // bounds total IR memory. Charging before any state changes means
+    // a ResourceExhausted unwind leaves the arena consistent.
+    governor::charge(governor::Dim::ArenaBytes, payload, "arena");
     nextChunkSize_ = payload * 2;
 
     auto *mem = static_cast<char *>(

@@ -42,6 +42,7 @@ class MapInterpreter
     InterpResult run()
     {
         execRegion(module_.body);
+        meter_.flush(); // enforce sub-4096 budgets before returning
         InterpResult result;
         result.discarded = discarded_;
         result.executedInstructions = executed_;
@@ -133,7 +134,7 @@ class MapInterpreter
             }
             return;
         }
-        long iters = 0;
+        detail::LoopGuard guard(env_.maxLoopIterations);
         for (;;) {
             execRegion(l.condRegion);
             if (discarded_)
@@ -143,15 +144,14 @@ class MapInterpreter
             execRegion(l.body);
             if (discarded_)
                 return;
-            if (++iters > env_.maxLoopIterations)
-                throw std::runtime_error(
-                    "interp: runaway generic loop");
+            guard.tick();
         }
     }
 
     void execInstr(const Instr &i)
     {
         ++executed_;
+        meter_.tick();
         auto arg = [&](size_t k) -> const LaneVector & {
             return value(i.operands[k]);
         };
@@ -474,6 +474,7 @@ class MapInterpreter
     std::unordered_map<const Var *, LaneVector> memory_;
     bool discarded_ = false;
     size_t executed_ = 0;
+    governor::StepMeter meter_{governor::Dim::InterpSteps, "interp"};
 };
 
 // ===================================================================
@@ -660,6 +661,7 @@ class SlotInterpreter
     InterpResult run()
     {
         execRegion(module_.body);
+        meter_.flush(); // enforce sub-4096 budgets before returning
         InterpResult result;
         result.discarded = discarded_;
         result.executedInstructions = executed_;
@@ -770,7 +772,7 @@ class SlotInterpreter
             }
             return;
         }
-        long iters = 0;
+        detail::LoopGuard guard(env_.maxLoopIterations);
         for (;;) {
             execRegion(l.condRegion);
             if (discarded_)
@@ -780,15 +782,14 @@ class SlotInterpreter
             execRegion(l.body);
             if (discarded_)
                 return;
-            if (++iters > env_.maxLoopIterations)
-                throw std::runtime_error(
-                    "interp: runaway generic loop");
+            guard.tick();
         }
     }
 
     void execInstr(const Instr &i)
     {
         ++executed_;
+        meter_.tick();
         auto arg = [&](size_t k) -> const Lanes & {
             return value(i.operands[k]);
         };
@@ -1156,6 +1157,7 @@ class SlotInterpreter
     std::vector<const TextureFn *> textures_; ///< resolved per sampler
     bool discarded_ = false;
     size_t executed_ = 0;
+    governor::StepMeter meter_{governor::Dim::InterpSteps, "interp"};
 };
 
 } // namespace

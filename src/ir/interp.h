@@ -15,10 +15,12 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ir/ir.h"
+#include "support/governor.h"
 
 namespace gsopt::ir {
 
@@ -93,6 +95,35 @@ namespace detail {
  * fails.
  */
 bool denseIdsUsable(const Module &module);
+
+/**
+ * The shared runaway-guard for generic (non-canonical) loops, used by
+ * all three engines (map, slot, batched SoA) — one implementation
+ * instead of per-engine copies. It enforces the legacy per-loop
+ * InterpEnv::maxLoopIterations trip cap (kept working as an alias of
+ * the old hard-coded guards) and re-checks the governed wall-clock
+ * deadline on every trip, so a slow loop cannot outrun
+ * GSOPT_DEADLINE_MS between the amortised instruction-budget flushes.
+ * The governed work bound itself (Dim::InterpSteps) counts executed
+ * instructions, not trips — see governor::StepMeter at the engines'
+ * instruction dispatch.
+ */
+class LoopGuard
+{
+  public:
+    explicit LoopGuard(long maxTrips) : maxTrips_(maxTrips) {}
+
+    void tick()
+    {
+        if (++trips_ > maxTrips_)
+            throw std::runtime_error("interp: runaway generic loop");
+        governor::checkDeadline("interp");
+    }
+
+  private:
+    long trips_ = 0;
+    long maxTrips_;
+};
 } // namespace detail
 
 } // namespace gsopt::ir

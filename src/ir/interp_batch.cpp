@@ -96,7 +96,14 @@ class Engine
         for (const Var *v : module_.vars)
             initVar(*v);
 
+        // The meter lives per run(), not per engine: engines are
+        // cached across calls, so a member would capture whatever
+        // budget happened to govern construction.
+        governor::StepMeter meter(governor::Dim::InterpSteps, "interp");
+        meter_ = &meter;
         execRegion(module_.body, initialMask_);
+        meter.flush(); // enforce sub-4096 budgets before returning
+        meter_ = nullptr;
 
         BatchResult result;
         result.width = width_;
@@ -242,8 +249,15 @@ class Engine
         auto flush = [&] {
             if (!runLen)
                 return;
-            for (size_t l = 0; l < W; ++l)
-                laneExec_[l] += runLen * ((runMask >> l) & 1u);
+            uint64_t lanes = 0;
+            for (size_t l = 0; l < W; ++l) {
+                const uint64_t on = (runMask >> l) & 1u;
+                laneExec_[l] += runLen * on;
+                lanes += on;
+            }
+            // Governed work is the per-lane sum, matching the scalar
+            // engines' per-instruction charge, amortised per run.
+            meter_->tick(runLen * lanes);
             runLen = 0;
         };
         for (const auto &node : region.nodes) {
@@ -313,7 +327,7 @@ class Engine
             return;
         }
         Mask live = m;
-        long iters = 0;
+        detail::LoopGuard guard(env_->maxLoopIterations);
         for (;;) {
             live &= ~discarded_;
             if (!live)
@@ -336,9 +350,7 @@ class Engine
             live &= ~discarded_;
             if (!live)
                 return;
-            if (++iters > env_->maxLoopIterations)
-                throw std::runtime_error(
-                    "interp: runaway generic loop");
+            guard.tick();
         }
     }
 
@@ -947,6 +959,7 @@ class Engine
     Mask discarded_ = 0;
     uint32_t epoch_ = 0;
     size_t laneExec_[W] = {};
+    governor::StepMeter *meter_ = nullptr; ///< valid only inside run()
     double zero_[W];
 
     std::unique_ptr<double[]> regs_; ///< idBound x kStride x W

@@ -44,6 +44,7 @@
 
 #include "glsl/type.h"
 #include "ir/arena.h"
+#include "support/governor.h"
 
 namespace gsopt::ir {
 
@@ -334,9 +335,11 @@ class Module
     Var *findVar(const std::string &name) const;
 
     /** Bump-allocate a blank instruction with a fresh id. The caller
-     * fills the fields and links it into a block. */
+     * fills the fields and links it into a block. Charged against the
+     * governed IR-instruction budget (Dim::IrInstrs). */
     Instr *newInstr()
     {
+        governor::charge(governor::Dim::IrInstrs, 1, "ir");
         Instr *i = arena_.create<Instr>();
         i->id = nextId_++;
         return i;
@@ -346,6 +349,7 @@ class Module
      * var pointers are copied as-is; remapping is the caller's job). */
     Instr *newInstr(const Instr &proto)
     {
+        governor::charge(governor::Dim::IrInstrs, 1, "ir");
         Instr *i = arena_.create<Instr>(proto);
         i->id = nextId_++;
         return i;

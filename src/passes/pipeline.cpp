@@ -19,6 +19,7 @@
 #include "ir/walk.h"
 #include "passes/passes.h"
 #include "passes/registry.h"
+#include "support/governor.h"
 #include "support/rng.h"
 #include "support/time.h"
 
@@ -185,6 +186,12 @@ PlanApplier::root(const ir::Module &base)
 PlanApplier::Node
 PlanApplier::apply(const Node &from, int passBit)
 {
+    // The single choke point for every walked pass step — lattice
+    // walks and plan walks both route through here — so one probe
+    // makes a 20k-combo exploration abortable mid-tree. Memo hits are
+    // walked steps too: they advance the same exploration.
+    governor::charge(governor::Dim::PassSteps, 1, "passes");
+    governor::checkDeadline("passes");
     // Memoized on (incoming fingerprint, incoming id labelling, pass).
     const PassEdgeKey key{from.fingerprint, from.idHash, passBit};
     auto it = impl_->memo.find(key);
@@ -254,8 +261,11 @@ optimize(ir::Module &module, const OptFlags &flags)
     canonicalize(module);
     for (const PassDescriptor *pass :
          PassRegistry::instance().pipeline()) {
-        if (flags.test(pass->bit))
+        if (flags.test(pass->bit)) {
+            governor::charge(governor::Dim::PassSteps, 1, "passes");
+            governor::checkDeadline("passes");
             pass->apply(module);
+        }
     }
     ir::verifyOrDie(module, "after optimize pipeline");
 }

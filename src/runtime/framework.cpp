@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "support/fault.h"
+#include "support/governor.h"
 #include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -250,16 +251,26 @@ measureShader(const std::string &glslSource,
     // query that errors out — are absorbed here with bounded retries
     // and every caller (campaign engine, search oracles, examples)
     // sees bit-identical results whether or not a retry happened.
+    // Admission control: measuring one (source, device) is a unit of
+    // work — under ambient caps it gets its own budget and deadline.
+    // ResourceExhausted is deliberately not transient: retryTransient
+    // propagates it immediately instead of burning retry attempts.
+    governor::ScopedRequestBudget admission;
     const RetryPolicy policy = defaultRetryPolicy();
     TimingResult result;
     result.binary =
         retryTransient(policy, label + "/compile", [&] {
             return gpu::driverCompile(glslSource, device);
         });
+    governor::checkDeadline("runtime.measure");
     retryTransient(policy, label + "/measure", [&] {
         fault::point("runtime.measure", label);
         return 0;
     });
+    // The watchdog for a hung measurement (fault mode `stall` models
+    // one): the query "returned", but past the deadline the result is
+    // worthless — fail structured rather than keep computing.
+    governor::checkDeadline("runtime.measure");
 
     const double draw_ns =
         gpu::drawTimeNs(result.binary, device, kFragmentsPerDraw);

@@ -1,8 +1,26 @@
 #include "support/diag.h"
 
+#include <cstdio>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 namespace gsopt {
+
+namespace {
+
+std::mutex gWarningSinkMutex;
+std::shared_ptr<const std::function<void(const Diagnostic &)>>
+    gWarningSink;
+
+std::shared_ptr<const std::function<void(const Diagnostic &)>>
+currentWarningSink()
+{
+    std::lock_guard lock(gWarningSinkMutex);
+    return gWarningSink;
+}
+
+} // namespace
 
 std::string
 SourceLoc::str() const
@@ -45,6 +63,7 @@ void
 DiagEngine::warning(SourceLoc loc, std::string message)
 {
     diags_.push_back({Severity::Warning, loc, std::move(message)});
+    ++warningCount_;
 }
 
 void
@@ -58,6 +77,34 @@ DiagEngine::checkpoint() const
 {
     if (hasErrors())
         throw CompileError(diags_);
+}
+
+void
+DiagEngine::reportWarnings() const
+{
+    if (warningCount_ == 0)
+        return;
+    const auto sink = currentWarningSink();
+    for (const Diagnostic &d : diags_) {
+        if (d.severity != Severity::Warning)
+            continue;
+        if (sink && *sink)
+            (*sink)(d);
+        else
+            std::fprintf(stderr, "%s\n", d.str().c_str());
+    }
+}
+
+void
+setWarningSink(std::function<void(const Diagnostic &)> sink)
+{
+    std::lock_guard lock(gWarningSinkMutex);
+    if (sink)
+        gWarningSink = std::make_shared<
+            const std::function<void(const Diagnostic &)>>(
+            std::move(sink));
+    else
+        gWarningSink = nullptr;
 }
 
 std::string

@@ -7,6 +7,7 @@
 #ifndef GSOPT_SUPPORT_DIAG_H
 #define GSOPT_SUPPORT_DIAG_H
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -67,10 +68,19 @@ class DiagEngine
     void note(SourceLoc loc, std::string message);
 
     bool hasErrors() const { return errorCount_ > 0; }
+    bool hasWarnings() const { return warningCount_ > 0; }
     const std::vector<Diagnostic> &diagnostics() const { return diags_; }
 
     /** Throw CompileError if any error has been reported. */
     void checkpoint() const;
+
+    /**
+     * Deliver every warning to the process-wide warning sink (see
+     * setWarningSink). Entry points whose success contract only checks
+     * hasErrors() — compileShader and everything above it — call this
+     * so warnings are never silently dropped. No-op without warnings.
+     */
+    void reportWarnings() const;
 
     /** Render every diagnostic, one per line. */
     std::string str() const;
@@ -78,7 +88,16 @@ class DiagEngine
   private:
     std::vector<Diagnostic> diags_;
     int errorCount_ = 0;
+    int warningCount_ = 0;
 };
+
+/**
+ * Re-point where DiagEngine::reportWarnings delivers warnings. The
+ * default sink prints Diagnostic::str() to stderr; a long-running
+ * service (the ROADMAP's tuner daemon) re-points it at its response or
+ * log channel. Pass nullptr to restore the default. Thread-safe.
+ */
+void setWarningSink(std::function<void(const Diagnostic &)> sink);
 
 } // namespace gsopt
 

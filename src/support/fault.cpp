@@ -1,5 +1,6 @@
 #include "support/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,8 +8,10 @@
 #include <mutex>
 #include <thread>
 
+#include "support/governor.h"
 #include "support/rng.h"
 #include "support/strings.h"
+#include "support/time.h"
 
 namespace gsopt::fault {
 
@@ -157,6 +160,8 @@ FaultPlan::parse(const std::string &spec)
                 cfg.mode = Mode::Delay;
             else if (m == "tear")
                 cfg.mode = Mode::Tear;
+            else if (m == "stall")
+                cfg.mode = Mode::Stall;
             else
                 throw std::invalid_argument("unknown fault mode '" +
                                             std::string(m) + "'");
@@ -182,6 +187,24 @@ pointSlow(const char *site, const std::string &detailMsg)
                             s->calls.load(std::memory_order_relaxed)));
         std::this_thread::sleep_for(
             std::chrono::microseconds(50 + rng.below(450)));
+        return;
+    }
+    case Mode::Stall: {
+        // A hang, not an error: sleep until just past the governed
+        // deadline and return normally, so only a caller that actually
+        // checks its deadline afterwards detects the loss. Sleeps are
+        // bounded (2 s) so a stall against a generous-or-absent
+        // deadline degrades to a long delay instead of hanging a test.
+        constexpr uint64_t kMaxStallNs = 2'000'000'000ull;
+        uint64_t stallNs = kMaxStallNs / 4;
+        if (governor::Budget *b = governor::current();
+            b && b->hasDeadline()) {
+            const uint64_t now = nowNs();
+            const uint64_t past = b->deadlineNs() + 2'000'000ull;
+            stallNs = past > now ? past - now : 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(std::min(stallNs, kMaxStallNs)));
         return;
     }
     case Mode::Throw:

@@ -49,6 +49,7 @@ enum class Mode {
     Throw, ///< throw TransientError
     Delay, ///< sleep a deterministic sub-millisecond duration
     Tear,  ///< truncate the write guarded by tearPoint()
+    Stall, ///< sleep past the governed deadline (watchdog proof)
 };
 
 /** Configuration of one armed site. */
@@ -66,7 +67,7 @@ struct FaultPlan
     std::vector<SiteConfig> sites;
 
     /**
-     * Parse "site:rate:seed[:mode],..." (mode: throw|delay|tear,
+     * Parse "site:rate:seed[:mode],..." (mode: throw|delay|tear|stall,
      * default throw except shard.write which defaults to tear). Throws
      * std::invalid_argument on syntax errors or unregistered sites.
      */
@@ -90,8 +91,11 @@ active()
 /**
  * Evaluate fault site @p site. No-op without a plan arming it. May
  * throw TransientError (Mode::Throw) or sleep briefly (Mode::Delay);
- * Mode::Tear at a plain point behaves like Throw. @p detail is folded
- * into the error message.
+ * Mode::Tear at a plain point behaves like Throw. Mode::Stall sleeps
+ * until just past the ambient governor deadline and returns normally —
+ * a hung driver call, proven dead only by the caller's next deadline
+ * check (bounded fallback sleep when the thread is ungoverned, so an
+ * unarmed test cannot hang). @p detail is folded into the message.
  */
 inline void
 point(const char *site, const std::string &detail = std::string())

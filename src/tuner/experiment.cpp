@@ -15,6 +15,7 @@
 #include "runtime/framework.h"
 #include "support/diag.h"
 #include "support/fault.h"
+#include "support/governor.h"
 #include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -36,7 +37,11 @@ namespace {
  * canonical bodies are byte-identical to schema 14) and plan-only
  * variants may have zero producers. The version is part of every
  * shard key, so schema-14 shards miss cleanly and re-run. */
-constexpr uint64_t kSchemaVersion = 15;
+/* 16: tagged trailing sections — the schema-15 plan section gains a
+ * 'P' tag byte and a 'Q' quarantine section (device + structured
+ * reason) follows it, each written only when non-empty, so healthy
+ * flag-lattice bodies stay byte-identical to 14/15. */
+constexpr uint64_t kSchemaVersion = 16;
 
 /** Exact IEEE-754 bit pattern of a double, for hashing. Decimal
  * formatting (the old ostringstream path) silently collided configs
@@ -117,12 +122,17 @@ ShaderResult::measurement(gpu::DeviceId dev) const
     const std::string name = exploration.shaderName.empty()
                                  ? "<unexplored>"
                                  : exploration.shaderName;
-    if (quarantined.count(dev))
-        throw std::out_of_range(
+    if (quarantined.count(dev)) {
+        std::string msg =
             "measurement for '" + name + "' on device " +
             std::to_string(static_cast<int>(dev)) +
-            " was quarantined by the fault-tolerant campaign "
-            "(see ExperimentEngine::health())");
+            " was quarantined by the fault-tolerant campaign";
+        auto why = quarantineReason.find(dev);
+        if (why != quarantineReason.end())
+            msg += ": " + why->second;
+        msg += " (see ExperimentEngine::health())";
+        throw std::out_of_range(msg);
+    }
     throw std::out_of_range("no measurement for '" + name +
                             "' on device " +
                             std::to_string(static_cast<int>(dev)));
@@ -354,6 +364,15 @@ ExperimentEngine::runShaders(
         const corpus::CorpusShader &shader = shaders[indices[si]];
         ShaderResult &r = results_[indices[si]];
 
+        // Admission control: one (shader, device) item is one governed
+        // unit of work — under an ambient GSOPT_DEADLINE_MS each item
+        // gets its own deadline, so one pathological item is
+        // quarantined instead of starving the rest of the campaign.
+        // Installed here (worker thread) rather than at the campaign
+        // entry because budgets are thread-local. A retry of the item
+        // gets a fresh budget, like any other request.
+        governor::ScopedRequestBudget admission;
+
         fault::point("worker.item", shader.name);
 
         std::call_once(explored[si], [&] {
@@ -401,6 +420,11 @@ ExperimentEngine::runShaders(
         if (r.exploration.shaderName.empty())
             r.exploration.shaderName = shaders[indices[si]].name;
         r.quarantined.insert(devices[di]);
+        // The structured reason rides with the result (and, through
+        // the schema-16 'Q' section, with any shard serialised from
+        // it): for a budget kill this is the ResourceExhausted message
+        // naming the dimension and stage.
+        r.quarantineReason[devices[di]] = what;
         QuarantinedItem q;
         q.shader = shaders[indices[si]].name;
         q.device = devices[di];
@@ -669,17 +693,29 @@ serializeShardBody(const ShaderResult &r)
         for (double t : m.variantMeanNs)
             writePod(os, t);
     }
-    // Ordered-plan annotations (schema 15): written only when present,
-    // so a pure flag-lattice campaign — the paper's canonical 2^N
-    // sweep — serialises byte-identically to schema 14 and the golden
-    // md5 pins hold across the plan refactor. variantOfPlan is an
-    // ordered map; iteration order is deterministic.
+    // Tagged trailing sections (schema 16), each written only when
+    // non-empty, so a healthy pure flag-lattice campaign — the paper's
+    // canonical 2^N sweep — serialises byte-identically to schema
+    // 14/15 and the golden md5 pins hold. Both source maps are ordered;
+    // iteration order is deterministic.
     if (!r.exploration.variantOfPlan.empty()) {
+        writePod(os, static_cast<char>('P'));
         writePod(os, static_cast<uint64_t>(
                          r.exploration.variantOfPlan.size()));
         for (const auto &[plan, index] : r.exploration.variantOfPlan) {
             writeString(os, plan);
             writePod(os, static_cast<int64_t>(index));
+        }
+    }
+    if (!r.quarantined.empty()) {
+        writePod(os, static_cast<char>('Q'));
+        writePod(os, static_cast<uint64_t>(r.quarantined.size()));
+        for (gpu::DeviceId dev : r.quarantined) {
+            writePod(os, static_cast<int>(dev));
+            auto why = r.quarantineReason.find(dev);
+            writeString(os, why == r.quarantineReason.end()
+                                ? std::string()
+                                : why->second);
         }
     }
     return os.str();
@@ -854,30 +890,61 @@ ExperimentEngine::loadShard(const std::string &path, uint64_t key,
         r.byDevice.emplace(static_cast<gpu::DeviceId>(dev_int),
                            std::move(m));
     }
-    // Optional trailing plan section (schema 15): count, then
-    // (plan string, variant index) pairs. Absent for pure
-    // flag-lattice campaigns — then the body must end exactly here.
-    if (is.peek() != std::char_traits<char>::eof()) {
-        uint64_t n_plans = 0;
-        if (!readPod(is, n_plans) || n_plans == 0 ||
-            n_plans > (1ull << 24))
+    // Optional tagged trailing sections (schema 16): 'P' plans then
+    // 'Q' quarantine, each at most once, in that order. Absent for a
+    // healthy flag-lattice campaign — then the body ends exactly here.
+    bool seen_plans = false, seen_quarantine = false;
+    while (is.peek() != std::char_traits<char>::eof()) {
+        char tag = 0;
+        if (!readPod(is, tag))
             return false;
-        for (uint64_t p = 0; p < n_plans; ++p) {
-            std::string plan;
-            int64_t index = 0;
-            if (!readString(is, plan) || plan.empty() ||
-                !readPod(is, index))
+        if (tag == 'P') {
+            if (seen_plans || seen_quarantine)
+                return false; // duplicate or out-of-order section
+            seen_plans = true;
+            uint64_t n_plans = 0;
+            if (!readPod(is, n_plans) || n_plans == 0 ||
+                n_plans > (1ull << 24))
                 return false;
-            if (index < 0 ||
-                static_cast<uint64_t>(index) >= n_variants)
+            for (uint64_t p = 0; p < n_plans; ++p) {
+                std::string plan;
+                int64_t index = 0;
+                if (!readString(is, plan) || plan.empty() ||
+                    !readPod(is, index))
+                    return false;
+                if (index < 0 ||
+                    static_cast<uint64_t>(index) >= n_variants)
+                    return false;
+                if (!r.exploration.variantOfPlan
+                         .emplace(std::move(plan),
+                                  static_cast<int>(index))
+                         .second)
+                    return false; // duplicate plan key
+            }
+        } else if (tag == 'Q') {
+            if (seen_quarantine)
                 return false;
-            if (!r.exploration.variantOfPlan
-                     .emplace(std::move(plan), static_cast<int>(index))
-                     .second)
-                return false; // duplicate plan key
+            seen_quarantine = true;
+            uint64_t n_q = 0;
+            if (!readPod(is, n_q) || n_q == 0 || n_q > 1024)
+                return false;
+            for (uint64_t q = 0; q < n_q; ++q) {
+                int dev_int = 0;
+                std::string reason;
+                if (!readPod(is, dev_int) || !readString(is, reason))
+                    return false;
+                const auto dev = static_cast<gpu::DeviceId>(dev_int);
+                // A quarantined device has no measurement, and the
+                // set itself must be duplicate-free.
+                if (r.byDevice.count(dev) ||
+                    !r.quarantined.insert(dev).second)
+                    return false;
+                if (!reason.empty())
+                    r.quarantineReason.emplace(dev, std::move(reason));
+            }
+        } else {
+            return false; // unknown tag: garbled body
         }
-        if (is.peek() != std::char_traits<char>::eof())
-            return false; // trailing garbage after the plan section
     }
     // Every producer-less variant must be reachable through some plan
     // annotation; otherwise the body is structurally corrupt.

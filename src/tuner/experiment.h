@@ -66,10 +66,20 @@ struct ShaderResult
     std::map<gpu::DeviceId, DeviceMeasurement> byDevice;
 
     /** Devices whose (shader, device) item was quarantined by the
-     * fault-tolerant campaign (no measurement available). Never
-     * serialised: a shard is only checkpointed when every device item
-     * completed, so persisted shards are always whole. */
+     * fault-tolerant campaign (no measurement available). The campaign
+     * itself only checkpoints clean shards — a quarantined shader
+     * re-runs on resume — but saveShard/loadShard round-trip the set
+     * (with reasons) faithfully via the schema-16 'Q' section, for the
+     * coordinator/worker split. */
     std::set<gpu::DeviceId> quarantined;
+
+    /** Structured reason each device was quarantined: what() of the
+     * final failure — for a budget-exhausted item this is the
+     * governor::ResourceExhausted message naming the dimension and
+     * stage (e.g. "resource exhausted: deadline ..."). Keyed subset of
+     * `quarantined`; items quarantined before this field existed (or
+     * through older shards) simply have no entry. */
+    std::map<gpu::DeviceId, std::string> quarantineReason;
 
     /** Measurement for @p dev. Throws std::out_of_range with a
      * quarantine-aware message when the device item was quarantined or
@@ -129,16 +139,26 @@ uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
  * source, so this is what an old-schema shard looks like — is a clean
  * miss with a support/diag warning, never a silent wrong-key hit.
  *
- * Schema 15 (ordered plans): the body may end with an optional plan
- * section — `[u64 count]` then `count` x `[string plan][i64 variant]`
- * — mapping each explored non-canonical plan to its variant. Plan
- * strings are PassPlan::str spellings: registered pass ids joined by
- * '>' in application order, e.g. "licm>unroll>gvn" ("-" is the empty
- * plan, though the empty plan is canonical and never annotated).
- * The section is written only when variantOfPlan is non-empty, so a
- * pure flag-lattice campaign body is byte-identical to schema 14;
- * plan-only variants (zero producers) are valid exactly when a plan
- * annotation references them.
+ * Schema 16 (tagged trailing sections): the body may end with optional
+ * sections, each introduced by a one-byte tag, in this order, each at
+ * most once and only when non-empty:
+ *
+ *  - 'P' ordered-plan annotations: `[u64 count]` then `count` x
+ *    `[string plan][i64 variant]`, mapping each explored non-canonical
+ *    plan to its variant. Plan strings are PassPlan::str spellings:
+ *    registered pass ids joined by '>' in application order, e.g.
+ *    "licm>unroll>gvn". Plan-only variants (zero producers) are valid
+ *    exactly when a plan annotation references them.
+ *  - 'Q' quarantine: `[u64 count]` then `count` x
+ *    `[i32 device][string reason]` — the devices the fault-tolerant
+ *    campaign quarantined, with the structured failure reason (a
+ *    governor::ResourceExhausted message for budget/deadline kills).
+ *    A quarantined device must not also carry a measurement.
+ *
+ * A healthy pure flag-lattice campaign body — the paper's canonical
+ * 2^N sweep — has neither section and stays byte-identical to schema
+ * 14/15, so the golden md5 pins hold. The schema version is part of
+ * every shard key, so older shards miss cleanly and re-run.
  */
 std::string serializeShardBody(const ShaderResult &r);
 

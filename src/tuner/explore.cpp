@@ -8,6 +8,7 @@
 #include "ir/ir.h"
 #include "lower/lower.h"
 #include "passes/passes.h"
+#include "support/governor.h"
 #include "support/rng.h"
 #include "support/time.h"
 
@@ -99,6 +100,9 @@ Exploration::flagChangesOutput(int bit) const
 Exploration
 exploreShader(const corpus::CorpusShader &shader)
 {
+    // Admission control: exploring one shader (front end + full
+    // lattice walk + printing) is a unit of work under ambient caps.
+    governor::ScopedRequestBudget admission;
     ExploreCounters &counters = exploreCounters();
     Exploration ex;
     ex.shaderName = shader.name;
@@ -204,6 +208,7 @@ PlanExplorer::PlanExplorer(const corpus::CorpusShader &shader,
                            Exploration &ex)
     : ex_(ex)
 {
+    governor::ScopedRequestBudget admission;
     ExploreCounters &counters = exploreCounters();
     // Front end + lowering once, same accounting as exploreShader;
     // every plan walks from clones of this module.

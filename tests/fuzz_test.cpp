@@ -45,12 +45,15 @@
 
 #include "emit/emit.h"
 #include "emit/offline.h"
+#include "glsl/frontend.h"
 #include "ir/interp.h"
 #include "ir/interp_batch.h"
 #include "lower/lower.h"
 #include "passes/passes.h"
 #include "passes/registry.h"
+#include "support/governor.h"
 #include "support/rng.h"
+#include "support/time.h"
 
 namespace gsopt {
 namespace {
@@ -440,6 +443,172 @@ TEST_P(RandomShader, RandomPlanWalkPreservesSemantics)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomShader,
                          ::testing::Range(0, fuzzSeedCount()));
+
+// ------------------------------------------------- hostile inputs
+
+/** Hostile inputs to sweep: GSOPT_FUZZ_HOSTILE=1 selects the nightly
+ * 200-input bar, the tier-1 default keeps one of each shape. */
+int
+hostileInputCount()
+{
+    if (const char *env = std::getenv("GSOPT_FUZZ_HOSTILE")) {
+        if (*env && *env != '0')
+            return 200;
+    }
+    return 16;
+}
+
+/**
+ * Adversarial generator: inputs built to hang, overflow, or exhaust a
+ * naive compiler — macro bombs (recursive and exponential), nesting
+ * bombs (expression and block), runaway loops (canonical and generic),
+ * oversized sources, and degenerate tokens. Deterministic per index;
+ * sizes jitter so the sweep probes both sides of every cap.
+ */
+std::string
+hostileShader(uint64_t index)
+{
+    Rng rng(hashCombine(0xbadf00dULL, index));
+    std::ostringstream os;
+    os << "#version 450\n";
+    switch (index % 8) {
+      case 0: { // recursive macro bomb (mutual expansion cycle)
+        os << "#define PING PONG PONG\n";
+        os << "#define PONG PING PING\n";
+        os << "out vec4 fragColor;\n";
+        os << "void main() { float x = PING; fragColor = vec4(x); }\n";
+        break;
+      }
+      case 1: { // exponential (non-recursive) macro bomb
+        const int levels = 18 + static_cast<int>(rng.below(10));
+        os << "#define E0 x\n";
+        for (int i = 1; i <= levels; ++i)
+            os << "#define E" << i << " E" << (i - 1) << " E"
+               << (i - 1) << "\n";
+        os << "out vec4 fragColor;\n";
+        os << "void main() { float E" << levels
+           << "; fragColor = vec4(0.0); }\n";
+        break;
+      }
+      case 2: { // expression paren-nesting bomb
+        const size_t depth = 600 + rng.below(40000);
+        os << "out vec4 fragColor;\n";
+        os << "void main() { float x = ";
+        os << std::string(depth, '(') << "1.0"
+           << std::string(depth, ')');
+        os << "; fragColor = vec4(x); }\n";
+        break;
+      }
+      case 3: { // block-nesting bomb
+        const size_t depth = 600 + rng.below(30000);
+        os << "out vec4 fragColor;\n";
+        os << "void main() " << std::string(depth, '{');
+        os << "fragColor = vec4(1.0);" << std::string(depth, '}');
+        os << "\n";
+        break;
+      }
+      case 4: { // giant canonical for loop: bound the work, not trips
+        const long trips =
+            50'000'000L + static_cast<long>(rng.below(50'000'000));
+        os << "out vec4 fragColor;\n";
+        os << "void main() {\n    float acc = 0.0;\n";
+        os << "    for (int i = 0; i < " << trips
+           << "; i++) { acc += 0.5; }\n";
+        os << "    fragColor = vec4(acc);\n}\n";
+        break;
+      }
+      case 5: { // giant generic while loop
+        os << "out vec4 fragColor;\n";
+        os << "void main() {\n    float x = 0.0;\n";
+        os << "    while (x < " << (50000 + rng.below(100000))
+           << ".0) { x = x + 0.001; }\n";
+        os << "    fragColor = vec4(x);\n}\n";
+        break;
+      }
+      case 6: { // giant source: tens of thousands of statements
+        const size_t stmts = 5000 + rng.below(40000);
+        os << "out vec4 fragColor;\n";
+        os << "void main() {\n    float s0 = 0.5;\n";
+        for (size_t i = 1; i < stmts; ++i)
+            os << "    float s" << i << " = s" << (i - 1)
+               << " * 1.0001 + 0.5;\n";
+        os << "    fragColor = vec4(s" << (stmts - 1) << ");\n}\n";
+        break;
+      }
+      default: { // degenerate tokens: huge identifier, huge literal
+        const std::string big(5000 + rng.below(200000), 'a');
+        os << "out vec4 fragColor;\n";
+        os << "void main() {\n";
+        os << "    float " << big << " = 0."
+           << std::string(1000 + rng.below(100000), '3') << ";\n";
+        os << "    fragColor = vec4(" << big << ");\n}\n";
+        break;
+      }
+    }
+    return os.str();
+}
+
+TEST(HostileFuzz, EveryInputTerminatesWithinTheDeadline)
+{
+    // The resilience bar: under a governed budget every hostile input
+    // must terminate promptly with exactly one of (a) a successful
+    // compile+run, (b) clean diagnostics, or (c) ResourceExhausted.
+    // Hangs, crashes, OOMs, and any other exception are failures —
+    // gtest surfaces a stray exception as one.
+    const int n = hostileInputCount();
+    for (int i = 0; i < n; ++i) {
+        SCOPED_TRACE("hostile input " + std::to_string(i));
+        const std::string src = hostileShader(static_cast<uint64_t>(i));
+
+        governor::Caps caps;
+        caps.deadlineMs = 4000;
+        caps[governor::Dim::PreprocBytes] = 8u << 20;
+        caps[governor::Dim::Tokens] = 400'000;
+        caps[governor::Dim::IrInstrs] = 2'000'000;
+        caps[governor::Dim::ArenaBytes] = 256u << 20;
+        caps[governor::Dim::InterpSteps] = 2'000'000;
+        governor::ScopedBudget scope(caps);
+
+        const uint64_t t0 = nowNs();
+        try {
+            DiagEngine diags;
+            auto compiled = glsl::tryCompileShader(src, {}, diags);
+            if (!compiled) {
+                EXPECT_TRUE(diags.hasErrors())
+                    << "rejection must carry a diagnostic";
+            } else {
+                auto module = lower::lowerShader(*compiled);
+                ir::InterpEnv env;
+                // The legacy trip cap out of the way: the budget (work
+                // and wall clock) is what must stop runaway loops.
+                env.maxLoopIterations = 1'000'000'000L;
+                ir::interpret(*module, env);
+            }
+        } catch (const governor::ResourceExhausted &e) {
+            EXPECT_NE(std::string(e.what()).find("resource exhausted"),
+                      std::string::npos);
+        }
+        // Prompt termination: well under the deadline plus slack even
+        // on sanitizer builds.
+        EXPECT_LT(nowNs() - t0, 60'000'000'000ull)
+            << "hostile input must not crawl";
+    }
+}
+
+TEST(HostileGen, IsDeterministicAndCoversEveryShape)
+{
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(hostileShader(i), hostileShader(i));
+    EXPECT_NE(hostileShader(0).find("PING"), std::string::npos);
+    EXPECT_NE(hostileShader(1).find("#define E1 "), std::string::npos);
+    EXPECT_NE(hostileShader(2).find("((((("), std::string::npos);
+    EXPECT_NE(hostileShader(3).find("{{{{{"), std::string::npos);
+    EXPECT_NE(hostileShader(4).find("for (int i = 0; i < "),
+              std::string::npos);
+    EXPECT_NE(hostileShader(5).find("while (x < "), std::string::npos);
+    EXPECT_NE(hostileShader(6).find("float s4999"), std::string::npos);
+    EXPECT_NE(hostileShader(7).find("aaaaaaaa"), std::string::npos);
+}
 
 TEST(RandomShaderGen, IsDeterministic)
 {
