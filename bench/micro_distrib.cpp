@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Distributed-campaign scaling: the same shard campaign run through
+ * the coordinator at 1, 2, and 4 subprocess workers, wall-clock per
+ * configuration, merged shard directories verified byte-identical
+ * across worker counts (the merge invariant: worker count is a
+ * throughput knob, never an output knob).
+ *
+ * This binary is re-executed as its own worker pool, so main()
+ * diverts into maybeRunWorker() before anything else.
+ *
+ * Acceptance gate: >= 1.8x wall-time at 4 workers vs 1, enforced
+ * when the host has >= 4 hardware threads (campaign work is CPU
+ * bound, so a 1-core container cannot express the speedup; the
+ * byte-identity invariant is enforced everywhere). Also reports the
+ * coordination tax: 1-worker distributed vs a plain in-process
+ * engine. Pass --full to run the entire corpus instead of the probe
+ * set.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "corpus/corpus.h"
+#include "tuner/distrib.h"
+#include "tuner/experiment.h"
+
+using namespace gsopt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** filename -> raw file bytes for a whole directory. */
+std::map<std::string, std::string>
+dirBytes(const std::string &dir)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::ifstream f(entry.path(), std::ios::binary);
+        out[entry.path().filename().string()] =
+            std::string((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (tuner::distrib::maybeRunWorker())
+        return 0;
+
+    const bool full =
+        argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+    bench::banner("micro_distrib",
+                  "Coordinator/worker campaign scaling: wall-clock vs "
+                  "subprocess worker count, merged shard directories "
+                  "verified byte-identical");
+
+    std::vector<corpus::CorpusShader> probe;
+    if (full) {
+        probe = corpus::corpus();
+    } else {
+        for (const char *name :
+             {"blur/weighted9", "simple/grayscale", "tonemap/aces",
+              "toon/bands3", "deferred/lights4", "pbr/full",
+              "fxaa/high", "godrays/march32", "ssao/kernel16",
+              "uber/car_chase"}) {
+            probe.push_back(*corpus::findShader(name));
+        }
+    }
+
+    const std::string root =
+        (fs::temp_directory_path() /
+         ("gsopt-micro-distrib-" + std::to_string(::getpid())))
+            .string();
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("Probe set: %zu shaders, one work unit each "
+                "(subprocess transport, %u hardware threads)%s\n\n",
+                probe.size(), cores, full ? " (full corpus)" : "");
+
+    // Baseline: the plain single-process engine over the same work,
+    // to price the coordination tax (spawn + frames + merge).
+    const double base0 = nowMs();
+    {
+        tuner::ExperimentEngine baseline(probe, /*threads=*/1);
+    }
+    const double baselineMs = nowMs() - base0;
+
+    struct Run
+    {
+        unsigned workers;
+        double wallMs;
+        std::string dir;
+    };
+    std::vector<Run> runs;
+    for (unsigned workers : {1u, 2u, 4u}) {
+        Run run;
+        run.workers = workers;
+        run.dir = root + "/w" + std::to_string(workers);
+        tuner::distrib::Options opts;
+        opts.workers = workers;
+        opts.transport = tuner::distrib::TransportKind::Subprocess;
+        tuner::distrib::CampaignCoordinator coord(probe, run.dir,
+                                                  opts);
+        const double t0 = nowMs();
+        const tuner::distrib::DistribHealth &h = coord.run();
+        run.wallMs = nowMs() - t0;
+        if (!h.healthy())
+            std::printf("%s", h.summary().c_str());
+        runs.push_back(std::move(run));
+    }
+
+    bool identical = true;
+    const auto reference = dirBytes(runs[0].dir);
+    for (size_t i = 1; i < runs.size(); ++i)
+        identical &= dirBytes(runs[i].dir) == reference;
+
+    std::printf("Distributed campaign wall-clock by worker count:\n");
+    std::printf("  %-10s %12s %10s\n", "workers", "wall", "speedup");
+    for (const Run &r : runs)
+        std::printf("  %-10u %9.1f ms %9.2fx\n", r.workers, r.wallMs,
+                    runs[0].wallMs / r.wallMs);
+
+    const double speedup4 = runs[0].wallMs / runs.back().wallMs;
+    std::printf("\nPlain 1-thread engine baseline: %9.1f ms "
+                "(coordination tax at 1 worker: %+.1f%%)\n",
+                baselineMs,
+                100.0 * (runs[0].wallMs - baselineMs) / baselineMs);
+    std::printf("Merged shard directories: %s\n",
+                identical ? "byte-identical across worker counts"
+                          : "MISMATCH (merge invariant broken!)");
+
+    // The campaign is CPU-bound: a host with fewer than 4 hardware
+    // threads cannot express a 4-worker speedup, so the wall-clock
+    // gate is only meaningful (and only enforced) at >= 4 cores.
+    const bool gate = cores >= 4;
+    std::printf("4-worker acceptance (>= 1.80x): %.2fx %s\n", speedup4,
+                !gate ? "SKIPPED (needs >= 4 hardware threads)"
+                : speedup4 >= 1.8 ? "PASS"
+                                  : "FAIL");
+
+    std::error_code ec;
+    fs::remove_all(root, ec);
+    return identical && (!gate || speedup4 >= 1.8) ? 0 : 1;
+}

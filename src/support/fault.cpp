@@ -113,7 +113,8 @@ knownSites()
 {
     static const std::vector<std::string> sites = {
         "driver.compile", "runtime.measure", "shard.write",
-        "shard.read",     "worker.item",
+        "shard.read",     "worker.item",     "ipc.send",
+        "ipc.recv",
     };
     return sites;
 }

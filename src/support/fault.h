@@ -21,6 +21,8 @@
  *   shard.write      a shard checkpoint write tears mid-body
  *   shard.read       a shard load fails (treated as a cache miss)
  *   worker.item      a campaign (shader x device) work item dies
+ *   ipc.send         a distrib frame send fails (tear = die mid-send)
+ *   ipc.recv         a distrib frame receive fails
  */
 #ifndef GSOPT_SUPPORT_FAULT_H
 #define GSOPT_SUPPORT_FAULT_H

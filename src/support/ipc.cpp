@@ -1,0 +1,178 @@
+#include "support/ipc.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/fault.h"
+#include "support/rng.h"
+
+namespace gsopt::ipc {
+
+namespace {
+
+/** Header layout on the wire (packed by hand; no struct padding
+ * assumptions). */
+void
+packHeader(char *out, uint32_t type, uint64_t len, uint64_t hash)
+{
+    uint32_t magic = kMagic;
+    std::memcpy(out + 0, &magic, 4);
+    std::memcpy(out + 4, &type, 4);
+    std::memcpy(out + 8, &len, 8);
+    std::memcpy(out + 16, &hash, 8);
+}
+
+struct Header
+{
+    uint32_t magic = 0;
+    uint32_t type = 0;
+    uint64_t len = 0;
+    uint64_t hash = 0;
+};
+
+Header
+unpackHeader(const char *in)
+{
+    Header h;
+    std::memcpy(&h.magic, in + 0, 4);
+    std::memcpy(&h.type, in + 4, 4);
+    std::memcpy(&h.len, in + 8, 8);
+    std::memcpy(&h.hash, in + 16, 8);
+    return h;
+}
+
+/** Validate a header prefix; throws ProtocolError on corruption. */
+void
+checkHeader(const Header &h)
+{
+    if (h.magic != kMagic)
+        throw ProtocolError("ipc: bad frame magic");
+    if (h.len > kMaxFramePayload)
+        throw ProtocolError(
+            "ipc: frame payload length " + std::to_string(h.len) +
+            " exceeds cap " + std::to_string(kMaxFramePayload));
+}
+
+/** Blocking full write, restarting on EINTR. Throws on failure. */
+void
+writeAll(int fd, const char *data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("ipc: write failed: ") +
+                                std::strerror(errno));
+        }
+        off += static_cast<size_t>(w);
+    }
+}
+
+/** Blocking full read. Returns bytes read; < n only on EOF. Throws on
+ * read errors. */
+size_t
+readUpTo(int fd, char *data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t r = ::read(fd, data + off, n - off);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("ipc: read failed: ") +
+                                std::strerror(errno));
+        }
+        if (r == 0)
+            break; // EOF
+        off += static_cast<size_t>(r);
+    }
+    return off;
+}
+
+} // namespace
+
+uint64_t
+framePayloadHash(uint32_t type, std::string_view payload)
+{
+    return hashCombine(fnv1a(payload), type);
+}
+
+std::string
+encodeFrame(uint32_t type, std::string_view payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        throw std::invalid_argument("ipc: payload exceeds frame cap");
+    std::string out;
+    out.resize(kHeaderBytes);
+    packHeader(out.data(), type, payload.size(),
+               framePayloadHash(type, payload));
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+void
+writeFrame(int fd, uint32_t type, std::string_view payload)
+{
+    const std::string wire = encodeFrame(type, payload);
+    // Fault site: Mode::Throw fails the send before any byte hits the
+    // wire (a clean send failure); Mode::Tear writes a strict prefix
+    // and then throws, so the peer observes a short frame — the wire
+    // shape of a process dying mid-send.
+    const size_t n = fault::tearPoint("ipc.send", wire.size());
+    if (n != wire.size()) {
+        writeAll(fd, wire.data(), n);
+        throw ProtocolError("ipc: injected torn frame send");
+    }
+    fault::point("ipc.send");
+    writeAll(fd, wire.data(), wire.size());
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    fault::point("ipc.recv");
+    char raw[kHeaderBytes];
+    const size_t got = readUpTo(fd, raw, sizeof(raw));
+    if (got == 0)
+        return false; // clean EOF at a frame boundary
+    if (got < sizeof(raw))
+        throw ProtocolError("ipc: short frame header (peer died "
+                            "mid-send?)");
+    const Header h = unpackHeader(raw);
+    checkHeader(h);
+    std::string payload(static_cast<size_t>(h.len), '\0');
+    if (readUpTo(fd, payload.data(), payload.size()) != payload.size())
+        throw ProtocolError("ipc: short frame payload (peer died "
+                            "mid-send?)");
+    if (framePayloadHash(h.type, payload) != h.hash)
+        throw ProtocolError("ipc: frame checksum mismatch");
+    out.type = h.type;
+    out.payload = std::move(payload);
+    return true;
+}
+
+bool
+FrameDecoder::next(Frame &out)
+{
+    if (buf_.size() < kHeaderBytes)
+        return false;
+    const Header h = unpackHeader(buf_.data());
+    checkHeader(h);
+    const size_t total = kHeaderBytes + static_cast<size_t>(h.len);
+    if (buf_.size() < total)
+        return false;
+    std::string_view payload(buf_.data() + kHeaderBytes,
+                             static_cast<size_t>(h.len));
+    if (framePayloadHash(h.type, payload) != h.hash)
+        throw ProtocolError("ipc: frame checksum mismatch");
+    out.type = h.type;
+    out.payload.assign(payload.data(), payload.size());
+    buf_.erase(0, total);
+    return true;
+}
+
+} // namespace gsopt::ipc

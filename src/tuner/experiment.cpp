@@ -113,6 +113,17 @@ shardKey(const corpus::CorpusShader &shader, uint64_t setKey)
     return key;
 }
 
+std::string
+shardFileName(const corpus::CorpusShader &shader, uint64_t key)
+{
+    std::string name = shader.name;
+    std::replace(name.begin(), name.end(), '/', '_');
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return name + "-" + hex + ".bin";
+}
+
 const DeviceMeasurement &
 ShaderResult::measurement(gpu::DeviceId dev) const
 {
@@ -237,12 +248,7 @@ ExperimentEngine::ExperimentEngine(
     const uint64_t set_key = deviceSetKey();
 
     auto shard_path = [&](size_t i, uint64_t key) {
-        std::string name = shaders[i].name;
-        std::replace(name.begin(), name.end(), '/', '_');
-        char hex[17];
-        std::snprintf(hex, sizeof(hex), "%016llx",
-                      static_cast<unsigned long long>(key));
-        return cacheDir + "/" + name + "-" + hex + ".bin";
+        return cacheDir + "/" + shardFileName(shaders[i], key);
     };
 
     // Retire every shard no current shader claims (old keys from

@@ -119,6 +119,16 @@ uint64_t deviceSetKey();
 uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
 
 /**
+ * Canonical file name of @p shader's shard under @p key:
+ * "<name with '/' replaced by '_'>-<016x key>.bin". The engine's cache
+ * loader and the distributed-campaign coordinator (tuner/distrib) must
+ * agree on this spelling — a directory a coordinator merged is a valid
+ * engine cache and vice versa.
+ */
+std::string shardFileName(const corpus::CorpusShader &shader,
+                          uint64_t key);
+
+/**
  * The canonical byte serialisation of one shader's campaign result —
  * the body of a shard cache file (everything after the key and content
  * hash). Deterministic for a deterministic campaign; the golden
@@ -126,6 +136,11 @@ uint64_t shardKey(const corpus::CorpusShader &shader, uint64_t setKey);
  * the arena/memoization refactor.
  *
  * Shard file format: [shard key u64][fnv1a(body) u64][body bytes].
+ * This file format is also the *wire format* of the distributed
+ * campaign: a worker ships exactly these bytes back over the
+ * support/ipc frame protocol, and the coordinator validates them with
+ * the same loadShard path before publishing — checkpoint unit and
+ * transfer unit are one representation (see tuner/distrib.h).
  * Shards are published with a tmp-rename protocol: saveShard writes
  * the whole file to a `<path>.tmp` sibling first and only then
  * atomically renames it onto `<path>`, so readers never observe a

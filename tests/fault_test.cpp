@@ -25,6 +25,7 @@
 #include "support/fault.h"
 #include "support/retry.h"
 #include "support/rng.h"
+#include "test_scratch.h"
 #include "tuner/experiment.h"
 #include "tuner/explore.h"
 
@@ -35,52 +36,8 @@ namespace fs = std::filesystem;
 
 // --------------------------------------------------------- helpers
 
-/** Scoped environment variable (restores the prior value). */
-class ScopedEnv
-{
-  public:
-    ScopedEnv(const char *name, const char *value) : name_(name)
-    {
-        if (const char *old = std::getenv(name))
-            old_ = old;
-        had_ = std::getenv(name) != nullptr;
-        setenv(name, value, 1);
-    }
-    ~ScopedEnv()
-    {
-        if (had_)
-            setenv(name_, old_.c_str(), 1);
-        else
-            unsetenv(name_);
-    }
-
-  private:
-    const char *name_;
-    std::string old_;
-    bool had_ = false;
-};
-
-/** Fresh scratch directory under the build tree, removed on scope
- * exit. */
-class ScratchDir
-{
-  public:
-    explicit ScratchDir(const std::string &name)
-        : path_("fault_test_scratch/" + name)
-    {
-        fs::remove_all(path_);
-        fs::create_directories(path_);
-    }
-    ~ScratchDir()
-    {
-        std::error_code ec;
-        fs::remove_all(path_, ec);
-    }
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string path_;
-};
+using testutil::ScopedEnv;
+using testutil::ScratchDir;
 
 /** Masks any ambient GSOPT_FAULTS plan (the CI fault job installs
  * one process-wide) for tests that assert fault-free behaviour; the

@@ -40,8 +40,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
+
+#include <unistd.h>
 
 #include "emit/emit.h"
 #include "emit/offline.h"
@@ -52,6 +56,7 @@
 #include "passes/passes.h"
 #include "passes/registry.h"
 #include "support/governor.h"
+#include "support/ipc.h"
 #include "support/rng.h"
 #include "support/time.h"
 
@@ -638,6 +643,157 @@ TEST(RandomShaderGen, EmitsTheCatalogPassFodder)
     EXPECT_TRUE(dup_fetch);
     EXPECT_TRUE(big_loop);
     EXPECT_TRUE(nested_loop);
+}
+
+// ================================================================
+// IPC frame protocol (support/ipc): the wire layer of the
+// distributed campaign. Properties: every payload round-trips bit
+// exactly (through the in-memory decoder and through a real pipe);
+// oversized and "negative" lengths are rejected before allocation;
+// and no single-byte corruption anywhere in a frame is ever decoded
+// as a frame — it either throws ProtocolError or leaves the decoder
+// waiting for more bytes. GSOPT_FUZZ_IPC=1 selects the nightly depth
+// (more frames, payloads up to 4 MiB, intended for the ASan job).
+// ================================================================
+
+/** Nightly depth knob for the frame fuzzer. */
+bool
+ipcFuzzDeep()
+{
+    const char *env = std::getenv("GSOPT_FUZZ_IPC");
+    return env && *env && *env != '0';
+}
+
+std::string
+randomPayload(Rng &rng, size_t size)
+{
+    std::string bytes(size, '\0');
+    for (char &c : bytes)
+        c = static_cast<char>(rng.below(256));
+    return bytes;
+}
+
+TEST(IpcFrameFuzz, PayloadsRoundTripThroughDecoder)
+{
+    std::vector<size_t> sizes = {0,    1,    7,     24,
+                                 1000, 4096, 65536, 1u << 20};
+    if (ipcFuzzDeep())
+        sizes.push_back(4u << 20);
+    Rng rng(0x19c);
+    for (size_t size : sizes) {
+        const uint32_t type = static_cast<uint32_t>(rng.below(1000));
+        const std::string payload = randomPayload(rng, size);
+        const std::string wire = ipc::encodeFrame(type, payload);
+        ASSERT_EQ(wire.size(), ipc::kHeaderBytes + size);
+
+        ipc::FrameDecoder decoder;
+        // Feed in awkward chunks to exercise partial-header and
+        // partial-payload states.
+        ipc::Frame frame;
+        size_t fed = 0;
+        while (fed < wire.size()) {
+            const size_t chunk =
+                std::min<size_t>(1 + rng.below(8191), wire.size() - fed);
+            EXPECT_FALSE(decoder.next(frame));
+            decoder.feed(wire.data() + fed, chunk);
+            fed += chunk;
+        }
+        ASSERT_TRUE(decoder.next(frame)) << "size " << size;
+        EXPECT_EQ(frame.type, type);
+        EXPECT_TRUE(frame.payload == payload);
+        EXPECT_FALSE(decoder.midFrame());
+    }
+}
+
+TEST(IpcFrameFuzz, PayloadsRoundTripThroughAPipe)
+{
+    std::vector<size_t> sizes = {0, 1, 513, 65536};
+    if (ipcFuzzDeep())
+        sizes.push_back(4u << 20);
+    Rng rng(0x91e);
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::vector<std::pair<uint32_t, std::string>> sent;
+    for (size_t size : sizes)
+        sent.emplace_back(static_cast<uint32_t>(rng.below(100)),
+                          randomPayload(rng, size));
+    // Writer thread: a 4 MiB frame does not fit a pipe buffer, so
+    // write and read must overlap (exactly as coordinator/worker do).
+    std::thread writer([&] {
+        for (const auto &[type, payload] : sent)
+            ipc::writeFrame(fds[1], type, payload);
+        ::close(fds[1]);
+    });
+    ipc::Frame frame;
+    for (const auto &[type, payload] : sent) {
+        ASSERT_TRUE(ipc::readFrame(fds[0], frame));
+        EXPECT_EQ(frame.type, type);
+        EXPECT_TRUE(frame.payload == payload);
+    }
+    EXPECT_FALSE(ipc::readFrame(fds[0], frame)); // clean EOF
+    writer.join();
+    ::close(fds[0]);
+}
+
+TEST(IpcFrameFuzz, OversizedAndNegativeLengthsRejectedPreAllocation)
+{
+    // Craft headers by hand: magic/type valid, length hostile.
+    for (uint64_t length :
+         {ipc::kMaxFramePayload + 1, uint64_t(1) << 40,
+          ~uint64_t(0) /* "negative" as signed */}) {
+        std::string header = ipc::encodeFrame(3, "xy").substr(
+            0, ipc::kHeaderBytes);
+        std::memcpy(&header[8], &length, sizeof(length));
+        ipc::FrameDecoder decoder;
+        decoder.feed(header.data(), header.size());
+        ipc::Frame frame;
+        EXPECT_THROW(decoder.next(frame), ipc::ProtocolError)
+            << "length " << length;
+    }
+}
+
+TEST(IpcFrameFuzz, MidFrameEofIsAProtocolError)
+{
+    const std::string wire = ipc::encodeFrame(5, "half a frame");
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], wire.data(), wire.size() / 2),
+              static_cast<ssize_t>(wire.size() / 2));
+    ::close(fds[1]);
+    ipc::Frame frame;
+    EXPECT_THROW(ipc::readFrame(fds[0], frame), ipc::ProtocolError);
+    ::close(fds[0]);
+}
+
+TEST(IpcFrameFuzz, NoSingleByteFlipDecodesAsAFrame)
+{
+    const int frames = ipcFuzzDeep() ? 256 : 24;
+    Rng rng(0xf11b);
+    for (int i = 0; i < frames; ++i) {
+        const uint32_t type = static_cast<uint32_t>(rng.below(7)) + 1;
+        const std::string payload =
+            randomPayload(rng, rng.below(2048));
+        const std::string wire = ipc::encodeFrame(type, payload);
+        for (int flip = 0; flip < 64; ++flip) {
+            std::string bad = wire;
+            const size_t pos = rng.below(bad.size());
+            const uint8_t bit = 1u << rng.below(8);
+            bad[pos] = static_cast<char>(
+                static_cast<uint8_t>(bad[pos]) ^ bit);
+            ipc::FrameDecoder decoder;
+            decoder.feed(bad.data(), bad.size());
+            ipc::Frame frame;
+            // The flip must never yield a decoded frame: corruption
+            // throws, and a grown length field merely starves the
+            // decoder. Silence is the one unacceptable outcome.
+            try {
+                EXPECT_FALSE(decoder.next(frame))
+                    << "frame " << i << " flip at byte " << pos;
+            } catch (const ipc::ProtocolError &) {
+                // detected — good
+            }
+        }
+    }
 }
 
 } // namespace

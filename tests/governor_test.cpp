@@ -29,6 +29,7 @@
 #include "support/governor.h"
 #include "support/rng.h"
 #include "support/time.h"
+#include "test_scratch.h"
 #include "tuner/experiment.h"
 
 namespace gsopt {
@@ -55,26 +56,7 @@ only(Dim d, uint64_t cap)
     return c;
 }
 
-/** Fresh scratch directory under the build tree, removed on exit. */
-class ScratchDir
-{
-  public:
-    explicit ScratchDir(const std::string &name)
-        : path_("governor_test_scratch/" + name)
-    {
-        fs::remove_all(path_);
-        fs::create_directories(path_);
-    }
-    ~ScratchDir()
-    {
-        std::error_code ec;
-        fs::remove_all(path_, ec);
-    }
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string path_;
-};
+using testutil::ScratchDir;
 
 const char *kTinyShader = "#version 450\n"
                           "out vec4 fragColor;\n"

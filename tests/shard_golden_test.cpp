@@ -13,119 +13,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "corpus/corpus.h"
+#include "test_md5.h"
 #include "tuner/experiment.h"
 
 namespace gsopt {
 namespace {
 
-// ----------------------------------------------------------- md5
-// Minimal self-contained MD5 (RFC 1321 algorithm), enough to express
-// the goldens in the same digest the campaign tooling uses (`md5sum`
-// of the shard body bytes).
-
-struct Md5
-{
-    uint32_t a = 0x67452301u, b = 0xefcdab89u, c = 0x98badcfeu,
-             d = 0x10325476u;
-
-    static uint32_t rotl(uint32_t x, int s)
-    {
-        return (x << s) | (x >> (32 - s));
-    }
-
-    void processBlock(const uint8_t *p)
-    {
-        static const uint32_t K[64] = {
-            0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
-            0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
-            0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
-            0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
-            0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
-            0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
-            0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
-            0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
-            0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
-            0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
-            0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
-            0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
-            0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
-        static const int S[64] = {7, 12, 17, 22, 7, 12, 17, 22,
-                                  7, 12, 17, 22, 7, 12, 17, 22,
-                                  5, 9,  14, 20, 5, 9,  14, 20,
-                                  5, 9,  14, 20, 5, 9,  14, 20,
-                                  4, 11, 16, 23, 4, 11, 16, 23,
-                                  4, 11, 16, 23, 4, 11, 16, 23,
-                                  6, 10, 15, 21, 6, 10, 15, 21,
-                                  6, 10, 15, 21, 6, 10, 15, 21};
-        uint32_t m[16];
-        for (int i = 0; i < 16; ++i)
-            std::memcpy(&m[i], p + i * 4, 4); // little-endian host ok
-        uint32_t A = a, B = b, C = c, D = d;
-        for (int i = 0; i < 64; ++i) {
-            uint32_t f;
-            int g;
-            if (i < 16) {
-                f = (B & C) | (~B & D);
-                g = i;
-            } else if (i < 32) {
-                f = (D & B) | (~D & C);
-                g = (5 * i + 1) & 15;
-            } else if (i < 48) {
-                f = B ^ C ^ D;
-                g = (3 * i + 5) & 15;
-            } else {
-                f = C ^ (B | ~D);
-                g = (7 * i) & 15;
-            }
-            uint32_t tmp = D;
-            D = C;
-            C = B;
-            B = B + rotl(A + f + K[i] + m[g], S[i]);
-            A = tmp;
-        }
-        a += A;
-        b += B;
-        c += C;
-        d += D;
-    }
-
-    std::string digest(const std::string &data)
-    {
-        std::vector<uint8_t> buf(data.begin(), data.end());
-        const uint64_t bit_len = static_cast<uint64_t>(buf.size()) * 8;
-        buf.push_back(0x80);
-        while (buf.size() % 64 != 56)
-            buf.push_back(0);
-        for (int i = 0; i < 8; ++i)
-            buf.push_back(
-                static_cast<uint8_t>((bit_len >> (8 * i)) & 0xff));
-        for (size_t off = 0; off < buf.size(); off += 64)
-            processBlock(buf.data() + off);
-
-        std::string hex;
-        static const char *digits = "0123456789abcdef";
-        for (uint32_t word : {a, b, c, d}) {
-            for (int i = 0; i < 4; ++i) {
-                uint8_t byte =
-                    static_cast<uint8_t>((word >> (8 * i)) & 0xff);
-                hex.push_back(digits[byte >> 4]);
-                hex.push_back(digits[byte & 0xf]);
-            }
-        }
-        return hex;
-    }
-};
-
-std::string
-md5Hex(const std::string &data)
-{
-    return Md5{}.digest(data);
-}
+using testutil::md5Hex;
 
 TEST(Md5Self, Rfc1321Vectors)
 {
